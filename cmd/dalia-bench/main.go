@@ -1,0 +1,103 @@
+// dalia-bench regenerates the tables and figures of the paper's evaluation
+// section. Each experiment prints the same rows/series the paper reports,
+// annotated with the paper's published numbers for comparison.
+//
+// Usage:
+//
+//	dalia-bench -exp=fig4            # one experiment
+//	dalia-bench -exp=fig4,fig5,app   # several
+//	dalia-bench -exp=all -quick      # everything, trimmed sweeps
+//
+// Experiments: table1, table4, fig4, fig5, fig6a, fig6b, fig7, app,
+// x1 (mapping), x3 (solver ablation), x4 (S2 ablation), x5 (lb sweep).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/dalia-hpc/dalia/internal/bench"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(quick bool) error
+}
+
+func figExp(name, desc string, f func(bool) (*bench.Figure, error)) experiment {
+	return experiment{name: name, desc: desc, run: func(quick bool) error {
+		fig, err := f(quick)
+		if err != nil {
+			return err
+		}
+		fig.Fprint(os.Stdout)
+		return nil
+	}}
+}
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiments or 'all'")
+	quick := flag.Bool("quick", false, "trim sweeps for fast runs")
+	flag.Parse()
+
+	experiments := []experiment{
+		{"table1", "framework capability matrix (Table I)", func(bool) error {
+			bench.Table1().Fprint(os.Stdout)
+			return nil
+		}},
+		{"table4", "dataset dimensions, paper and scaled (Table IV)", func(bool) error {
+			bench.Table4().Fprint(os.Stdout)
+			return nil
+		}},
+		figExp("fig4", "strong scaling vs INLA_DIST-like and R-INLA-like (MB1)", bench.Fig4),
+		figExp("fig5", "distributed solver weak scaling with/without lb (MB2)", bench.Fig5),
+		figExp("fig6a", "weak scaling through the time domain (WA1)", bench.Fig6a),
+		figExp("fig6b", "weak scaling through mesh refinement + memory cap (WA2)", bench.Fig6b),
+		figExp("fig7", "application-level strong scaling (SA1)", bench.Fig7),
+		{"app", "air-pollution application study (§VI, AP1)", func(quick bool) error {
+			rep, err := bench.App(quick)
+			if err != nil {
+				return err
+			}
+			bench.PrintApp(rep, os.Stdout)
+			return nil
+		}},
+		figExp("x1", "ablation: cached vs naive sparse→dense mapping (§IV-F)", bench.AblationMapping),
+		figExp("x3", "ablation: BTA solver vs general sparse Cholesky", bench.AblationBTAvsSparse),
+		figExp("x4", "ablation: S2 pipeline on/off at fixed resources", bench.AblationS2),
+		figExp("x5", "ablation: load-balance factor sweep (§V-C)", bench.AblationLB),
+	}
+
+	want := map[string]bool{}
+	runAll := *expFlag == "all"
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+
+	ran := 0
+	for _, ex := range experiments {
+		if !runAll && !want[ex.name] {
+			continue
+		}
+		fmt.Printf("--- %s: %s\n", ex.name, ex.desc)
+		t0 := time.Now()
+		if err := ex.run(*quick); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", ex.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("    (%.1fs)\n\n", time.Since(t0).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; known:", *expFlag)
+		for _, ex := range experiments {
+			fmt.Fprintf(os.Stderr, " %s", ex.name)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,88 @@
+// dalia-scale runs free-form scaling sweeps of the three-layer parallel
+// scheme on the simulated distributed machine and prints the virtual-time
+// report for each width.
+//
+// Usage:
+//
+//	dalia-scale -workers 1,4,16,31 -nv 3 -nt 8
+//	dalia-scale -workers 8 -memcap 3145728     # force S3 via memory cap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	dalia "github.com/dalia-hpc/dalia"
+)
+
+func main() {
+	workersFlag := flag.String("workers", "1,4,16", "comma-separated worker counts")
+	nv := flag.Int("nv", 3, "number of response variables")
+	nt := flag.Int("nt", 8, "time steps")
+	nr := flag.Int("nr", 1, "fixed effects per process")
+	meshNx := flag.Int("mesh-nx", 5, "mesh vertices in x")
+	meshNy := flag.Int("mesh-ny", 4, "mesh vertices in y")
+	obs := flag.Int("obs", 15, "observations per time step")
+	lb := flag.Float64("lb", 1.6, "S3 load-balance factor")
+	memcap := flag.Int64("memcap", 0, "modeled device memory in bytes (0 = unlimited)")
+	iters := flag.Int("iters", 1, "quasi-Newton iterations to simulate")
+	seed := flag.Int64("seed", 31, "dataset seed")
+	flag.Parse()
+
+	var workers []int
+	for _, w := range strings.Split(*workersFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(w))
+		if err != nil || v < 1 {
+			log.Fatalf("bad worker count %q", w)
+		}
+		workers = append(workers, v)
+	}
+
+	ds, err := dalia.Generate(dalia.GenConfig{
+		Nv: *nv, Nt: *nt, Nr: *nr,
+		MeshNx: *meshNx, MeshNy: *meshNy,
+		ObsPerStep: *obs,
+		Seed:       *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := ds.Model
+	prior := dalia.WeakPrior(ds.Theta0, 5)
+	fmt.Printf("model: nv=%d ns=%d nt=%d nr=%d  dim(θ)=%d → %d evals/iter\n\n",
+		m.Dims.Nv, m.Dims.Ns, m.Dims.Nt, m.Dims.Nr, m.NumHyper(), 2*m.NumHyper()+1)
+	fmt.Printf("%8s  %10s  %9s  %7s  %-22s %12s\n",
+		"workers", "s/iter", "speedup", "eff %", "plan", "max-imbal")
+
+	var t1 float64
+	for _, w := range workers {
+		rep, err := dalia.RunCluster(m, prior, ds.Theta0, dalia.ClusterConfig{
+			World:       w,
+			Machine:     dalia.DefaultMachine(),
+			Iterations:  *iters,
+			LB:          *lb,
+			MemCapBytes: *memcap,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if t1 == 0 {
+			t1 = rep.PerIter * float64(workers[0])
+		}
+		plan := fmt.Sprintf("S1×%d", rep.Plan.Groups)
+		if rep.Plan.UseS2 {
+			plan += "+S2"
+		}
+		if rep.Plan.P3Min > 1 {
+			plan += fmt.Sprintf("+S3(≥%d)", rep.Plan.P3Min)
+		}
+		fmt.Printf("%8d  %10.4f  %8.1fx  %7.1f  %-22s %11.2fx\n",
+			w, rep.PerIter,
+			t1/(rep.PerIter*float64(workers[0])),
+			100*t1/(float64(w)*rep.PerIter*float64(workers[0])),
+			plan, rep.Stats.Imbalance())
+	}
+}

@@ -1,0 +1,106 @@
+package dalia_test
+
+import (
+	"math"
+	"testing"
+
+	dalia "github.com/dalia-hpc/dalia"
+)
+
+// TestPublicAPIEndToEnd exercises the full public workflow: mesh, synthetic
+// data, fit, fixed effects, and the simulated cluster.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ds, err := dalia.Generate(dalia.GenConfig{
+		Nv: 1, Nt: 3, Nr: 2,
+		MeshNx: 4, MeshNy: 4,
+		ObsPerStep: 20,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ds.Model
+	if m.NumHyper() != 4 {
+		t.Fatalf("dim(θ) = %d", m.NumHyper())
+	}
+
+	prior := dalia.WeakPrior(ds.Theta0, 3)
+	opts := dalia.DefaultFitOptions()
+	opts.Opt.MaxIter = 6
+	opts.SkipHyperUncertainty = true
+	res, err := dalia.Fit(m, prior, ds.Theta0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mu) != m.Dims.Total() || len(res.LatentVar) != m.Dims.Total() {
+		t.Fatal("posterior sizes wrong")
+	}
+	fes := dalia.FixedEffects(m, res)
+	if len(fes) != 2 {
+		t.Fatalf("fixed effects = %d", len(fes))
+	}
+	for _, fe := range fes {
+		if math.IsNaN(fe.Mean) || fe.SD <= 0 {
+			t.Fatalf("bad fixed effect %+v", fe)
+		}
+	}
+
+	rep, err := dalia.RunCluster(m, prior, ds.Theta0, dalia.ClusterConfig{
+		World: 3, Machine: dalia.DefaultMachine(), Iterations: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PerIter <= 0 {
+		t.Fatal("cluster report has no runtime")
+	}
+}
+
+func TestPublicMeshAndModelConstruction(t *testing.T) {
+	msh := dalia.UniformMesh(4, 4, 100, 100)
+	if msh.NumNodes() != 16 {
+		t.Fatalf("nodes = %d", msh.NumNodes())
+	}
+	cov := dalia.NewDenseMatrix(2, 1)
+	cov.Set(0, 0, 1)
+	cov.Set(1, 0, 1)
+	obs := &dalia.Obs{
+		Points:     []dalia.Point{{X: 10, Y: 10}, {X: 50, Y: 80}},
+		TimeIdx:    []int{0, 1},
+		Covariates: cov,
+		Y:          [][]float64{{1.0, 2.0}},
+	}
+	m, err := dalia.NewModel(msh, 2, 1, 1, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dims.Ns != 16 || m.Dims.Nt != 2 {
+		t.Fatalf("dims %+v", m.Dims)
+	}
+}
+
+func TestPublicBTAFacade(t *testing.T) {
+	m := dalia.NewBTAMatrix(3, 2, 1)
+	for i := 0; i < 3; i++ {
+		m.Diag[i].AddDiag(4)
+	}
+	m.Tip.AddDiag(4)
+	f, err := dalia.FactorizeBTA(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.LogDet()-7*math.Log(4)) > 1e-12 {
+		t.Fatalf("logdet = %v", f.LogDet())
+	}
+}
+
+func TestPublicLambda(t *testing.T) {
+	l, err := dalia.NewLambda([]float64{1, 2}, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := l.ImpliedCorrelation()
+	if c.At(0, 1) <= 0 {
+		t.Fatal("positive coupling must give positive correlation")
+	}
+}

@@ -1,0 +1,116 @@
+// Air pollution (§VI of the paper): jointly model three correlated
+// pollutants (PM2.5, PM10, O₃) over a northern-Italy-like domain with a
+// trivariate coregionalization model, report the elevation fixed effects
+// with credible intervals, and the inter-pollutant correlations.
+//
+// The paper fits 48 days of CAMS reanalysis data at 4210 locations; this
+// example fits a scaled synthetic equivalent sampled from the model itself
+// (see DESIGN.md, substitutions), which additionally lets it verify the
+// estimates against the generating truth.
+//
+//	go run ./examples/airpollution
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	dalia "github.com/dalia-hpc/dalia"
+)
+
+var pollutants = []string{"PM2.5", "PM10", "O3"}
+
+func main() {
+	// Trivariate model over a 560×220 km box ("northern Italy"), 6 days,
+	// 60 stations per day, intercept + elevation covariates. The generating
+	// truth mimics the paper's findings: PM2.5↔PM10 strongly correlated,
+	// both anti-correlated with ozone; elevation lowers PM and raises O₃.
+	ds, err := dalia.Generate(dalia.GenConfig{
+		Nv: 3, Nt: 6, Nr: 2,
+		MeshNx: 7, MeshNy: 5,
+		Width: 560, Height: 220,
+		ObsPerStep: 60,
+		Seed:       2022, // the paper's study starts January 1st, 2022
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := ds.Model
+	fmt.Printf("trivariate LMC model: ns=%d nt=%d → latent dim %d, dim(θ)=%d (paper: 15)\n",
+		m.Dims.Ns, m.Dims.Nt, m.Dims.Total(), m.NumHyper())
+	fmt.Printf("observations: %d per pollutant (%d total)\n\n", m.Obs.M(), 3*m.Obs.M())
+
+	prior := dalia.WeakPrior(m.EncodeTheta(ds.TrueTheta), 3)
+	opts := dalia.DefaultFitOptions()
+	opts.Opt.MaxIter = 8
+	opts.SkipHyperUncertainty = true // keep the example fast
+	res, err := dalia.Fit(m, prior, ds.Theta0, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fit: %d iterations, %d objective evaluations\n\n", res.Opt.Iterations, res.Opt.FEvals)
+
+	// Elevation effects (paper: −0.45, −0.55, +1.27 µg/m³ per km).
+	truthBeta := []float64{-0.45, -0.55, 1.27}
+	fmt.Println("elevation effect per pollutant (posterior mean [95% CI] vs truth):")
+	for _, fe := range dalia.FixedEffects(m, res) {
+		if fe.Index != 1 {
+			continue
+		}
+		fmt.Printf("  %-6s %+.3f  [%+.3f, %+.3f]   truth %+.2f\n",
+			pollutants[fe.Process], fe.Mean, fe.Q025, fe.Q975, truthBeta[fe.Process])
+	}
+
+	// Inter-pollutant correlations (paper: +0.97, −0.61, −0.63).
+	dec, err := m.DecodeTheta(res.Theta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fitted := dec.Lambda.ImpliedCorrelation()
+	truth := ds.TrueTheta.Lambda.ImpliedCorrelation()
+	fmt.Println("\ninter-pollutant correlations (fitted / truth):")
+	pairs := [][2]int{{1, 0}, {2, 0}, {2, 1}}
+	for _, p := range pairs {
+		fmt.Printf("  %-5s ↔ %-5s  %+.2f / %+.2f\n",
+			pollutants[p[0]], pollutants[p[1]], fitted.At(p[0], p[1]), truth.At(p[0], p[1]))
+	}
+
+	// Posterior uncertainty: latent marginal standard deviations summarize
+	// where the field is well constrained (near stations) vs uncertain.
+	var minV, maxV = res.LatentVar[0], res.LatentVar[0]
+	for _, v := range res.LatentVar[:m.Dims.Nv*m.Dims.Ns*m.Dims.Nt] {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	fmt.Printf("\nlatent marginal variance range (selected inversion of Q_c): [%.3f, %.3f]\n", minV, maxV)
+
+	// Regulatory-threshold risk (the paper's motivating question): the
+	// posterior probability that ozone exceeds a threshold at selected
+	// sites on the final day, from 300 joint posterior samples.
+	rng := rand.New(rand.NewSource(1))
+	_, samples, err := dalia.SamplePosterior(m, res.Theta, 300, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sites := []dalia.Point{{X: 80, Y: 40}, {X: 280, Y: 110}, {X: 480, Y: 190}}
+	tidx := []int{m.Dims.Nt - 1, m.Dims.Nt - 1, m.Dims.Nt - 1}
+	cov := dalia.NewDenseMatrix(len(sites), 2)
+	for i, p := range sites {
+		cov.Set(i, 0, 1)
+		cov.Set(i, 1, dalia.Elevation(p, 560, 220))
+	}
+	threshold := 4.0
+	probs, err := dalia.Exceedance(m, res.Theta, samples, sites, tidx, cov, 2, threshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nP(O3 > %.1f) on the final day (west / center / east-alpine):\n", threshold)
+	for i, p := range probs {
+		fmt.Printf("  site %d (%.0f,%.0f km): %.2f\n", i, sites[i].X, sites[i].Y, p)
+	}
+}

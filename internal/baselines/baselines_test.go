@@ -1,0 +1,123 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dalia-hpc/dalia/internal/comm"
+	"github.com/dalia-hpc/dalia/internal/inla"
+	"github.com/dalia-hpc/dalia/internal/synth"
+)
+
+func genSmall(t *testing.T, nv int) *synth.Dataset {
+	t.Helper()
+	ds, err := synth.Generate(synth.GenConfig{
+		Nv: nv, Nt: 3, Nr: 2,
+		MeshNx: 4, MeshNy: 3,
+		ObsPerStep: 15,
+		Seed:       21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestAllThreePathsAgree is the cross-system correctness anchor: the
+// R-INLA-like sparse path, the INLA_DIST-like naive BTA path, and the DALIA
+// cached-mapping BTA path must produce identical objective values — they
+// implement the same mathematics through three different solvers.
+func TestAllThreePathsAgree(t *testing.T) {
+	for _, nv := range []int{1, 2, 3} {
+		ds := genSmall(t, nv)
+		prior := inla.WeakPrior(ds.Theta0, 5)
+		dalia := &inla.BTAEvaluator{Model: ds.Model, Prior: prior}
+		rinla := &RINLAEvaluator{Model: ds.Model, Prior: prior}
+		idist := &INLADistEvaluator{Model: ds.Model, Prior: prior}
+
+		fD := dalia.EvalBatch([][]float64{ds.Theta0})[0]
+		fR := rinla.EvalOne(ds.Theta0)
+		fI := idist.EvalOne(ds.Theta0)
+		tol := 1e-6 * (1 + math.Abs(fD))
+		if math.Abs(fD-fR) > tol {
+			t.Fatalf("nv=%d: DALIA %v vs R-INLA-like %v", nv, fD, fR)
+		}
+		if math.Abs(fD-fI) > tol {
+			t.Fatalf("nv=%d: DALIA %v vs INLA_DIST-like %v", nv, fD, fI)
+		}
+	}
+}
+
+func TestRefactorizationPathAcrossPoints(t *testing.T) {
+	// Repeated evaluations at different θ exercise the symbolic-reuse path.
+	ds := genSmall(t, 2)
+	prior := inla.WeakPrior(ds.Theta0, 5)
+	rinla := &RINLAEvaluator{Model: ds.Model, Prior: prior}
+	dalia := &inla.BTAEvaluator{Model: ds.Model, Prior: prior}
+	for trial := 0; trial < 3; trial++ {
+		th := append([]float64(nil), ds.Theta0...)
+		for i := range th {
+			th[i] += 0.1 * float64(trial)
+		}
+		fR := rinla.EvalOne(th)
+		fD := dalia.EvalBatch([][]float64{th})[0]
+		if math.Abs(fR-fD) > 1e-6*(1+math.Abs(fD)) {
+			t.Fatalf("trial %d: %v vs %v", trial, fR, fD)
+		}
+	}
+}
+
+func TestPosteriorAgreesAcrossPaths(t *testing.T) {
+	ds := genSmall(t, 2)
+	prior := inla.WeakPrior(ds.Theta0, 5)
+	rinla := &RINLAEvaluator{Model: ds.Model, Prior: prior}
+	dalia := &inla.BTAEvaluator{Model: ds.Model, Prior: prior}
+
+	muR, vaR, err := rinla.Posterior(ds.Theta0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	muD, vaD, err := dalia.Posterior(ds.Theta0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range muR {
+		if math.Abs(muR[i]-muD[i]) > 1e-6*(1+math.Abs(muD[i])) {
+			t.Fatalf("posterior mean[%d]: %v vs %v", i, muR[i], muD[i])
+		}
+		if math.Abs(vaR[i]-vaD[i]) > 1e-6*(1+math.Abs(vaD[i])) {
+			t.Fatalf("posterior var[%d]: %v vs %v", i, vaR[i], vaD[i])
+		}
+	}
+}
+
+func TestInfeasiblePointsInf(t *testing.T) {
+	ds := genSmall(t, 1)
+	prior := inla.WeakPrior(ds.Theta0, 5)
+	rinla := &RINLAEvaluator{Model: ds.Model, Prior: prior}
+	bad := append([]float64(nil), ds.Theta0...)
+	bad[0] = 800
+	if !math.IsInf(rinla.EvalOne(bad), 1) {
+		t.Fatal("infeasible point must evaluate to +Inf")
+	}
+	idist := &INLADistEvaluator{Model: ds.Model, Prior: prior}
+	if !math.IsInf(idist.EvalOne(bad), 1) {
+		t.Fatal("infeasible point must evaluate to +Inf (INLA_DIST-like)")
+	}
+}
+
+func TestRunRINLASimScalesWithGroups(t *testing.T) {
+	ds := genSmall(t, 1)
+	prior := inla.WeakPrior(ds.Theta0, 5)
+	r1, err := RunRINLASim(ds.Model, prior, ds.Theta0, 1, 1, comm.DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := RunRINLASim(ds.Model, prior, ds.Theta0, 4, 1, comm.DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.PerIter >= r1.PerIter {
+		t.Fatalf("4 groups (%v s) not faster than 1 (%v s)", r4.PerIter, r1.PerIter)
+	}
+}

@@ -1,0 +1,354 @@
+package bta
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dalia-hpc/dalia/internal/comm"
+	"github.com/dalia-hpc/dalia/internal/dense"
+)
+
+func logOf(v float64) float64 { return math.Log(v) }
+
+// Message tags used by the distributed routines. Bases are spaced so the
+// tag+i arithmetic of multi-part transfers cannot collide across kinds.
+const (
+	tagDiag     = 100 // +0, +1: boundary diagonal blocks
+	tagCoupling = 110 // +0: cross-partition coupling, +1: within-partition fill
+	tagArrow    = 120 // +0, +1: boundary arrow blocks
+	tagTip      = 130
+	tagRhs      = 140
+	tagSol      = 150
+	tagSig      = 160 // +0..+5: scattered Σ boundary blocks
+)
+
+// LocalBTA is one rank's slice of a global BTA matrix under the time-domain
+// partitioning: the diagonal, sub-diagonal, and arrow blocks of the owned
+// block range plus the coupling to the previous partition. The arrow tip is
+// carried by rank 0 only (it is globally shared and enters the reduced
+// system exactly once).
+type LocalBTA struct {
+	Part    Partition
+	NGlobal int
+	B, A    int
+
+	Diag        []*dense.Matrix // blocks Lo..Hi
+	Lower       []*dense.Matrix // couplings (k+1,k) for k = Lo..Hi−1
+	TopCoupling *dense.Matrix   // block (Lo, Lo−1); nil on rank 0
+	Arrow       []*dense.Matrix // blocks (a, Lo..Hi); empty when A == 0
+	Tip         *dense.Matrix   // original tip; required on rank 0, ignored elsewhere
+}
+
+// LocalSlice extracts rank's partition from a globally assembled matrix
+// (tests and single-host experiment drivers; at paper scale each rank would
+// assemble its slice directly).
+func LocalSlice(g *Matrix, parts []Partition, rank int) *LocalBTA {
+	part := parts[rank]
+	l := &LocalBTA{Part: part, NGlobal: g.N, B: g.B, A: g.A}
+	for k := part.Lo; k <= part.Hi; k++ {
+		l.Diag = append(l.Diag, g.Diag[k].Clone())
+		if k < part.Hi {
+			l.Lower = append(l.Lower, g.Lower[k].Clone())
+		}
+		if g.A > 0 {
+			l.Arrow = append(l.Arrow, g.Arrow[k].Clone())
+		}
+	}
+	if part.Lo > 0 {
+		l.TopCoupling = g.Lower[part.Lo-1].Clone()
+	}
+	if g.A > 0 && rank == 0 {
+		l.Tip = g.Tip.Clone()
+	}
+	return l
+}
+
+// DistFactor is the outcome of PPOBTAF: rank-local interior factor data plus
+// the factorized reduced system on rank 0. It supports the distributed
+// triangular solve (PPOBTAS), selected inversion (PPOBTASI), and the
+// collective log-determinant.
+type DistFactor struct {
+	part     Partition
+	rank, p  int
+	nGlobal  int
+	b, a     int
+	interior []int // global indices, elimination order
+
+	l     []*dense.Matrix // chol of eliminated interior diagonals
+	gNext []*dense.Matrix // (k+1, k) couplings, scaled; nil for final block of last partition
+	gTop  []*dense.Matrix // (lo, k) fill couplings, scaled; nil on rank 0
+	gArr  []*dense.Matrix // (a, k) couplings, scaled; nil when a == 0
+
+	// boundary state after local elimination (inputs to the reduced system)
+	bndDiag  []*dense.Matrix // updated boundary diagonal blocks
+	bndArrow []*dense.Matrix
+	fill     *dense.Matrix // M(lo, hi) for middle partitions
+	tipDelta *dense.Matrix
+
+	localTopCoupling *dense.Matrix // original coupling to previous partition
+	localTip         *dense.Matrix // original tip (rank 0)
+
+	reduced *Factor // rank 0 only
+	logDet  float64 // full log-determinant, replicated on all ranks
+}
+
+// Part returns the factor's partition.
+func (f *DistFactor) Part() Partition { return f.part }
+
+// LogDet returns log|A| (already replicated across ranks by PPOBTAF).
+func (f *DistFactor) LogDet() float64 { return f.logDet }
+
+// PPOBTAF performs the distributed BTA Cholesky factorization over the
+// time-domain partitioning (the Serinv-style nested-dissection scheme):
+// every rank eliminates its interior blocks concurrently — non-first
+// partitions run the costlier two-sided elimination that also updates their
+// top boundary — then rank 0 assembles and factorizes the reduced
+// block-tridiagonal-arrowhead system over the 2P−2 boundary blocks.
+//
+// Must be called collectively by all ranks of c with consistent local
+// slices. The local input is consumed (its blocks are used as workspace).
+func PPOBTAF(c *comm.Comm, local *LocalBTA) (*DistFactor, error) {
+	p := c.Size()
+	rank := c.Rank()
+	f := &DistFactor{
+		part: local.Part, rank: rank, p: p,
+		nGlobal: local.NGlobal, b: local.B, a: local.A,
+		interior: interiors(local.Part, rank, p),
+	}
+	if p == 1 {
+		return ppobtafSingle(c, local, f)
+	}
+
+	// Error handling is collective: a failed Cholesky on any rank (an
+	// infeasible hyperparameter configuration in the INLA loop) must not
+	// leave peers blocked in a collective, so ranks agree on success after
+	// each phase.
+	var elimErr error
+	c.Compute(func() { elimErr = f.eliminateInteriors(local) })
+	if anyFailed(c, elimErr) {
+		if elimErr != nil {
+			return nil, elimErr
+		}
+		return nil, fmt.Errorf("bta: rank %d: a peer rank failed local elimination", rank)
+	}
+	redErr := f.assembleAndFactorReduced(c, local)
+	if anyFailed(c, redErr) {
+		if redErr != nil {
+			return nil, redErr
+		}
+		return nil, fmt.Errorf("bta: rank %d: reduced-system factorization failed", rank)
+	}
+	f.shareLogDet(c)
+	return f, nil
+}
+
+// anyFailed reports collectively whether any rank observed an error.
+func anyFailed(c *comm.Comm, err error) bool {
+	flag := 0.0
+	if err != nil {
+		flag = 1
+	}
+	return c.AllReduceMax([]float64{flag})[0] > 0
+}
+
+// ppobtafSingle is the P == 1 fallback: plain sequential factorization
+// presented through the distributed interface.
+func ppobtafSingle(c *comm.Comm, local *LocalBTA, f *DistFactor) (*DistFactor, error) {
+	g := &Matrix{N: local.NGlobal, B: local.B, A: local.A,
+		Diag: local.Diag, Lower: local.Lower, Arrow: local.Arrow, Tip: local.Tip}
+	var seq *Factor
+	var err error
+	c.Compute(func() {
+		err = factorizeInPlace(g)
+		seq = &Factor{N: g.N, B: g.B, A: g.A, Diag: g.Diag, Lower: g.Lower, Arrow: g.Arrow, Tip: g.Tip}
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.reduced = seq
+	f.interior = nil
+	f.logDet = seq.LogDet()
+	return f, nil
+}
+
+// eliminateInteriors runs the rank-local phase of PPOBTAF.
+func (f *DistFactor) eliminateInteriors(local *LocalBTA) error {
+	lo := local.Part.Lo
+	hasArrow := f.a > 0
+	twoSided := f.rank != 0
+
+	// Working fill coupling M(lo, k): starts as the transpose of the
+	// partition's first sub-diagonal block.
+	var tCur *dense.Matrix
+	if twoSided && len(local.Lower) > 0 {
+		tCur = local.Lower[0].T()
+	}
+	if hasArrow {
+		f.tipDelta = dense.New(f.a, f.a)
+	}
+
+	for _, k := range f.interior {
+		rel := k - lo
+		lk := local.Diag[rel]
+		if err := dense.Potrf(lk); err != nil {
+			return fmt.Errorf("bta: rank %d interior block %d: %w", f.rank, k, err)
+		}
+		lk.ZeroUpper()
+		f.l = append(f.l, lk)
+
+		var gNext, gTop, gArr *dense.Matrix
+		if rel < len(local.Lower) { // a next block exists within the partition
+			gNext = local.Lower[rel]
+			dense.Trsm(dense.Right, dense.Trans, lk, gNext)
+		}
+		if twoSided {
+			gTop = tCur
+			dense.Trsm(dense.Right, dense.Trans, lk, gTop)
+		}
+		if hasArrow {
+			gArr = local.Arrow[rel]
+			dense.Trsm(dense.Right, dense.Trans, lk, gArr)
+		}
+		f.gNext = append(f.gNext, gNext)
+		f.gTop = append(f.gTop, gTop)
+		f.gArr = append(f.gArr, gArr)
+
+		// Schur updates onto the remaining neighbours {k+1, lo, arrow}.
+		if gNext != nil {
+			dense.Syrk(dense.NoTrans, -1, gNext, 1, local.Diag[rel+1])
+			local.Diag[rel+1].MirrorLowerToUpper()
+		}
+		if twoSided && gTop != nil {
+			dense.Syrk(dense.NoTrans, -1, gTop, 1, local.Diag[0])
+			local.Diag[0].MirrorLowerToUpper()
+			if gNext != nil {
+				tNext := dense.New(f.b, f.b)
+				dense.Gemm(dense.NoTrans, dense.Trans, -1, gTop, gNext, 0, tNext)
+				tCur = tNext
+			} else {
+				tCur = nil
+			}
+		}
+		if hasArrow {
+			if gNext != nil {
+				dense.Gemm(dense.NoTrans, dense.Trans, -1, gArr, gNext, 1, local.Arrow[rel+1])
+			}
+			if twoSided && gTop != nil {
+				dense.Gemm(dense.NoTrans, dense.Trans, -1, gArr, gTop, 1, local.Arrow[0])
+			}
+			dense.Syrk(dense.NoTrans, -1, gArr, 1, f.tipDelta)
+			f.tipDelta.MirrorLowerToUpper()
+		}
+	}
+
+	// Record boundary state.
+	for _, gbl := range boundaries(local.Part, f.rank, f.p) {
+		rel := gbl - lo
+		f.bndDiag = append(f.bndDiag, local.Diag[rel])
+		if hasArrow {
+			f.bndArrow = append(f.bndArrow, local.Arrow[rel])
+		}
+	}
+	if f.rank != 0 && f.rank != f.p-1 {
+		// Middle partition: remaining coupling between its two boundaries.
+		if len(f.interior) == 0 {
+			// size-2 partition: original coupling, untouched
+			f.fill = local.Lower[len(local.Lower)-1].T()
+		} else {
+			f.fill = tCur
+		}
+	}
+	f.localTopCoupling = local.TopCoupling
+	f.localTip = local.Tip
+	return nil
+}
+
+// assembleAndFactorReduced gathers every rank's boundary contributions on
+// rank 0, assembles the 2P−2-block reduced BTA system, and factorizes it.
+func (f *DistFactor) assembleAndFactorReduced(c *comm.Comm, local *LocalBTA) error {
+	p, rank := f.p, f.rank
+	nr := reducedSize(p)
+	hasArrow := f.a > 0
+
+	if rank != 0 {
+		// Ship boundary contributions to rank 0.
+		for i, d := range f.bndDiag {
+			c.SendMatrix(0, tagDiag+i, d)
+		}
+		c.SendMatrix(0, tagCoupling, f.localTopCoupling)
+		if f.fill != nil {
+			c.SendMatrix(0, tagCoupling+1, f.fill)
+		}
+		if hasArrow {
+			for i, a := range f.bndArrow {
+				c.SendMatrix(0, tagArrow+i, a)
+			}
+			c.SendMatrix(0, tagTip, f.tipDelta)
+		}
+		f.recvReducedNothing()
+		return nil
+	}
+
+	red := NewMatrix(nr, f.b, f.a)
+	// Rank 0's own contribution: bottom boundary at reduced index 0.
+	red.Diag[0].CopyFrom(f.bndDiag[0])
+	if hasArrow {
+		red.Arrow[0].CopyFrom(f.bndArrow[0])
+		red.Tip.CopyFrom(f.localTip)
+		red.Tip.Add(1, f.tipDelta)
+	}
+	for r := 1; r < p; r++ {
+		top := reducedIndexTop(r)
+		topCoupling := c.RecvMatrix(r, tagCoupling)
+		red.Lower[top-1].CopyFrom(topCoupling) // (lo_r, hi_{r−1})
+		if r < p-1 {
+			red.Diag[top].CopyFrom(c.RecvMatrix(r, tagDiag))
+			red.Diag[top+1].CopyFrom(c.RecvMatrix(r, tagDiag+1))
+			fill := c.RecvMatrix(r, tagCoupling+1)
+			red.Lower[top].CopyFrom(fill.T()) // (hi_r, lo_r) = fillᵀ
+			if hasArrow {
+				red.Arrow[top].CopyFrom(c.RecvMatrix(r, tagArrow))
+				red.Arrow[top+1].CopyFrom(c.RecvMatrix(r, tagArrow+1))
+			}
+		} else {
+			red.Diag[top].CopyFrom(c.RecvMatrix(r, tagDiag))
+			if hasArrow {
+				red.Arrow[top].CopyFrom(c.RecvMatrix(r, tagArrow))
+			}
+		}
+		if hasArrow {
+			red.Tip.Add(1, c.RecvMatrix(r, tagTip))
+		}
+	}
+	var err error
+	c.Compute(func() {
+		err = factorizeInPlace(red)
+		if err == nil {
+			f.reduced = &Factor{N: red.N, B: red.B, A: red.A,
+				Diag: red.Diag, Lower: red.Lower, Arrow: red.Arrow, Tip: red.Tip}
+		}
+	})
+	return err
+}
+
+// recvReducedNothing is a placeholder synchronization for non-root ranks —
+// the reduced factorization is sequential on rank 0 by design (mirroring
+// Serinv); other ranks simply proceed to the next collective.
+func (f *DistFactor) recvReducedNothing() {}
+
+// shareLogDet computes log|A| collectively: interior contributions from all
+// ranks plus the reduced factor's log-determinant from rank 0.
+func (f *DistFactor) shareLogDet(c *comm.Comm) {
+	var localSum float64
+	for _, lk := range f.l {
+		for i := 0; i < f.b; i++ {
+			localSum += logOf(lk.At(i, i))
+		}
+	}
+	localSum *= 2
+	if f.rank == 0 && f.reduced != nil {
+		localSum += f.reduced.LogDet()
+	}
+	total := c.AllReduceSum([]float64{localSum})
+	f.logDet = total[0]
+}

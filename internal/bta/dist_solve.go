@@ -1,0 +1,424 @@
+package bta
+
+import (
+	"fmt"
+
+	"github.com/dalia-hpc/dalia/internal/comm"
+	"github.com/dalia-hpc/dalia/internal/dense"
+)
+
+// PPOBTAS is the distributed triangular solve contributed by the DALIA
+// paper (§IV-E): it solves A·x = rhs against an existing distributed
+// factorization using the same nested-dissection scheme as PPOBTAF.
+//
+// rhsLocal holds the right-hand side for the rank's owned blocks
+// (Part.Size()·b values); rhsTip holds the arrow-tip right-hand side and is
+// read on rank 0 (a values; may be nil when a == 0). The call is collective.
+// It returns the solution over the owned blocks and the (replicated) tip
+// solution.
+func PPOBTAS(c *comm.Comm, f *DistFactor, rhsLocal, rhsTip []float64) ([]float64, []float64, error) {
+	if len(rhsLocal) != f.part.Size()*f.b {
+		return nil, nil, fmt.Errorf("bta: rank %d rhs length %d, want %d", f.rank, len(rhsLocal), f.part.Size()*f.b)
+	}
+	if f.p == 1 {
+		full := make([]float64, f.nGlobal*f.b+f.a)
+		copy(full, rhsLocal)
+		copy(full[f.nGlobal*f.b:], rhsTip)
+		c.Compute(func() { f.reduced.Solve(full) })
+		var xt []float64
+		if f.a > 0 {
+			xt = append([]float64(nil), full[f.nGlobal*f.b:]...)
+		}
+		return full[:f.nGlobal*f.b], xt, nil
+	}
+
+	b, a := f.b, f.a
+	lo := f.part.Lo
+	y := append([]float64(nil), rhsLocal...)
+	var tipDelta []float64
+	if a > 0 {
+		tipDelta = make([]float64, a)
+	}
+
+	// Forward elimination over the interiors.
+	c.Compute(func() {
+		for idx, k := range f.interior {
+			rel := k - lo
+			yk := y[rel*b : (rel+1)*b]
+			solveLowerVec(f.l[idx], yk)
+			if f.gNext[idx] != nil {
+				dense.Gemv(dense.NoTrans, -1, f.gNext[idx], yk, 1, y[(rel+1)*b:(rel+2)*b])
+			}
+			if f.gTop[idx] != nil {
+				dense.Gemv(dense.NoTrans, -1, f.gTop[idx], yk, 1, y[0:b])
+			}
+			if f.gArr[idx] != nil {
+				dense.Gemv(dense.NoTrans, -1, f.gArr[idx], yk, 1, tipDelta)
+			}
+		}
+	})
+
+	// Reduced right-hand side at rank 0.
+	bnd := boundaries(f.part, f.rank, f.p)
+	nr := reducedSize(f.p)
+	var xBnd [][]float64 // solutions for this rank's boundary blocks
+	var xTip []float64
+	if f.rank != 0 {
+		payload := make([]float64, 0, len(bnd)*b+a)
+		for _, gbl := range bnd {
+			rel := gbl - lo
+			payload = append(payload, y[rel*b:(rel+1)*b]...)
+		}
+		if a > 0 {
+			payload = append(payload, tipDelta...)
+		}
+		c.Send(0, tagRhs, payload)
+		sol := c.Recv(0, tagSol)
+		for i := range bnd {
+			xBnd = append(xBnd, sol[i*b:(i+1)*b])
+		}
+		if a > 0 {
+			xTip = sol[len(bnd)*b : len(bnd)*b+a]
+		}
+	} else {
+		rhsRed := make([]float64, nr*b+a)
+		copy(rhsRed[0:b], y[(f.part.Hi-lo)*b:]) // own bottom boundary
+		if a > 0 {
+			copy(rhsRed[nr*b:], rhsTip)
+			dense.Axpy(1, tipDelta, rhsRed[nr*b:])
+		}
+		payloads := make([][]float64, f.p)
+		for r := 1; r < f.p; r++ {
+			payloads[r] = c.Recv(r, tagRhs)
+			nb := 2
+			if r == f.p-1 {
+				nb = 1
+			}
+			top := reducedIndexTop(r)
+			copy(rhsRed[top*b:(top+1)*b], payloads[r][0:b])
+			if nb == 2 {
+				copy(rhsRed[(top+1)*b:(top+2)*b], payloads[r][b:2*b])
+			}
+			if a > 0 {
+				dense.Axpy(1, payloads[r][nb*b:nb*b+a], rhsRed[nr*b:])
+			}
+		}
+		c.Compute(func() { f.reduced.Solve(rhsRed) })
+		if a > 0 {
+			xTip = append([]float64(nil), rhsRed[nr*b:]...)
+		}
+		for r := 1; r < f.p; r++ {
+			nb := 2
+			if r == f.p-1 {
+				nb = 1
+			}
+			top := reducedIndexTop(r)
+			sol := make([]float64, 0, nb*b+a)
+			sol = append(sol, rhsRed[top*b:(top+1)*b]...)
+			if nb == 2 {
+				sol = append(sol, rhsRed[(top+1)*b:(top+2)*b]...)
+			}
+			if a > 0 {
+				sol = append(sol, xTip...)
+			}
+			c.Send(r, tagSol, sol)
+		}
+		xBnd = [][]float64{rhsRed[0:b]}
+	}
+
+	// Install boundary solutions into the local solution vector.
+	x := y
+	for i, gbl := range bnd {
+		rel := gbl - lo
+		copy(x[rel*b:(rel+1)*b], xBnd[i])
+	}
+
+	// Backward substitution over the interiors (reverse order).
+	c.Compute(func() {
+		for idx := len(f.interior) - 1; idx >= 0; idx-- {
+			k := f.interior[idx]
+			rel := k - lo
+			xk := x[rel*b : (rel+1)*b]
+			if f.gNext[idx] != nil {
+				dense.Gemv(dense.Trans, -1, f.gNext[idx], x[(rel+1)*b:(rel+2)*b], 1, xk)
+			}
+			if f.gTop[idx] != nil {
+				dense.Gemv(dense.Trans, -1, f.gTop[idx], x[0:b], 1, xk)
+			}
+			if f.gArr[idx] != nil {
+				dense.Gemv(dense.Trans, -1, f.gArr[idx], xTip, 1, xk)
+			}
+			solveLowerTransVec(f.l[idx], xk)
+		}
+	})
+	return x, xTip, nil
+}
+
+// LocalSigma is one rank's slice of the selected inverse Σ on the BTA
+// pattern, mirroring the LocalBTA layout. TopCoupling holds
+// Σ(Lo, Lo−1) — the cross-partition off-diagonal block — and Tip is the
+// replicated Σ over the fixed-effects corner.
+type LocalSigma struct {
+	Part        Partition
+	NGlobal     int
+	B, A        int
+	Diag        []*dense.Matrix
+	Lower       []*dense.Matrix
+	TopCoupling *dense.Matrix
+	Arrow       []*dense.Matrix
+	Tip         *dense.Matrix
+}
+
+// DiagVec returns the rank-local marginal variances (the diagonal of the
+// owned Σ blocks), Part.Size()·b values.
+func (s *LocalSigma) DiagVec() []float64 {
+	out := make([]float64, len(s.Diag)*s.B)
+	for i, d := range s.Diag {
+		for k := 0; k < s.B; k++ {
+			out[i*s.B+k] = d.At(k, k)
+		}
+	}
+	return out
+}
+
+// PPOBTASI is the distributed selected inversion: it computes every block
+// of Σ = A⁻¹ on the BTA pattern, with each rank producing the blocks of its
+// partition. Collective; requires a prior PPOBTAF.
+func PPOBTASI(c *comm.Comm, f *DistFactor) (*LocalSigma, error) {
+	b, a := f.b, f.a
+	out := &LocalSigma{Part: f.part, NGlobal: f.nGlobal, B: b, A: a}
+	if f.p == 1 {
+		var sig *Matrix
+		var err error
+		c.Compute(func() { sig, err = f.reduced.SelectedInversion() })
+		if err != nil {
+			return nil, err
+		}
+		out.Diag = sig.Diag
+		out.Lower = sig.Lower
+		out.Arrow = sig.Arrow
+		out.Tip = sig.Tip
+		return out, nil
+	}
+
+	// Phase 1: reduced-system selected inversion on rank 0, scatter of the
+	// boundary Σ blocks.
+	var sigTopD, sigBotD, sigBotTop, sigCrossPrev *dense.Matrix
+	var sigArrTop, sigArrBot, sigTip *dense.Matrix
+	if f.rank == 0 {
+		var redSig *Matrix
+		var err error
+		c.Compute(func() { redSig, err = f.reduced.SelectedInversion() })
+		if err != nil {
+			return nil, err
+		}
+		for r := 1; r < f.p; r++ {
+			top := reducedIndexTop(r)
+			c.SendMatrix(r, tagSig, redSig.Diag[top])
+			c.SendMatrix(r, tagSig+1, redSig.Lower[top-1]) // Σ(lo_r, hi_{r−1})
+			if r < f.p-1 {
+				c.SendMatrix(r, tagSig+2, redSig.Diag[top+1])
+				c.SendMatrix(r, tagSig+3, redSig.Lower[top]) // Σ(hi_r, lo_r)
+			}
+			if a > 0 {
+				c.SendMatrix(r, tagSig+4, redSig.Arrow[top])
+				if r < f.p-1 {
+					c.SendMatrix(r, tagSig+5, redSig.Arrow[top+1])
+				}
+			}
+		}
+		sigBotD = redSig.Diag[0]
+		if a > 0 {
+			sigArrBot = redSig.Arrow[0]
+			sigTip = redSig.Tip
+		}
+	} else {
+		sigTopD = c.RecvMatrix(0, tagSig)
+		sigCrossPrev = c.RecvMatrix(0, tagSig+1)
+		if f.rank < f.p-1 {
+			sigBotD = c.RecvMatrix(0, tagSig+2)
+			sigBotTop = c.RecvMatrix(0, tagSig+3)
+		}
+		if a > 0 {
+			sigArrTop = c.RecvMatrix(0, tagSig+4)
+			if f.rank < f.p-1 {
+				sigArrBot = c.RecvMatrix(0, tagSig+5)
+			}
+		}
+	}
+	if a > 0 {
+		var tipIn *dense.Matrix
+		if f.rank == 0 {
+			tipIn = sigTip
+		}
+		sigTip = c.BcastMatrix(0, tipIn)
+	}
+
+	// Phase 2: rank-local backward recursion over the interiors.
+	size := f.part.Size()
+	out.Diag = make([]*dense.Matrix, size)
+	if size > 1 {
+		out.Lower = make([]*dense.Matrix, size-1)
+	}
+	if a > 0 {
+		out.Arrow = make([]*dense.Matrix, size)
+		out.Tip = sigTip
+	}
+	out.TopCoupling = sigCrossPrev
+
+	// Install boundary blocks.
+	switch {
+	case f.rank == 0:
+		out.Diag[size-1] = sigBotD
+		if a > 0 {
+			out.Arrow[size-1] = sigArrBot
+		}
+	case f.rank == f.p-1:
+		out.Diag[0] = sigTopD
+		if a > 0 {
+			out.Arrow[0] = sigArrTop
+		}
+	default:
+		out.Diag[0] = sigTopD
+		out.Diag[size-1] = sigBotD
+		if a > 0 {
+			out.Arrow[0] = sigArrTop
+			out.Arrow[size-1] = sigArrBot
+		}
+		if len(f.interior) == 0 {
+			out.Lower[0] = sigBotTop
+		}
+	}
+
+	var err error
+	c.Compute(func() { err = f.interiorSigmaSweep(out, sigTopD, sigBotD, sigBotTop, sigArrTop, sigArrBot, sigTip) })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// interiorSigmaSweep runs the backward selected-inversion recursion over
+// this rank's interior blocks, filling the interior entries of out.
+//
+// State rolls Σ over the elimination neighbours of each interior block k:
+// {k+1, lo, tip} (the lo terms vanish on rank 0, the k+1 term vanishes for
+// the final block of the last partition).
+func (f *DistFactor) interiorSigmaSweep(out *LocalSigma,
+	sigTopD, sigBotD, sigBotTop, sigArrTop, sigArrBot, sigTip *dense.Matrix) error {
+	if len(f.interior) == 0 {
+		return nil
+	}
+	b := f.b
+	lo := f.part.Lo
+	twoSided := f.rank != 0
+	hasArrow := f.a > 0
+
+	// Rolling state: Σ_{k+1,k+1}, Σ_{lo,k+1}, Σ_{a,k+1}.
+	var sigNN, sigLoN *dense.Matrix
+	var sigArrN *dense.Matrix
+	last := len(f.interior) - 1
+	if f.gNext[last] != nil {
+		// k+1 of the deepest interior is this rank's bottom boundary.
+		sigNN = sigBotD
+		if twoSided {
+			sigLoN = sigBotTop.T() // Σ(lo, hi) = Σ(hi, lo)ᵀ
+		}
+		if hasArrow {
+			sigArrN = sigArrBot
+		}
+	}
+
+	for idx := last; idx >= 0; idx-- {
+		k := f.interior[idx]
+		rel := k - lo
+		// The factor stores L_{S,k} = A'_{S,k}·L_kk⁻ᵀ; the recursion needs
+		// G_{S,k} = L_{S,k}·L_kk⁻¹ (as in the sequential POBTASI).
+		var gN, gT, gA *dense.Matrix
+		if f.gNext[idx] != nil {
+			gN = f.gNext[idx].Clone()
+			dense.Trsm(dense.Right, dense.NoTrans, f.l[idx], gN)
+		}
+		if f.gTop[idx] != nil {
+			gT = f.gTop[idx].Clone()
+			dense.Trsm(dense.Right, dense.NoTrans, f.l[idx], gT)
+		}
+		if f.gArr[idx] != nil {
+			gA = f.gArr[idx].Clone()
+			dense.Trsm(dense.Right, dense.NoTrans, f.l[idx], gA)
+		}
+
+		// Σ_{k+1,k}
+		var sigNextK *dense.Matrix
+		if gN != nil {
+			sigNextK = dense.New(b, b)
+			dense.Gemm(dense.NoTrans, dense.NoTrans, -1, sigNN, gN, 1, sigNextK)
+			if gT != nil {
+				dense.Gemm(dense.Trans, dense.NoTrans, -1, sigLoN, gT, 1, sigNextK)
+			}
+			if gA != nil {
+				dense.Gemm(dense.Trans, dense.NoTrans, -1, sigArrN, gA, 1, sigNextK)
+			}
+		}
+		// Σ_{lo,k}
+		var sigLoK *dense.Matrix
+		if gT != nil {
+			sigLoK = dense.New(b, b)
+			if gN != nil {
+				dense.Gemm(dense.NoTrans, dense.NoTrans, -1, sigLoN, gN, 1, sigLoK)
+			}
+			dense.Gemm(dense.NoTrans, dense.NoTrans, -1, sigTopD, gT, 1, sigLoK)
+			if gA != nil {
+				dense.Gemm(dense.Trans, dense.NoTrans, -1, sigArrTop, gA, 1, sigLoK)
+			}
+		}
+		// Σ_{a,k} (fresh matrices are zeroed, so all terms accumulate)
+		var sigArrK *dense.Matrix
+		if gA != nil {
+			sigArrK = dense.New(f.a, b)
+			if gN != nil {
+				dense.Gemm(dense.NoTrans, dense.NoTrans, -1, sigArrN, gN, 1, sigArrK)
+			}
+			if gT != nil {
+				dense.Gemm(dense.NoTrans, dense.NoTrans, -1, sigArrTop, gT, 1, sigArrK)
+			}
+			dense.Gemm(dense.NoTrans, dense.NoTrans, -1, sigTip, gA, 1, sigArrK)
+		}
+		// Σ_{k,k}
+		dkk, err := dense.Potri(f.l[idx])
+		if err != nil {
+			return fmt.Errorf("bta: selinv interior block %d: %w", k, err)
+		}
+		if gN != nil {
+			dense.Gemm(dense.Trans, dense.NoTrans, -1, sigNextK, gN, 1, dkk)
+		}
+		if gT != nil {
+			dense.Gemm(dense.Trans, dense.NoTrans, -1, sigLoK, gT, 1, dkk)
+		}
+		if gA != nil {
+			dense.Gemm(dense.Trans, dense.NoTrans, -1, sigArrK, gA, 1, dkk)
+		}
+		dkk.Symmetrize()
+
+		// Install outputs.
+		out.Diag[rel] = dkk
+		if gN != nil {
+			out.Lower[rel] = sigNextK
+		}
+		if hasArrow {
+			out.Arrow[rel] = sigArrK
+		}
+
+		// Roll the state.
+		sigNN = dkk
+		sigLoN = sigLoK
+		sigArrN = sigArrK
+	}
+
+	// The coupling between the first interior and the top boundary:
+	// Σ(lo+1, lo) = Σ(lo, lo+1)ᵀ.
+	if twoSided && sigLoN != nil {
+		out.Lower[0] = sigLoN.T()
+	}
+	return nil
+}

@@ -1,0 +1,414 @@
+package bta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dalia-hpc/dalia/internal/comm"
+	"github.com/dalia-hpc/dalia/internal/dense"
+)
+
+func TestPartitionBlocksEven(t *testing.T) {
+	parts, err := PartitionBlocks(12, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 4 {
+		t.Fatalf("got %d partitions", len(parts))
+	}
+	covered := 0
+	prevHi := -1
+	for _, p := range parts {
+		if p.Lo != prevHi+1 {
+			t.Fatalf("partitions not contiguous: %+v", parts)
+		}
+		prevHi = p.Hi
+		covered += p.Size()
+	}
+	if covered != 12 || parts[3].Hi != 11 {
+		t.Fatalf("coverage wrong: %+v", parts)
+	}
+}
+
+func TestPartitionBlocksLoadBalanced(t *testing.T) {
+	parts, err := PartitionBlocks(26, 4, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts[0].Size() <= parts[1].Size() {
+		t.Fatalf("lb=1.6 must enlarge the first partition: %+v", parts)
+	}
+	total := 0
+	for _, p := range parts {
+		total += p.Size()
+	}
+	if total != 26 {
+		t.Fatalf("blocks lost: %+v", parts)
+	}
+}
+
+func TestPartitionBlocksErrors(t *testing.T) {
+	if _, err := PartitionBlocks(10, 0, 1); err == nil {
+		t.Fatal("p=0 must error")
+	}
+	if _, err := PartitionBlocks(3, 4, 1); err == nil {
+		t.Fatal("too few blocks must error")
+	}
+	if _, err := PartitionBlocks(10, 3, 0.5); err == nil {
+		t.Fatal("lb<1 must error")
+	}
+}
+
+func TestPartitionSingle(t *testing.T) {
+	parts, err := PartitionBlocks(7, 1, 1)
+	if err != nil || len(parts) != 1 || parts[0].Lo != 0 || parts[0].Hi != 6 {
+		t.Fatalf("single partition wrong: %+v, %v", parts, err)
+	}
+}
+
+func TestBoundariesAndInteriors(t *testing.T) {
+	parts, _ := PartitionBlocks(10, 3, 1)
+	// First partition: boundary = last block, interiors = rest.
+	b0 := boundaries(parts[0], 0, 3)
+	if len(b0) != 1 || b0[0] != parts[0].Hi {
+		t.Fatalf("p0 boundaries %v", b0)
+	}
+	i0 := interiors(parts[0], 0, 3)
+	if len(i0) != parts[0].Size()-1 || i0[0] != parts[0].Lo {
+		t.Fatalf("p0 interiors %v", i0)
+	}
+	// Middle partition: two boundaries.
+	b1 := boundaries(parts[1], 1, 3)
+	if len(b1) != 2 || b1[0] != parts[1].Lo || b1[1] != parts[1].Hi {
+		t.Fatalf("p1 boundaries %v", b1)
+	}
+	// Last partition: top boundary.
+	b2 := boundaries(parts[2], 2, 3)
+	if len(b2) != 1 || b2[0] != parts[2].Lo {
+		t.Fatalf("p2 boundaries %v", b2)
+	}
+	i2 := interiors(parts[2], 2, 3)
+	if len(i2) != parts[2].Size()-1 || i2[len(i2)-1] != parts[2].Hi {
+		t.Fatalf("p2 interiors %v", i2)
+	}
+}
+
+// runDistributed factorizes, solves, and selected-inverts a BTA matrix over
+// p simulated ranks, returning the results gathered on caller side.
+type distResult struct {
+	logDet  float64
+	x       []float64
+	sigDiag []float64
+	sigLows []*dense.Matrix // Σ(k+1,k) for k = 0..n−2 in global order
+	sigTip  *dense.Matrix
+	err     error
+}
+
+func runDistributed(t *testing.T, g *Matrix, p int, lb float64, rhs []float64) distResult {
+	t.Helper()
+	parts, err := PartitionBlocks(g.N, p, lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, b, a := g.N, g.B, g.A
+	res := distResult{
+		x:       make([]float64, n*b+a),
+		sigDiag: make([]float64, n*b+a),
+		sigLows: make([]*dense.Matrix, n-1),
+	}
+	var mu chanMutex = make(chan struct{}, 1)
+	comm.Run(p, comm.DefaultMachine(), func(c *comm.Comm) {
+		local := LocalSlice(g, parts, c.Rank())
+		f, err := PPOBTAF(c, local)
+		if err != nil {
+			mu.Lock()
+			res.err = err
+			mu.Unlock()
+			return
+		}
+		part := parts[c.Rank()]
+		rhsLocal := append([]float64(nil), rhs[part.Lo*b:(part.Hi+1)*b]...)
+		var rhsTip []float64
+		if a > 0 {
+			rhsTip = rhs[n*b:]
+		}
+		xLocal, xTip, err := PPOBTAS(c, f, rhsLocal, rhsTip)
+		if err != nil {
+			mu.Lock()
+			res.err = err
+			mu.Unlock()
+			return
+		}
+		sig, err := PPOBTASI(c, f)
+		if err != nil {
+			mu.Lock()
+			res.err = err
+			mu.Unlock()
+			return
+		}
+		mu.Lock()
+		res.logDet = f.LogDet()
+		copy(res.x[part.Lo*b:], xLocal)
+		if a > 0 && xTip != nil {
+			copy(res.x[n*b:], xTip)
+		}
+		d := sig.DiagVec()
+		copy(res.sigDiag[part.Lo*b:], d)
+		if a > 0 && sig.Tip != nil {
+			res.sigTip = sig.Tip
+			for k := 0; k < a; k++ {
+				res.sigDiag[n*b+k] = sig.Tip.At(k, k)
+			}
+		}
+		for i, l := range sig.Lower {
+			res.sigLows[part.Lo+i] = l
+		}
+		if sig.TopCoupling != nil {
+			res.sigLows[part.Lo-1] = sig.TopCoupling
+		}
+		mu.Unlock()
+	})
+	return res
+}
+
+type chanMutex chan struct{}
+
+func (m chanMutex) Lock()   { m <- struct{}{} }
+func (m chanMutex) Unlock() { <-m }
+
+func checkDistributedMatchesSequential(t *testing.T, g *Matrix, p int, lb float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1234))
+	rhs := randVec(rng, g.Dim())
+
+	res := runDistributed(t, g, p, lb, rhs)
+	if res.err != nil {
+		t.Fatalf("P=%d: %v", p, res.err)
+	}
+
+	f, err := Factorize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.logDet-f.LogDet()) > 1e-7*(1+math.Abs(f.LogDet())) {
+		t.Fatalf("P=%d: logdet %v want %v", p, res.logDet, f.LogDet())
+	}
+	want := append([]float64(nil), rhs...)
+	f.Solve(want)
+	for i := range want {
+		if math.Abs(res.x[i]-want[i]) > 1e-7*(1+math.Abs(want[i])) {
+			t.Fatalf("P=%d: solve[%d] = %v want %v", p, i, res.x[i], want[i])
+		}
+	}
+	sig, err := f.SelectedInversion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDiag := sig.DiagVec()
+	for i := range wantDiag {
+		if math.Abs(res.sigDiag[i]-wantDiag[i]) > 1e-7*(1+math.Abs(wantDiag[i])) {
+			t.Fatalf("P=%d: selinv diag[%d] = %v want %v", p, i, res.sigDiag[i], wantDiag[i])
+		}
+	}
+	for k := 0; k < g.N-1; k++ {
+		if res.sigLows[k] == nil {
+			t.Fatalf("P=%d: missing Σ lower block %d", p, k)
+		}
+		if !res.sigLows[k].Equal(sig.Lower[k], 1e-7) {
+			t.Fatalf("P=%d: Σ lower block %d mismatch", p, k)
+		}
+	}
+	if g.A > 0 && !res.sigTip.Equal(sig.Tip, 1e-7) {
+		t.Fatalf("P=%d: Σ tip mismatch", p)
+	}
+}
+
+func TestDistributedMatchesSequentialP1(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	checkDistributedMatchesSequential(t, randBTA(rng, 6, 3, 2), 1, 1)
+}
+
+func TestDistributedMatchesSequentialP2(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	checkDistributedMatchesSequential(t, randBTA(rng, 7, 3, 2), 2, 1)
+}
+
+func TestDistributedMatchesSequentialP3(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	checkDistributedMatchesSequential(t, randBTA(rng, 9, 2, 2), 3, 1)
+}
+
+func TestDistributedMatchesSequentialP4(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	checkDistributedMatchesSequential(t, randBTA(rng, 12, 3, 2), 4, 1)
+}
+
+func TestDistributedMatchesSequentialNoArrow(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	checkDistributedMatchesSequential(t, randBTA(rng, 10, 3, 0), 3, 1)
+}
+
+func TestDistributedLoadBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	checkDistributedMatchesSequential(t, randBTA(rng, 14, 2, 1), 4, 1.6)
+}
+
+func TestDistributedMinimalMiddlePartitions(t *testing.T) {
+	// Middle partitions of exactly 2 blocks (no interiors).
+	rng := rand.New(rand.NewSource(107))
+	g := randBTA(rng, 6, 2, 1)
+	// Partitions: [0,0][1,2][3,4][5,5] — middle partitions have no interiors.
+	parts := []Partition{{0, 0}, {1, 2}, {3, 4}, {5, 5}}
+	rhs := randVec(rng, g.Dim())
+
+	f, err := Factorize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), rhs...)
+	f.Solve(want)
+	wantLd := f.LogDet()
+	sigRef, _ := f.SelectedInversion()
+
+	var firstErr error
+	got := make([]float64, g.Dim())
+	sigDiag := make([]float64, g.Dim())
+	var mu chanMutex = make(chan struct{}, 1)
+	comm.Run(4, comm.DefaultMachine(), func(c *comm.Comm) {
+		local := LocalSlice(g, parts, c.Rank())
+		df, err := PPOBTAF(c, local)
+		if err != nil {
+			mu.Lock()
+			firstErr = err
+			mu.Unlock()
+			return
+		}
+		part := parts[c.Rank()]
+		rl := append([]float64(nil), rhs[part.Lo*g.B:(part.Hi+1)*g.B]...)
+		x, xt, err := PPOBTAS(c, df, rl, rhs[g.N*g.B:])
+		if err != nil {
+			mu.Lock()
+			firstErr = err
+			mu.Unlock()
+			return
+		}
+		sig, err := PPOBTASI(c, df)
+		if err != nil {
+			mu.Lock()
+			firstErr = err
+			mu.Unlock()
+			return
+		}
+		mu.Lock()
+		if math.Abs(df.LogDet()-wantLd) > 1e-7 {
+			firstErr = errLogDet
+		}
+		copy(got[part.Lo*g.B:], x)
+		if xt != nil {
+			copy(got[g.N*g.B:], xt)
+		}
+		copy(sigDiag[part.Lo*g.B:], sig.DiagVec())
+		if sig.Tip != nil {
+			for k := 0; k < g.A; k++ {
+				sigDiag[g.N*g.B+k] = sig.Tip.At(k, k)
+			}
+		}
+		mu.Unlock()
+	})
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-7 {
+			t.Fatalf("solve[%d] = %v want %v", i, got[i], want[i])
+		}
+	}
+	wantDiag := sigRef.DiagVec()
+	for i := range wantDiag {
+		if math.Abs(sigDiag[i]-wantDiag[i]) > 1e-7 {
+			t.Fatalf("selinv diag[%d] = %v want %v", i, sigDiag[i], wantDiag[i])
+		}
+	}
+}
+
+var errLogDet = errFor("distributed logdet mismatch")
+
+type errFor string
+
+func (e errFor) Error() string { return string(e) }
+
+func TestDistributedRejectsBadRhs(t *testing.T) {
+	rng := rand.New(rand.NewSource(108))
+	g := randBTA(rng, 6, 2, 1)
+	parts, _ := PartitionBlocks(6, 2, 1)
+	var gotErr error
+	var mu chanMutex = make(chan struct{}, 1)
+	comm.Run(2, comm.DefaultMachine(), func(c *comm.Comm) {
+		local := LocalSlice(g, parts, c.Rank())
+		f, err := PPOBTAF(c, local)
+		if err != nil {
+			return
+		}
+		_, _, err = PPOBTAS(c, f, []float64{1, 2, 3}, nil) // wrong length
+		mu.Lock()
+		if err != nil {
+			gotErr = err
+		}
+		mu.Unlock()
+	})
+	if gotErr == nil {
+		t.Fatal("bad rhs length must error")
+	}
+}
+
+func TestDistributedIndefiniteFails(t *testing.T) {
+	g := NewMatrix(6, 2, 0)
+	for i := 0; i < 6; i++ {
+		g.Diag[i].AddDiag(1)
+	}
+	g.Diag[2].Set(0, 0, -5) // indefinite interior block
+	parts, _ := PartitionBlocks(6, 2, 1)
+	sawError := false
+	var mu chanMutex = make(chan struct{}, 1)
+	comm.Run(2, comm.DefaultMachine(), func(c *comm.Comm) {
+		local := LocalSlice(g, parts, c.Rank())
+		_, err := PPOBTAF(c, local)
+		mu.Lock()
+		if err != nil {
+			sawError = true
+		}
+		mu.Unlock()
+	})
+	if !sawError {
+		t.Fatal("indefinite matrix must fail distributed factorization")
+	}
+}
+
+func BenchmarkSeqFactorize(b *testing.B) {
+	rng := rand.New(rand.NewSource(200))
+	m := randBTA(rng, 32, 32, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Factorize(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSeqSelInv(b *testing.B) {
+	rng := rand.New(rand.NewSource(201))
+	m := randBTA(rng, 32, 32, 4)
+	f, err := Factorize(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.SelectedInversion(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,643 @@
+// Package comm simulates the distributed-memory machine of the DALIA paper
+// (MPI + NCCL on GH200 nodes) on a single host.
+//
+// A World runs P ranks as goroutines executing the same SPMD body. Each rank
+// owns a virtual clock:
+//
+//   - Compute(f) runs f under a global lock (so measurements are not
+//     perturbed by other ranks' goroutines), measures its wall time, and
+//     advances the rank's clock by it. The real kernels therefore pay their
+//     real cost.
+//   - Communication primitives advance clocks by a machine model
+//     (per-message latency + bytes/bandwidth; collectives pay a log₂(P)
+//     tree factor) and synchronize clocks the way blocking MPI calls do:
+//     a receiver cannot finish before the sender's send completed.
+//
+// The simulated runtime of a program is the *makespan*: the maximum final
+// clock over ranks. This reproduces the scaling behaviour of the paper's
+// three nested parallelization layers — which is a property of work
+// partitioning and message structure — without owning 496 superchips.
+package comm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Machine parameterizes the communication cost model.
+type Machine struct {
+	// Latency is the fixed per-message cost in seconds.
+	Latency float64
+	// BytesPerSecond is the link bandwidth.
+	BytesPerSecond float64
+	// CollectiveTreeFactor scales collective costs; cost =
+	// factor·⌈log₂P⌉·(Latency + bytes/BW). 1 models tree algorithms.
+	CollectiveTreeFactor float64
+}
+
+// DefaultMachine models a tightly coupled accelerator fabric (NCCL-class
+// intranode links): 5 µs latency, 25 GB/s effective bandwidth.
+func DefaultMachine() Machine {
+	return Machine{Latency: 5e-6, BytesPerSecond: 25e9, CollectiveTreeFactor: 1}
+}
+
+// p2pCost returns the modeled time for one message of n float64 words.
+func (m Machine) p2pCost(words int) float64 {
+	return m.Latency + float64(8*words)/m.BytesPerSecond
+}
+
+// collCost returns the modeled time of one collective over p ranks moving n
+// float64 words per rank.
+func (m Machine) collCost(p, words int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	hops := math.Ceil(math.Log2(float64(p)))
+	return m.CollectiveTreeFactor * hops * (m.Latency + float64(8*words)/m.BytesPerSecond)
+}
+
+// RankStats aggregates a rank's virtual-time breakdown.
+type RankStats struct {
+	ComputeSeconds float64
+	BytesSent      int64
+	MessagesSent   int64
+}
+
+// Stats is the outcome of a World run.
+type Stats struct {
+	Ranks []RankStats
+	// FinalClocks holds each rank's virtual clock at exit.
+	FinalClocks []float64
+}
+
+// Makespan returns the simulated runtime: the maximum final clock.
+func (s Stats) Makespan() float64 {
+	var mx float64
+	for _, c := range s.FinalClocks {
+		if c > mx {
+			mx = c
+		}
+	}
+	return mx
+}
+
+// TotalCompute returns the summed compute seconds over all ranks.
+func (s Stats) TotalCompute() float64 {
+	var t float64
+	for _, r := range s.Ranks {
+		t += r.ComputeSeconds
+	}
+	return t
+}
+
+// MaxCompute returns the largest per-rank compute time — the compute-bound
+// lower bound on the makespan.
+func (s Stats) MaxCompute() float64 {
+	var mx float64
+	for _, r := range s.Ranks {
+		if r.ComputeSeconds > mx {
+			mx = r.ComputeSeconds
+		}
+	}
+	return mx
+}
+
+// Imbalance returns maxCompute/meanCompute (1 = perfectly balanced).
+func (s Stats) Imbalance() float64 {
+	if len(s.Ranks) == 0 {
+		return 1
+	}
+	mean := s.TotalCompute() / float64(len(s.Ranks))
+	if mean == 0 {
+		return 1
+	}
+	return s.MaxCompute() / mean
+}
+
+type mailKey struct {
+	comm     int64
+	src, dst int
+	tag      int
+}
+
+type message struct {
+	data      []float64
+	sendClock float64
+}
+
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// World is the simulated machine.
+type World struct {
+	size int
+	mach Machine
+
+	mailMu    sync.Mutex
+	mailboxes map[mailKey]*mailbox
+
+	computeMu sync.Mutex
+
+	clockMu sync.Mutex
+	clocks  []float64
+	stats   []RankStats
+
+	commIDMu   sync.Mutex
+	nextCommID int64
+	interned   map[string]*commShared
+}
+
+// Run executes body as an SPMD program over p ranks on the given machine and
+// returns the run's statistics. body must be safe for concurrent execution
+// by p goroutines (each receives its own *Comm).
+func Run(p int, mach Machine, body func(c *Comm)) Stats {
+	if p < 1 {
+		panic(fmt.Sprintf("comm: world size %d < 1", p))
+	}
+	w := &World{
+		size:      p,
+		mach:      mach,
+		mailboxes: make(map[mailKey]*mailbox),
+		clocks:    make([]float64, p),
+		stats:     make([]RankStats, p),
+	}
+	world := w.newComm(identityMembers(p))
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			body(world.forRank(rank))
+		}(r)
+	}
+	wg.Wait()
+	return Stats{Ranks: append([]RankStats(nil), w.stats...), FinalClocks: append([]float64(nil), w.clocks...)}
+}
+
+func identityMembers(p int) []int {
+	m := make([]int, p)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// commShared is the per-communicator state shared by all member Comms.
+type commShared struct {
+	id      int64
+	world   *World
+	members []int // world ranks, index = comm rank
+
+	collMu   sync.Mutex
+	collCond *sync.Cond
+	collGen  int64
+	collCnt  int
+	collBuf  [][]float64
+	collClk  []float64
+	collOut  [][]float64
+	collT    float64
+
+	useCount int // split-interning bookkeeping (guarded by world.commIDMu)
+}
+
+func (w *World) newComm(members []int) *commShared {
+	w.commIDMu.Lock()
+	defer w.commIDMu.Unlock()
+	return w.newCommLocked(members)
+}
+
+func (cs *commShared) forRank(worldRank int) *Comm {
+	idx := -1
+	for i, m := range cs.members {
+		if m == worldRank {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic("comm: rank not a member of communicator")
+	}
+	return &Comm{shared: cs, rank: idx, worldRank: worldRank}
+}
+
+// Comm is one rank's handle on a communicator (MPI_Comm + rank).
+type Comm struct {
+	shared    *commShared
+	rank      int
+	worldRank int
+}
+
+// Rank returns this rank's index within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.shared.members) }
+
+// WorldRank returns the global rank index.
+func (c *Comm) WorldRank() int { return c.worldRank }
+
+// Clock returns this rank's current virtual time in seconds.
+func (c *Comm) Clock() float64 {
+	w := c.shared.world
+	w.clockMu.Lock()
+	defer w.clockMu.Unlock()
+	return w.clocks[c.worldRank]
+}
+
+func (c *Comm) setClock(t float64) {
+	w := c.shared.world
+	w.clockMu.Lock()
+	if t > w.clocks[c.worldRank] {
+		w.clocks[c.worldRank] = t
+	}
+	w.clockMu.Unlock()
+}
+
+func (c *Comm) addClock(dt float64) {
+	w := c.shared.world
+	w.clockMu.Lock()
+	w.clocks[c.worldRank] += dt
+	w.clockMu.Unlock()
+}
+
+// Compute runs f under the world's compute lock, measures its wall time and
+// charges it to this rank's virtual clock. f must not call communication
+// primitives (doing so would deadlock the compute lock).
+func (c *Comm) Compute(f func()) {
+	w := c.shared.world
+	w.computeMu.Lock()
+	t0 := time.Now()
+	f()
+	dt := time.Since(t0).Seconds()
+	w.computeMu.Unlock()
+	c.addClock(dt)
+	w.clockMu.Lock()
+	w.stats[c.worldRank].ComputeSeconds += dt
+	w.clockMu.Unlock()
+}
+
+// Measure runs f under the world's compute lock and returns its wall time
+// WITHOUT charging any rank's clock. It exists for shared-memory
+// deduplication: when several simulated ranks share one real computation
+// (e.g. matrix assembly that the real system would perform distributed),
+// the caller measures once and charges each rank a modeled share via
+// Elapse. Running under the lock keeps the measurement clean of
+// cross-goroutine scheduling noise.
+func (c *Comm) Measure(f func()) float64 {
+	w := c.shared.world
+	w.computeMu.Lock()
+	t0 := time.Now()
+	f()
+	dt := time.Since(t0).Seconds()
+	w.computeMu.Unlock()
+	return dt
+}
+
+// Elapse charges modeled seconds of compute to this rank without running
+// anything (used by cost-model-driven experiments and tests).
+func (c *Comm) Elapse(seconds float64) {
+	c.addClock(seconds)
+	w := c.shared.world
+	w.clockMu.Lock()
+	w.stats[c.worldRank].ComputeSeconds += seconds
+	w.clockMu.Unlock()
+}
+
+func (c *Comm) mailbox(src, dst, tag int) *mailbox {
+	w := c.shared.world
+	key := mailKey{comm: c.shared.id, src: src, dst: dst, tag: tag}
+	w.mailMu.Lock()
+	mb, ok := w.mailboxes[key]
+	if !ok {
+		mb = newMailbox()
+		w.mailboxes[key] = mb
+	}
+	w.mailMu.Unlock()
+	return mb
+}
+
+// Send transmits data to rank dst (comm-local) with the given tag. The send
+// is buffered (eager); the sender is charged the message injection cost.
+func (c *Comm) Send(dst, tag int, data []float64) {
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("comm: send to rank %d outside communicator of size %d", dst, c.Size()))
+	}
+	w := c.shared.world
+	cost := w.mach.p2pCost(len(data))
+	c.addClock(w.mach.Latency) // injection overhead
+	w.clockMu.Lock()
+	w.stats[c.worldRank].BytesSent += int64(8 * len(data))
+	w.stats[c.worldRank].MessagesSent++
+	sendClock := w.clocks[c.worldRank] + cost
+	w.clockMu.Unlock()
+
+	mb := c.mailbox(c.rank, dst, tag)
+	cp := append([]float64(nil), data...)
+	mb.mu.Lock()
+	mb.q = append(mb.q, message{data: cp, sendClock: sendClock})
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload. The receiver's clock advances to at least the
+// message's arrival time.
+func (c *Comm) Recv(src, tag int) []float64 {
+	if src < 0 || src >= c.Size() {
+		panic(fmt.Sprintf("comm: recv from rank %d outside communicator of size %d", src, c.Size()))
+	}
+	mb := c.mailbox(src, c.rank, tag)
+	mb.mu.Lock()
+	for len(mb.q) == 0 {
+		mb.cond.Wait()
+	}
+	msg := mb.q[0]
+	mb.q = mb.q[1:]
+	mb.mu.Unlock()
+	c.setClock(msg.sendClock)
+	return msg.data
+}
+
+// TryRecv returns (payload, true) when a matching message is already queued
+// and (nil, false) otherwise; it never blocks.
+func (c *Comm) TryRecv(src, tag int) ([]float64, bool) {
+	mb := c.mailbox(src, c.rank, tag)
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if len(mb.q) == 0 {
+		return nil, false
+	}
+	msg := mb.q[0]
+	mb.q = mb.q[1:]
+	c.setClock(msg.sendClock)
+	return msg.data, true
+}
+
+// collective runs one synchronized phase: every member deposits its
+// contribution; the last arrival computes the outputs for all members via
+// reduce and the synchronized clock; everyone leaves with its output and
+// clock = t_sync. words is the per-rank message size used for cost modeling.
+func (c *Comm) collective(contrib []float64, words int, reduce func(bufs [][]float64) [][]float64) []float64 {
+	cs := c.shared
+	w := cs.world
+	n := len(cs.members)
+	if n == 1 {
+		out := reduce([][]float64{contrib})
+		return out[0]
+	}
+	cs.collMu.Lock()
+	myGen := cs.collGen
+	cs.collBuf[c.rank] = contrib
+	cs.collClk[c.rank] = c.Clock()
+	cs.collCnt++
+	if cs.collCnt == n {
+		var tmax float64
+		for _, t := range cs.collClk {
+			if t > tmax {
+				tmax = t
+			}
+		}
+		cs.collT = tmax + w.mach.collCost(n, words)
+		outs := reduce(cs.collBuf)
+		copy(cs.collOut, outs)
+		cs.collCnt = 0
+		cs.collGen++
+		cs.collCond.Broadcast()
+	} else {
+		for cs.collGen == myGen {
+			cs.collCond.Wait()
+		}
+	}
+	out := cs.collOut[c.rank]
+	t := cs.collT
+	cs.collMu.Unlock()
+	c.setClock(t)
+	return out
+}
+
+// Barrier synchronizes all ranks of the communicator (clocks included).
+func (c *Comm) Barrier() {
+	c.collective(nil, 0, func(bufs [][]float64) [][]float64 {
+		return make([][]float64, len(bufs))
+	})
+}
+
+// AllReduceSum returns the element-wise sum of every rank's data. All data
+// slices must have equal length.
+func (c *Comm) AllReduceSum(data []float64) []float64 {
+	return c.collective(data, len(data), func(bufs [][]float64) [][]float64 {
+		sum := make([]float64, len(bufs[0]))
+		for _, b := range bufs {
+			if len(b) != len(sum) {
+				panic("comm: AllReduceSum length mismatch across ranks")
+			}
+			for i, v := range b {
+				sum[i] += v
+			}
+		}
+		outs := make([][]float64, len(bufs))
+		for i := range outs {
+			outs[i] = append([]float64(nil), sum...)
+		}
+		return outs
+	})
+}
+
+// AllReduceMax returns the element-wise max of every rank's data.
+func (c *Comm) AllReduceMax(data []float64) []float64 {
+	return c.collective(data, len(data), func(bufs [][]float64) [][]float64 {
+		mx := append([]float64(nil), bufs[0]...)
+		for _, b := range bufs[1:] {
+			for i, v := range b {
+				if v > mx[i] {
+					mx[i] = v
+				}
+			}
+		}
+		outs := make([][]float64, len(bufs))
+		for i := range outs {
+			outs[i] = append([]float64(nil), mx...)
+		}
+		return outs
+	})
+}
+
+// Bcast distributes root's data to every rank and returns the local copy.
+func (c *Comm) Bcast(root int, data []float64) []float64 {
+	var contrib []float64
+	if c.rank == root {
+		contrib = data
+	}
+	words := 0
+	if data != nil {
+		words = len(data)
+	}
+	return c.collective(contrib, words, func(bufs [][]float64) [][]float64 {
+		src := bufs[root]
+		outs := make([][]float64, len(bufs))
+		for i := range outs {
+			outs[i] = append([]float64(nil), src...)
+		}
+		return outs
+	})
+}
+
+// Gather collects every rank's data at root. Root receives the slices
+// concatenated in rank order, prefixed per rank by nothing — use
+// GatherVar for ragged payloads. Non-root ranks receive nil.
+func (c *Comm) Gather(root int, data []float64) [][]float64 {
+	n := c.Size()
+	flat := c.collective(data, len(data), func(bufs [][]float64) [][]float64 {
+		outs := make([][]float64, len(bufs))
+		// encode: lengths then payloads, delivered only to root
+		var enc []float64
+		enc = append(enc, float64(len(bufs)))
+		for _, b := range bufs {
+			enc = append(enc, float64(len(b)))
+		}
+		for _, b := range bufs {
+			enc = append(enc, b...)
+		}
+		outs[root] = enc
+		return outs
+	})
+	if c.rank != root {
+		return nil
+	}
+	cnt := int(flat[0])
+	if cnt != n {
+		panic("comm: gather internal count mismatch")
+	}
+	lens := make([]int, n)
+	for i := 0; i < n; i++ {
+		lens[i] = int(flat[1+i])
+	}
+	out := make([][]float64, n)
+	off := 1 + n
+	for i := 0; i < n; i++ {
+		out[i] = append([]float64(nil), flat[off:off+lens[i]]...)
+		off += lens[i]
+	}
+	return out
+}
+
+// AllGather returns every rank's contribution, in rank order, on all ranks.
+func (c *Comm) AllGather(data []float64) [][]float64 {
+	n := c.Size()
+	flat := c.collective(data, len(data)*n, func(bufs [][]float64) [][]float64 {
+		var enc []float64
+		enc = append(enc, float64(len(bufs)))
+		for _, b := range bufs {
+			enc = append(enc, float64(len(b)))
+		}
+		for _, b := range bufs {
+			enc = append(enc, b...)
+		}
+		outs := make([][]float64, len(bufs))
+		for i := range outs {
+			outs[i] = enc
+		}
+		return outs
+	})
+	cnt := int(flat[0])
+	lens := make([]int, cnt)
+	for i := 0; i < cnt; i++ {
+		lens[i] = int(flat[1+i])
+	}
+	out := make([][]float64, cnt)
+	off := 1 + cnt
+	for i := 0; i < cnt; i++ {
+		out[i] = append([]float64(nil), flat[off:off+lens[i]]...)
+		off += lens[i]
+	}
+	return out
+}
+
+// Split partitions the communicator by color (as MPI_Comm_split). Ranks
+// passing the same color form a new communicator ordered by (key, rank).
+// Every rank must call Split; the returned communicator contains only the
+// ranks that share the caller's color.
+func (c *Comm) Split(color, key int) *Comm {
+	n := c.Size()
+	enc := []float64{float64(color), float64(key), float64(c.worldRank)}
+	all := c.AllGather(enc)
+	type member struct{ color, key, worldRank, commRank int }
+	var mine []member
+	for r := 0; r < n; r++ {
+		col := int(all[r][0])
+		if col != color {
+			continue
+		}
+		mine = append(mine, member{col, int(all[r][1]), int(all[r][2]), r})
+	}
+	sort.Slice(mine, func(a, b int) bool {
+		if mine[a].key != mine[b].key {
+			return mine[a].key < mine[b].key
+		}
+		return mine[a].commRank < mine[b].commRank
+	})
+	members := make([]int, len(mine))
+	for i, m := range mine {
+		members[i] = m.worldRank
+	}
+	// All ranks with the same color must agree on the new communicator's
+	// identity. Derive it deterministically through a per-world registry
+	// keyed by (parent comm, generation, color).
+	cs := c.shared.world.internComm(c.shared.id, color, members)
+	return cs.forRank(c.worldRank)
+}
+
+// internComm returns a single commShared instance per (parent, color,
+// member-set) so that all ranks of the split share coordinator state.
+func (w *World) internComm(parent int64, color int, members []int) *commShared {
+	w.commIDMu.Lock()
+	defer w.commIDMu.Unlock()
+	if w.interned == nil {
+		w.interned = make(map[string]*commShared)
+	}
+	key := fmt.Sprintf("%d/%d:%v", parent, color, members)
+	if cs, ok := w.interned[key]; ok {
+		// A communicator is consumed once per Split generation; bump the
+		// use-count and recycle.
+		cs.useCount++
+		if cs.useCount == len(members) {
+			delete(w.interned, key)
+		}
+		return cs
+	}
+	cs := w.newCommLocked(members)
+	cs.useCount = 1
+	if cs.useCount == len(members) {
+		// singleton communicator: nothing further to coordinate
+		return cs
+	}
+	w.interned[key] = cs
+	return cs
+}
+
+func (w *World) newCommLocked(members []int) *commShared {
+	id := w.nextCommID
+	w.nextCommID++
+	cs := &commShared{
+		id:      id,
+		world:   w,
+		members: members,
+		collBuf: make([][]float64, len(members)),
+		collClk: make([]float64, len(members)),
+		collOut: make([][]float64, len(members)),
+	}
+	cs.collCond = sync.NewCond(&cs.collMu)
+	return cs
+}

@@ -1,0 +1,41 @@
+package comm
+
+import "github.com/dalia-hpc/dalia/internal/dense"
+
+// encodeMatrix flattens a matrix as [rows, cols, row-major data...].
+func encodeMatrix(m *dense.Matrix) []float64 {
+	buf := make([]float64, 2+m.Rows*m.Cols)
+	buf[0] = float64(m.Rows)
+	buf[1] = float64(m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(buf[2+i*m.Cols:2+(i+1)*m.Cols], m.Row(i))
+	}
+	return buf
+}
+
+// decodeMatrix reconstructs a matrix encoded by encodeMatrix.
+func decodeMatrix(buf []float64) *dense.Matrix {
+	r, c := int(buf[0]), int(buf[1])
+	m := dense.New(r, c)
+	copy(m.Data, buf[2:2+r*c])
+	return m
+}
+
+// SendMatrix transmits a dense matrix to dst with the given tag.
+func (c *Comm) SendMatrix(dst, tag int, m *dense.Matrix) {
+	c.Send(dst, tag, encodeMatrix(m))
+}
+
+// RecvMatrix receives a dense matrix from src with the given tag.
+func (c *Comm) RecvMatrix(src, tag int) *dense.Matrix {
+	return decodeMatrix(c.Recv(src, tag))
+}
+
+// BcastMatrix distributes root's matrix to all ranks.
+func (c *Comm) BcastMatrix(root int, m *dense.Matrix) *dense.Matrix {
+	var enc []float64
+	if c.Rank() == root {
+		enc = encodeMatrix(m)
+	}
+	return decodeMatrix(c.Bcast(root, enc))
+}

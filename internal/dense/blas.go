@@ -1,0 +1,455 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// Transpose flags for Gemm/Syrk.
+type Transpose bool
+
+const (
+	NoTrans Transpose = false
+	Trans   Transpose = true
+)
+
+// Side selects the triangular operand's side in Trsm.
+type Side int
+
+const (
+	Left Side = iota
+	Right
+)
+
+// Gemm computes C = alpha*op(A)*op(B) + beta*C, where op is identity or
+// transpose per the flags. Shapes must conform; C must not alias A or B.
+func Gemm(transA, transB Transpose, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	am, ak := a.Rows, a.Cols
+	if transA == Trans {
+		am, ak = a.Cols, a.Rows
+	}
+	bk, bn := b.Rows, b.Cols
+	if transB == Trans {
+		bk, bn = b.Cols, b.Rows
+	}
+	if ak != bk || c.Rows != am || c.Cols != bn {
+		panic(fmt.Sprintf("dense: gemm shape mismatch op(A)=%d×%d op(B)=%d×%d C=%d×%d",
+			am, ak, bk, bn, c.Rows, c.Cols))
+	}
+	if beta != 1 {
+		if beta == 0 {
+			c.Zero()
+		} else {
+			c.Scale(beta)
+		}
+	}
+	if alpha == 0 || am == 0 || bn == 0 || ak == 0 {
+		return
+	}
+	switch {
+	case transA == NoTrans && transB == NoTrans:
+		gemmNN(alpha, a, b, c)
+	case transA == NoTrans && transB == Trans:
+		gemmNT(alpha, a, b, c)
+	case transA == Trans && transB == NoTrans:
+		gemmTN(alpha, a, b, c)
+	default:
+		gemmTT(alpha, a, b, c)
+	}
+}
+
+// gemmNN: C += alpha * A*B. i-k-j loop order is cache-friendly row-major.
+func gemmNN(alpha float64, a, b, c *Matrix) {
+	parFor(c.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow, crow := a.Row(i), c.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				s := alpha * av
+				brow := b.Row(k)
+				for j, bv := range brow {
+					crow[j] += s * bv
+				}
+			}
+		}
+	})
+}
+
+// gemmNT: C += alpha * A*Bᵀ. C[i,j] = dot(A row i, B row j).
+func gemmNT(alpha float64, a, b, c *Matrix) {
+	parFor(c.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow, crow := a.Row(i), c.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var s float64
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				crow[j] += alpha * s
+			}
+		}
+	})
+}
+
+// gemmTN: C += alpha * Aᵀ*B. k-outer saxpy form.
+func gemmTN(alpha float64, a, b, c *Matrix) {
+	// Parallelizing over C rows (columns of A) requires strided reads of A;
+	// instead split the k loop range per worker into private accumulation when
+	// parallel — simpler: parallelize over C rows with strided A access.
+	parFor(c.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			crow := c.Row(i)
+			for k := 0; k < a.Rows; k++ {
+				av := a.Data[k*a.Stride+i]
+				if av == 0 {
+					continue
+				}
+				s := alpha * av
+				brow := b.Row(k)
+				for j, bv := range brow {
+					crow[j] += s * bv
+				}
+			}
+		}
+	})
+}
+
+// gemmTT: C += alpha * Aᵀ*Bᵀ. Rare; computed via explicit strided dots.
+func gemmTT(alpha float64, a, b, c *Matrix) {
+	parFor(c.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			crow := c.Row(i)
+			for j := 0; j < c.Cols; j++ {
+				brow := b.Row(j)
+				var s float64
+				for k := 0; k < a.Rows; k++ {
+					s += a.Data[k*a.Stride+i] * brow[k]
+				}
+				crow[j] += alpha * s
+			}
+		}
+	})
+}
+
+// MatMul returns op(A)*op(B) as a fresh matrix (convenience for tests and
+// non-hot paths).
+func MatMul(transA, transB Transpose, a, b *Matrix) *Matrix {
+	am := a.Rows
+	if transA == Trans {
+		am = a.Cols
+	}
+	bn := b.Cols
+	if transB == Trans {
+		bn = b.Rows
+	}
+	c := New(am, bn)
+	Gemm(transA, transB, 1, a, b, 0, c)
+	return c
+}
+
+// Syrk computes the lower triangle of C = alpha*op(A)*op(A)ᵀ + beta*C.
+// With trans == NoTrans, op(A) = A (C is a.Rows×a.Rows); with Trans,
+// op(A) = Aᵀ (C is a.Cols×a.Cols). Only the lower triangle of C is
+// referenced and written.
+func Syrk(trans Transpose, alpha float64, a *Matrix, beta float64, c *Matrix) {
+	n := a.Rows
+	if trans == Trans {
+		n = a.Cols
+	}
+	if c.Rows != n || c.Cols != n {
+		panic(fmt.Sprintf("dense: syrk shape mismatch C=%d×%d want %d×%d", c.Rows, c.Cols, n, n))
+	}
+	if beta != 1 {
+		for i := 0; i < n; i++ {
+			row := c.Row(i)
+			for j := 0; j <= i; j++ {
+				row[j] *= beta
+			}
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	if trans == NoTrans {
+		parFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				arow, crow := a.Row(i), c.Row(i)
+				for j := 0; j <= i; j++ {
+					brow := a.Row(j)
+					var s float64
+					for k, av := range arow {
+						s += av * brow[k]
+					}
+					crow[j] += alpha * s
+				}
+			}
+		})
+		return
+	}
+	// Trans: C += alpha * AᵀA, lower triangle. k-outer accumulation.
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		for i := 0; i < n; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			s := alpha * av
+			crow := c.Row(i)
+			for j := 0; j <= i; j++ {
+				crow[j] += s * arow[j]
+			}
+		}
+	}
+}
+
+// Trsm solves a triangular system with a lower-triangular L in place of B:
+//
+//	Left,  NoTrans: B ← L⁻¹ B
+//	Left,  Trans:   B ← L⁻ᵀ B
+//	Right, NoTrans: B ← B L⁻¹
+//	Right, Trans:   B ← B L⁻ᵀ
+//
+// Only the lower triangle of L is referenced. Unit-diagonal systems are not
+// needed by the BTA solvers and are not supported.
+func Trsm(side Side, trans Transpose, l, b *Matrix) {
+	if l.Rows != l.Cols {
+		panic("dense: trsm with non-square triangular factor")
+	}
+	n := l.Rows
+	if side == Left && b.Rows != n || side == Right && b.Cols != n {
+		panic(fmt.Sprintf("dense: trsm shape mismatch L=%d×%d B=%d×%d side=%d", l.Rows, l.Cols, b.Rows, b.Cols, side))
+	}
+	switch {
+	case side == Left && trans == NoTrans:
+		// Forward substitution over block rows; columns are independent.
+		for i := 0; i < n; i++ {
+			li := l.Row(i)
+			bi := b.Row(i)
+			for k := 0; k < i; k++ {
+				f := li[k]
+				if f == 0 {
+					continue
+				}
+				bk := b.Row(k)
+				for j := range bi {
+					bi[j] -= f * bk[j]
+				}
+			}
+			inv := 1 / li[i]
+			for j := range bi {
+				bi[j] *= inv
+			}
+		}
+	case side == Left && trans == Trans:
+		// Backward substitution with Lᵀ (upper triangular).
+		for i := n - 1; i >= 0; i-- {
+			bi := b.Row(i)
+			for k := i + 1; k < n; k++ {
+				f := l.Data[k*l.Stride+i] // Lᵀ[i,k] = L[k,i]
+				if f == 0 {
+					continue
+				}
+				bk := b.Row(k)
+				for j := range bi {
+					bi[j] -= f * bk[j]
+				}
+			}
+			inv := 1 / l.Data[i*l.Stride+i]
+			for j := range bi {
+				bi[j] *= inv
+			}
+		}
+	case side == Right && trans == Trans:
+		// Row-wise: x Lᵀ = b ⇒ x[j] = (b[j] − Σ_{k<j} x[k] L[j,k]) / L[j,j].
+		parFor(b.Rows, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x := b.Row(i)
+				for j := 0; j < n; j++ {
+					lj := l.Row(j)
+					s := x[j]
+					for k := 0; k < j; k++ {
+						s -= x[k] * lj[k]
+					}
+					x[j] = s / lj[j]
+				}
+			}
+		})
+	default: // Right, NoTrans
+		// Row-wise: x L = b ⇒ backward over j using column j of L below j.
+		parFor(b.Rows, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x := b.Row(i)
+				for j := n - 1; j >= 0; j-- {
+					s := x[j]
+					for k := j + 1; k < n; k++ {
+						s -= x[k] * l.Data[k*l.Stride+j]
+					}
+					x[j] = s / l.Data[j*l.Stride+j]
+				}
+			}
+		})
+	}
+}
+
+// Trmm computes B ← op(L)·B (side Left) or B ← B·op(L) (side Right) for a
+// lower-triangular L, in place.
+func Trmm(side Side, trans Transpose, l, b *Matrix) {
+	n := l.Rows
+	if l.Rows != l.Cols {
+		panic("dense: trmm with non-square triangular factor")
+	}
+	switch {
+	case side == Left && trans == NoTrans:
+		if b.Rows != n {
+			panic("dense: trmm shape mismatch")
+		}
+		for i := n - 1; i >= 0; i-- {
+			li := l.Row(i)
+			bi := b.Row(i)
+			for j := range bi {
+				bi[j] *= li[i]
+			}
+			for k := 0; k < i; k++ {
+				f := li[k]
+				if f == 0 {
+					continue
+				}
+				bk := b.Row(k)
+				for j := range bi {
+					bi[j] += f * bk[j]
+				}
+			}
+		}
+	case side == Left && trans == Trans:
+		if b.Rows != n {
+			panic("dense: trmm shape mismatch")
+		}
+		for i := 0; i < n; i++ {
+			bi := b.Row(i)
+			for j := range bi {
+				bi[j] *= l.Data[i*l.Stride+i]
+			}
+			for k := i + 1; k < n; k++ {
+				f := l.Data[k*l.Stride+i]
+				if f == 0 {
+					continue
+				}
+				bk := b.Row(k)
+				for j := range bi {
+					bi[j] += f * bk[j]
+				}
+			}
+		}
+	case side == Right && trans == NoTrans:
+		if b.Cols != n {
+			panic("dense: trmm shape mismatch")
+		}
+		parFor(b.Rows, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x := b.Row(i)
+				for j := 0; j < n; j++ {
+					var s float64
+					for k := j; k < n; k++ {
+						s += x[k] * l.Data[k*l.Stride+j]
+					}
+					x[j] = s
+				}
+			}
+		})
+	default: // Right, Trans: B ← B·Lᵀ
+		if b.Cols != n {
+			panic("dense: trmm shape mismatch")
+		}
+		parFor(b.Rows, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x := b.Row(i)
+				for j := n - 1; j >= 0; j-- {
+					lj := l.Row(j)
+					var s float64
+					for k := 0; k <= j; k++ {
+						s += x[k] * lj[k]
+					}
+					x[j] = s
+				}
+			}
+		})
+	}
+}
+
+// Gemv computes y = alpha*op(A)*x + beta*y.
+func Gemv(trans Transpose, alpha float64, a *Matrix, x []float64, beta float64, y []float64) {
+	m, n := a.Rows, a.Cols
+	if trans == Trans {
+		m, n = n, m
+	}
+	if len(x) < n || len(y) < m {
+		panic(fmt.Sprintf("dense: gemv shape mismatch A=%d×%d len(x)=%d len(y)=%d trans=%v",
+			a.Rows, a.Cols, len(x), len(y), trans))
+	}
+	if beta != 1 {
+		for i := 0; i < m; i++ {
+			y[i] *= beta
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	if trans == NoTrans {
+		parFor(m, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := a.Row(i)
+				var s float64
+				for j, v := range row {
+					s += v * x[j]
+				}
+				y[i] += alpha * s
+			}
+		})
+		return
+	}
+	for k := 0; k < a.Rows; k++ {
+		f := alpha * x[k]
+		if f == 0 {
+			continue
+		}
+		row := a.Row(k)
+		for j, v := range row {
+			y[j] += f * v
+		}
+	}
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("dense: dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("dense: axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Nrm2 returns the Euclidean norm of x.
+func Nrm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

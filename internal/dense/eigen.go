@@ -1,0 +1,93 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// SymEigen computes the eigendecomposition A = V·diag(λ)·Vᵀ of a symmetric
+// matrix by cyclic Jacobi rotations. Intended for the small matrices of the
+// INLA layer (the dim(θ)×dim(θ) Hessian at the mode, §III-3); cost is
+// O(n³) per sweep with quadratic convergence.
+//
+// Returns eigenvalues in ascending order with matching eigenvector columns.
+func SymEigen(a *Matrix) (vals []float64, vecs *Matrix, err error) {
+	n := a.Rows
+	if n != a.Cols {
+		return nil, nil, fmt.Errorf("dense: eigen of non-square %d×%d matrix", n, a.Cols)
+	}
+	w := a.Clone()
+	w.Symmetrize()
+	v := Eye(n)
+
+	const maxSweeps = 60
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-26*(1+w.FrobNorm()) {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(w, v, p, q, c, s)
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := range vals {
+		vals[i] = w.At(i, i)
+	}
+	// Sort ascending, permuting eigenvector columns alongside.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && vals[order[j]] < vals[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	sortedVals := make([]float64, n)
+	vecs = New(n, n)
+	for k, idx := range order {
+		sortedVals[k] = vals[idx]
+		for r := 0; r < n; r++ {
+			vecs.Set(r, k, v.At(r, idx))
+		}
+	}
+	return sortedVals, vecs, nil
+}
+
+// rotate applies the Jacobi rotation J(p,q,c,s) to w (two-sided) and
+// accumulates it into v.
+func rotate(w, v *Matrix, p, q int, c, s float64) {
+	n := w.Rows
+	for k := 0; k < n; k++ {
+		wkp, wkq := w.At(k, p), w.At(k, q)
+		w.Set(k, p, c*wkp-s*wkq)
+		w.Set(k, q, s*wkp+c*wkq)
+	}
+	for k := 0; k < n; k++ {
+		wpk, wqk := w.At(p, k), w.At(q, k)
+		w.Set(p, k, c*wpk-s*wqk)
+		w.Set(q, k, s*wpk+c*wqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}

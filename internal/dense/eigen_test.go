@@ -1,0 +1,121 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := New(3, 3)
+	a.Set(0, 0, 5)
+	a.Set(1, 1, 1)
+	a.Set(2, 2, 3)
+	vals, vecs, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3, 5}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+	// Eigenvectors are signed unit basis vectors.
+	for c := 0; c < 3; c++ {
+		var nrm float64
+		for r := 0; r < 3; r++ {
+			nrm += vecs.At(r, c) * vecs.At(r, c)
+		}
+		if math.Abs(nrm-1) > 1e-12 {
+			t.Fatalf("eigenvector %d not unit", c)
+		}
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := New(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(1, 1, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	vals, _, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-1) > 1e-12 || math.Abs(vals[1]-3) > 1e-12 {
+		t.Fatalf("vals = %v, want [1 3]", vals)
+	}
+}
+
+func TestSymEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{1, 2, 5, 10, 20} {
+		a := randSPD(rng, n)
+		vals, vecs, err := SymEigen(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// V·diag(λ)·Vᵀ must reconstruct A.
+		vd := vecs.Clone()
+		for c := 0; c < n; c++ {
+			for r := 0; r < n; r++ {
+				vd.Set(r, c, vd.At(r, c)*vals[c])
+			}
+		}
+		rec := MatMul(NoTrans, Trans, vd, vecs)
+		if !rec.Equal(a, 1e-8*float64(n)) {
+			t.Fatalf("n=%d: eigendecomposition does not reconstruct A", n)
+		}
+		// Orthonormality.
+		if !MatMul(Trans, NoTrans, vecs, vecs).Equal(Eye(n), 1e-10) {
+			t.Fatalf("n=%d: VᵀV != I", n)
+		}
+		// Ascending order.
+		for i := 1; i < n; i++ {
+			if vals[i] < vals[i-1] {
+				t.Fatalf("n=%d: eigenvalues not sorted: %v", n, vals)
+			}
+		}
+	}
+}
+
+func TestSymEigenNonSquare(t *testing.T) {
+	if _, _, err := SymEigen(New(2, 3)); err == nil {
+		t.Fatal("non-square must error")
+	}
+}
+
+func TestQuickEigenTraceAndDet(t *testing.T) {
+	// Σλ = trace(A) and Πλ = |A| (via Cholesky logdet) for SPD matrices.
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := randSPD(rng, n)
+		vals, _, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		var sum, logProd float64
+		for _, l := range vals {
+			if l <= 0 {
+				return false
+			}
+			sum += l
+			logProd += math.Log(l)
+		}
+		if math.Abs(sum-a.Trace()) > 1e-8*(1+math.Abs(a.Trace())) {
+			return false
+		}
+		l, err := Chol(a)
+		if err != nil {
+			return false
+		}
+		return math.Abs(logProd-LogDetFromChol(l)) < 1e-7*(1+math.Abs(logProd))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

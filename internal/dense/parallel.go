@@ -1,0 +1,57 @@
+package dense
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers bounds the number of goroutines a single kernel call may fan
+// out to. It defaults to GOMAXPROCS and can be adjusted globally (e.g. the
+// communicator simulator pins kernels of one simulated rank to one worker so
+// per-rank timings stay meaningful).
+var maxWorkers int64 = int64(runtime.GOMAXPROCS(0))
+
+// SetMaxWorkers sets the kernel-level parallelism bound. n < 1 resets to
+// GOMAXPROCS. It returns the previous value.
+func SetMaxWorkers(n int) int {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return int(atomic.SwapInt64(&maxWorkers, int64(n)))
+}
+
+// MaxWorkers returns the current kernel-level parallelism bound.
+func MaxWorkers() int { return int(atomic.LoadInt64(&maxWorkers)) }
+
+// parallelRows is the work-splitting threshold: kernels operating on fewer
+// result rows than this stay serial (goroutine overhead would dominate).
+const parallelRows = 128
+
+// parFor runs body(lo,hi) over [0,n) split into contiguous chunks across at
+// most MaxWorkers goroutines. It runs serially when the bound is 1 or the
+// range is small.
+func parFor(n int, body func(lo, hi int)) {
+	w := MaxWorkers()
+	if w <= 1 || n < parallelRows {
+		body(0, n)
+		return
+	}
+	if w > n {
+		w = n
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

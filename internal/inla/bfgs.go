@@ -1,0 +1,232 @@
+package inla
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/dalia-hpc/dalia/internal/dense"
+)
+
+// OptOptions configures the quasi-Newton mode search (§III-2).
+type OptOptions struct {
+	MaxIter  int     // BFGS iteration cap
+	GradStep float64 // central-difference step h (Eq. 10)
+	GradTol  float64 // ‖∇F‖∞ convergence threshold
+	StepTol  float64 // minimal line-search step before giving up
+}
+
+// DefaultOptOptions mirrors the tolerances R-INLA uses for its BFGS stage.
+func DefaultOptOptions() OptOptions {
+	return OptOptions{MaxIter: 60, GradStep: 1e-3, GradTol: 5e-3, StepTol: 1e-10}
+}
+
+// OptResult reports the outcome of the mode search.
+type OptResult struct {
+	Theta      []float64
+	F          float64
+	Iterations int
+	FEvals     int
+	Trace      []float64 // F value per iteration
+	Converged  bool
+}
+
+// ErrLineSearchFailed signals that no decreasing step could be found; the
+// current iterate is returned as the best available mode.
+var ErrLineSearchFailed = errors.New("inla: line search failed to decrease the objective")
+
+// ErrGradientUndefined signals that a finite-difference stencil touched
+// infeasible points, leaving the gradient NaN/Inf; the current iterate is
+// returned as the best available mode.
+var ErrGradientUndefined = errors.New("inla: finite-difference gradient is undefined (stencil hit infeasible points)")
+
+// finiteVec reports whether every component is finite.
+func finiteVec(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// gradientPoints builds the 2d+1 evaluation points of the central
+// difference scheme (the S1 batch): the center followed by θ ± h·e_i.
+func gradientPoints(theta []float64, h float64) [][]float64 {
+	d := len(theta)
+	pts := make([][]float64, 0, 2*d+1)
+	pts = append(pts, append([]float64(nil), theta...))
+	for i := 0; i < d; i++ {
+		p := append([]float64(nil), theta...)
+		p[i] += h
+		pts = append(pts, p)
+		m := append([]float64(nil), theta...)
+		m[i] -= h
+		pts = append(pts, m)
+	}
+	return pts
+}
+
+// gradientFromBatch extracts (F(θ), ∇F(θ)) from batched values in
+// gradientPoints order.
+func gradientFromBatch(vals []float64, h float64) (float64, []float64) {
+	d := (len(vals) - 1) / 2
+	g := make([]float64, d)
+	for i := 0; i < d; i++ {
+		g[i] = (vals[1+2*i] - vals[2+2*i]) / (2 * h)
+	}
+	return vals[0], g
+}
+
+// Minimize runs BFGS on F(θ) = −fobj(θ) with gradients from parallel
+// central differences evaluated through the Evaluator.
+func Minimize(e Evaluator, theta0 []float64, opt OptOptions) (*OptResult, error) {
+	d := len(theta0)
+	x := append([]float64(nil), theta0...)
+	hInv := dense.Eye(d) // inverse Hessian approximation
+
+	vals := e.EvalBatch(gradientPoints(x, opt.GradStep))
+	f, g := gradientFromBatch(vals, opt.GradStep)
+	if math.IsInf(f, 1) {
+		return nil, fmt.Errorf("inla: objective is infeasible at the initial point")
+	}
+	res := &OptResult{FEvals: len(vals), Trace: []float64{f}}
+
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		res.Iterations = iter + 1
+		if !finiteVec(g) {
+			res.Theta = x
+			res.F = f
+			return res, ErrGradientUndefined
+		}
+		if infNorm(g) < opt.GradTol {
+			res.Converged = true
+			break
+		}
+		// Search direction p = −H⁻¹·g.
+		p := make([]float64, d)
+		dense.Gemv(dense.NoTrans, -1, hInv, g, 0, p)
+		if dense.Dot(p, g) >= 0 {
+			// Not a descent direction (degenerate curvature update): reset.
+			hInv = dense.Eye(d)
+			for i := range p {
+				p[i] = -g[i]
+			}
+		}
+		// Backtracking Armijo line search.
+		step := 1.0
+		var xNew []float64
+		var fNew float64
+		accepted := false
+		for step >= opt.StepTol {
+			xNew = make([]float64, d)
+			for i := range xNew {
+				xNew[i] = x[i] + step*p[i]
+			}
+			fNew = e.EvalBatch([][]float64{xNew})[0]
+			res.FEvals++
+			if fNew < f+1e-4*step*dense.Dot(g, p) {
+				accepted = true
+				break
+			}
+			step *= 0.5
+		}
+		if !accepted {
+			res.Theta = x
+			res.F = f
+			return res, ErrLineSearchFailed
+		}
+		// New gradient (parallel batch).
+		vals = e.EvalBatch(gradientPoints(xNew, opt.GradStep))
+		res.FEvals += len(vals)
+		fCheck, gNew := gradientFromBatch(vals, opt.GradStep)
+		// Prefer the batched center value (identical point) for consistency.
+		fNew = fCheck
+
+		// BFGS inverse update (Nocedal & Wright Eq. 6.17).
+		s := make([]float64, d)
+		yv := make([]float64, d)
+		for i := range s {
+			s[i] = xNew[i] - x[i]
+			yv[i] = gNew[i] - g[i]
+		}
+		sy := dense.Dot(s, yv)
+		if sy > 1e-12 {
+			rho := 1 / sy
+			hy := make([]float64, d)
+			dense.Gemv(dense.NoTrans, 1, hInv, yv, 0, hy)
+			yhy := dense.Dot(yv, hy)
+			// H ← H − ρ(s·hyᵀ + hy·sᵀ) + ρ²(yᵀHy)s·sᵀ + ρ·s·sᵀ
+			for i := 0; i < d; i++ {
+				for j := 0; j < d; j++ {
+					v := hInv.At(i, j)
+					v -= rho * (s[i]*hy[j] + hy[i]*s[j])
+					v += rho * (rho*yhy + 1) * s[i] * s[j]
+					hInv.Set(i, j, v)
+				}
+			}
+		}
+		x, f, g = xNew, fNew, gNew
+		res.Trace = append(res.Trace, f)
+	}
+	res.Theta = x
+	res.F = f
+	return res, nil
+}
+
+func infNorm(v []float64) float64 {
+	var mx float64
+	for _, x := range v {
+		if a := math.Abs(x); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// HessianAtMode estimates ∇²F(θ*) by second-order central differences
+// (§III-3); all 2d² + 2d + 1 evaluations form one parallel batch.
+func HessianAtMode(e Evaluator, theta []float64, h float64) (*dense.Matrix, error) {
+	d := len(theta)
+	shift := func(i, j int, si, sj float64) []float64 {
+		p := append([]float64(nil), theta...)
+		p[i] += si * h
+		if j >= 0 {
+			p[j] += sj * h
+		}
+		return p
+	}
+	var pts [][]float64
+	pts = append(pts, append([]float64(nil), theta...))
+	for i := 0; i < d; i++ {
+		pts = append(pts, shift(i, -1, 1, 0), shift(i, -1, -1, 0))
+	}
+	type od struct{ i, j int }
+	var offIdx []od
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			offIdx = append(offIdx, od{i, j})
+			pts = append(pts,
+				shift(i, j, 1, 1), shift(i, j, 1, -1),
+				shift(i, j, -1, 1), shift(i, j, -1, -1))
+		}
+	}
+	vals := e.EvalBatch(pts)
+	for _, v := range vals {
+		if math.IsInf(v, 1) {
+			return nil, fmt.Errorf("inla: Hessian stencil hit an infeasible point")
+		}
+	}
+	hm := dense.New(d, d)
+	f0 := vals[0]
+	for i := 0; i < d; i++ {
+		hm.Set(i, i, (vals[1+2*i]-2*f0+vals[2+2*i])/(h*h))
+	}
+	base := 1 + 2*d
+	for k, ij := range offIdx {
+		v := (vals[base+4*k] - vals[base+4*k+1] - vals[base+4*k+2] + vals[base+4*k+3]) / (4 * h * h)
+		hm.Set(ij.i, ij.j, v)
+		hm.Set(ij.j, ij.i, v)
+	}
+	return hm, nil
+}

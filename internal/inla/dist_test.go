@@ -1,0 +1,149 @@
+package inla
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dalia-hpc/dalia/internal/comm"
+	"github.com/dalia-hpc/dalia/internal/synth"
+)
+
+func TestMakePlanFillsS1First(t *testing.T) {
+	// 31 evals (trivariate), 8 workers, no memory pressure: 8 S1 groups of 1.
+	p := MakePlan(8, 31, 1<<20, 0, 16)
+	if p.Groups != 8 {
+		t.Fatalf("groups = %d, want 8", p.Groups)
+	}
+	if p.UseS2 {
+		t.Fatal("size-1 groups cannot use S2")
+	}
+	// 62 workers: 31 groups of 2 → S2 on.
+	p = MakePlan(62, 31, 1<<20, 0, 16)
+	if p.Groups != 31 || !p.UseS2 {
+		t.Fatalf("plan %+v, want 31 groups with S2", p)
+	}
+	// 124 workers: 31 groups of 4 → S2 + S3 of width 2.
+	p = MakePlan(124, 31, 1<<20, 0, 16)
+	if p.Groups != 31 || !p.UseS2 {
+		t.Fatalf("plan %+v", p)
+	}
+}
+
+func TestMakePlanMemoryCapForcesS3(t *testing.T) {
+	// Matrix of 1 MiB with a 256 KiB cap: S3 width ≥ 4 before S1 widens.
+	p := MakePlan(8, 31, 1<<20, 1<<18, 64)
+	if p.P3Min != 4 {
+		t.Fatalf("P3Min = %d, want 4", p.P3Min)
+	}
+	if p.Groups != 2 { // 8 workers / 4 = 2 groups
+		t.Fatalf("groups = %d, want 2", p.Groups)
+	}
+}
+
+func TestMakePlanClampsToPartitionability(t *testing.T) {
+	// nt = 4 supports at most 3 partitions; a huge memory demand must clamp.
+	p := MakePlan(16, 9, 1<<30, 1<<10, 4)
+	if p.P3Min > 3 {
+		t.Fatalf("P3Min = %d exceeds partitionability of nt=4", p.P3Min)
+	}
+}
+
+func TestGroupOfContiguous(t *testing.T) {
+	p := Plan{World: 7, Groups: 3, GroupSizes: []int{3, 2, 2}}
+	want := []int{0, 0, 0, 1, 1, 2, 2}
+	for r, g := range want {
+		if p.GroupOf(r) != g {
+			t.Fatalf("GroupOf(%d) = %d want %d", r, p.GroupOf(r), g)
+		}
+	}
+}
+
+func TestSpread(t *testing.T) {
+	s := spread(10, 3)
+	if s[0] != 4 || s[1] != 3 || s[2] != 3 {
+		t.Fatalf("spread = %v", s)
+	}
+}
+
+// distCase runs RunDistributed on a small dataset and cross-checks the
+// gradient-batch objective values against the sequential evaluator.
+func distCase(t *testing.T, world int, disableS2, disableS3 bool) {
+	t.Helper()
+	ds, err := synth.Generate(synth.GenConfig{
+		Nv: 1, Nt: 6, Nr: 1,
+		MeshNx: 3, MeshNy: 3,
+		ObsPerStep: 10,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := WeakPrior(ds.Theta0, 5)
+	rep, err := RunDistributed(ds.Model, prior, ds.Theta0, DistConfig{
+		World:      world,
+		Machine:    comm.DefaultMachine(),
+		Iterations: 1,
+		DisableS2:  disableS2,
+		DisableS3:  disableS3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan <= 0 {
+		t.Fatal("makespan must be positive")
+	}
+	if len(rep.FTrace) != 1 {
+		t.Fatalf("trace length %d", len(rep.FTrace))
+	}
+	// The distributed center-point objective must match the sequential one.
+	e := &BTAEvaluator{Model: ds.Model, Prior: prior}
+	want := e.EvalBatch([][]float64{ds.Theta0})[0]
+	if math.Abs(rep.FTrace[0]-want) > 1e-6*(1+math.Abs(want)) {
+		t.Fatalf("world=%d: distributed F = %v, sequential F = %v", world, rep.FTrace[0], want)
+	}
+}
+
+func TestRunDistributedSingleRank(t *testing.T) { distCase(t, 1, false, false) }
+
+func TestRunDistributedS1Only(t *testing.T) { distCase(t, 3, true, true) }
+
+func TestRunDistributedS1S2(t *testing.T) { distCase(t, 4, false, true) }
+
+func TestRunDistributedS1S2S3(t *testing.T) { distCase(t, 8, false, false) }
+
+func TestRunDistributedWideS3(t *testing.T) { distCase(t, 6, true, false) }
+
+func TestRunDistributedScalingImproves(t *testing.T) {
+	// More workers must reduce the virtual per-iteration time (S1 is
+	// embarrassingly parallel).
+	// Large enough that per-iteration work (~tens of ms) dominates timing
+	// noise; the S1 speedup assertion is then stable.
+	ds, err := synth.Generate(synth.GenConfig{
+		Nv: 1, Nt: 8, Nr: 1,
+		MeshNx: 8, MeshNy: 7,
+		ObsPerStep: 30,
+		Seed:       6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := WeakPrior(ds.Theta0, 5)
+	run := func(world int) float64 {
+		rep, err := RunDistributed(ds.Model, prior, ds.Theta0, DistConfig{
+			World: world, Machine: comm.DefaultMachine(), Iterations: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.PerIter
+	}
+	t1 := run(1)
+	t9 := run(9) // nfeval = 9 for the univariate model: S1 saturation width
+	if t9 >= t1 {
+		t.Fatalf("9 workers (%v s) not faster than 1 (%v s)", t9, t1)
+	}
+	// With 9 embarrassingly parallel evals the speedup should be material.
+	if t1/t9 < 2 {
+		t.Fatalf("speedup %v too small for S1 width 9", t1/t9)
+	}
+}

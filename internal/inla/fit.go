@@ -1,0 +1,136 @@
+package inla
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dalia-hpc/dalia/internal/dense"
+	"github.com/dalia-hpc/dalia/internal/model"
+)
+
+// FitOptions configures a full INLA fit.
+type FitOptions struct {
+	Opt OptOptions
+	// HessStep is the finite-difference step of the mode Hessian.
+	HessStep float64
+	// SkipHyperUncertainty disables the Hessian stage (scaling benches).
+	SkipHyperUncertainty bool
+	// Workers caps S1 concurrency; 0 = unlimited.
+	Workers int
+	// DisableS2 turns off the concurrent Q_p/Q_c pipelines.
+	DisableS2 bool
+	// IntegrateHyperGrid additionally integrates the latent posterior over
+	// the eigenvector grid of the mode Hessian (§III-4) instead of the
+	// plug-in at θ* only; requires the Hessian stage.
+	IntegrateHyperGrid bool
+}
+
+// DefaultFitOptions returns the standard configuration.
+func DefaultFitOptions() FitOptions {
+	return FitOptions{Opt: DefaultOptOptions(), HessStep: 5e-3}
+}
+
+// Result is the outcome of a full INLA fit: the hyperparameter mode and its
+// Gaussian approximation, and the latent posterior (mean + marginal
+// variances, BTA ordering).
+type Result struct {
+	Theta     []float64
+	ThetaSD   []float64
+	ThetaCov  *dense.Matrix
+	Opt       *OptResult
+	Mu        []float64
+	LatentVar []float64
+	// Integrated holds the grid-integrated latent posterior when
+	// FitOptions.IntegrateHyperGrid was set and the Hessian stage succeeded.
+	Integrated *IntegratedPosterior
+}
+
+// Fit runs the complete INLA procedure on the model: mode search (BFGS with
+// parallel central differences), hyperparameter uncertainty (Hessian at the
+// mode), and latent posterior extraction (conditional mean and selected
+// inversion of Q_c at the mode).
+func Fit(m *model.Model, prior Prior, theta0 []float64, opts FitOptions) (*Result, error) {
+	e := &BTAEvaluator{Model: m, Prior: prior, Workers: opts.Workers, S2: !opts.DisableS2}
+	return fitWith(e, theta0, opts)
+}
+
+// fitWith runs the INLA stages on any Evaluator backend.
+func fitWith(e Evaluator, theta0 []float64, opts FitOptions) (*Result, error) {
+	opt, err := Minimize(e, theta0, opts.Opt)
+	if err != nil && opt == nil {
+		return nil, err
+	}
+	// A failed line search still yields a usable (if premature) mode.
+	res := &Result{Theta: opt.Theta, Opt: opt}
+
+	if !opts.SkipHyperUncertainty {
+		h := opts.HessStep
+		if h == 0 {
+			h = 5e-3
+		}
+		hess, herr := HessianAtMode(e, opt.Theta, h)
+		if herr == nil {
+			if opts.IntegrateHyperGrid {
+				if ip, ierr := IntegrateHyper(e, opt.Theta, hess, 1); ierr == nil {
+					res.Integrated = ip
+				}
+			}
+			if cov, cerr := dense.Inverse(hess); cerr == nil {
+				res.ThetaCov = cov
+				res.ThetaSD = make([]float64, len(opt.Theta))
+				ok := true
+				for i := range res.ThetaSD {
+					v := cov.At(i, i)
+					if v <= 0 {
+						ok = false
+						break
+					}
+					res.ThetaSD[i] = math.Sqrt(v)
+				}
+				if !ok {
+					res.ThetaSD = nil
+					res.ThetaCov = nil
+				}
+			}
+		}
+	}
+
+	mu, va, perr := e.Posterior(opt.Theta)
+	if perr != nil {
+		return nil, fmt.Errorf("inla: posterior extraction at the mode: %w", perr)
+	}
+	res.Mu = mu
+	res.LatentVar = va
+	return res, nil
+}
+
+// FixedEffect summarizes one fixed effect's Gaussian posterior.
+type FixedEffect struct {
+	Process int
+	Index   int
+	Mean    float64
+	SD      float64
+	Q025    float64
+	Q975    float64
+}
+
+// FixedEffects extracts the fixed-effect posteriors from the latent result
+// (they live in the BTA arrow tip, ordered process-major).
+func FixedEffects(m *model.Model, r *Result) []FixedEffect {
+	d := m.Dims
+	base := d.Nv * d.Ns * d.Nt
+	out := make([]FixedEffect, 0, d.Nv*d.Nr)
+	const z = 1.959963984540054
+	for v := 0; v < d.Nv; v++ {
+		for k := 0; k < d.Nr; k++ {
+			idx := base + v*d.Nr + k
+			sd := math.Sqrt(r.LatentVar[idx])
+			out = append(out, FixedEffect{
+				Process: v, Index: k,
+				Mean: r.Mu[idx], SD: sd,
+				Q025: r.Mu[idx] - z*sd, Q975: r.Mu[idx] + z*sd,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package inla
+
+import (
+	"fmt"
+	"math"
+)
+
+// HyperMarginal summarizes one hyperparameter's Gaussian posterior
+// approximation (§III-3: from the Hessian of fobj at the mode), reported on
+// the working (log/identity) scale and, when the component is a log-scale
+// parameter, also back-transformed to the natural scale where the
+// distribution is log-normal.
+type HyperMarginal struct {
+	Index int
+	Name  string
+	// Working-scale Gaussian.
+	Mean float64
+	SD   float64
+	Q025 float64
+	Q975 float64
+	// Natural-scale summaries (log-normal when LogScale).
+	LogScale      bool
+	NaturalMedian float64
+	NaturalQ025   float64
+	NaturalQ975   float64
+}
+
+// HyperMarginals derives per-component marginal summaries from a fit
+// result. Names and scale flags follow the model's θ layout:
+// [log ρ_s, log ρ_t, log σ]×nv, λ… (identity scale), [log τ_y]×nv for
+// Gaussian models. Returns nil when the fit skipped the Hessian stage.
+func HyperMarginals(names []string, logScale []bool, r *Result) []HyperMarginal {
+	if r.ThetaSD == nil {
+		return nil
+	}
+	const z = 1.959963984540054
+	out := make([]HyperMarginal, len(r.Theta))
+	for i := range r.Theta {
+		hm := HyperMarginal{
+			Index: i,
+			Mean:  r.Theta[i],
+			SD:    r.ThetaSD[i],
+			Q025:  r.Theta[i] - z*r.ThetaSD[i],
+			Q975:  r.Theta[i] + z*r.ThetaSD[i],
+		}
+		if i < len(names) {
+			hm.Name = names[i]
+		}
+		if i < len(logScale) && logScale[i] {
+			hm.LogScale = true
+			hm.NaturalMedian = math.Exp(hm.Mean)
+			hm.NaturalQ025 = math.Exp(hm.Q025)
+			hm.NaturalQ975 = math.Exp(hm.Q975)
+		}
+		out[i] = hm
+	}
+	return out
+}
+
+// ThetaLayout returns the component names and log-scale flags of a model's
+// θ vector, for labeling marginal summaries.
+func ThetaLayout(nv, nLambda int, gaussian bool) (names []string, logScale []bool) {
+	for k := 0; k < nv; k++ {
+		names = append(names,
+			fmt.Sprintf("range_s[%d]", k),
+			fmt.Sprintf("range_t[%d]", k),
+			fmt.Sprintf("sigma[%d]", k))
+		logScale = append(logScale, true, true, true)
+	}
+	for i := 0; i < nLambda; i++ {
+		names = append(names, fmt.Sprintf("lambda[%d]", i))
+		logScale = append(logScale, false)
+	}
+	if gaussian {
+		for k := 0; k < nv; k++ {
+			names = append(names, fmt.Sprintf("tau_y[%d]", k))
+			logScale = append(logScale, true)
+		}
+	}
+	return names, logScale
+}

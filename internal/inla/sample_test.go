@@ -1,0 +1,138 @@
+package inla
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dalia-hpc/dalia/internal/dense"
+	"github.com/dalia-hpc/dalia/internal/mesh"
+	"github.com/dalia-hpc/dalia/internal/model"
+	"github.com/dalia-hpc/dalia/internal/synth"
+)
+
+func TestSamplePosteriorMomentsMatchSelectedInversion(t *testing.T) {
+	ds := genSmall(t, 1)
+	const n = 3000
+	rng := rand.New(rand.NewSource(99))
+	mu, samples, err := SamplePosterior(ds.Model, ds.Theta0, n, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != n {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	e := &BTAEvaluator{Model: ds.Model, Prior: WeakPrior(ds.Theta0, 5)}
+	muRef, vaRef, err := e.Posterior(ds.Theta0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := ds.Model.Dims.Total()
+	// Empirical mean ≈ μ and empirical variance ≈ selected-inversion
+	// variances within Monte-Carlo tolerance, checked on a spread of
+	// coordinates.
+	for i := 0; i < dim; i += dim / 7 {
+		var em, ev float64
+		for _, s := range samples {
+			em += s[i]
+		}
+		em /= n
+		for _, s := range samples {
+			d := s[i] - em
+			ev += d * d
+		}
+		ev /= float64(n - 1)
+		if math.Abs(mu[i]-muRef[i]) > 1e-9 {
+			t.Fatalf("returned μ[%d] disagrees with posterior mean", i)
+		}
+		seMean := math.Sqrt(vaRef[i] / n)
+		if math.Abs(em-muRef[i]) > 6*seMean+1e-9 {
+			t.Fatalf("sample mean[%d] = %v vs μ %v (se %v)", i, em, muRef[i], seMean)
+		}
+		if ev < 0.7*vaRef[i] || ev > 1.4*vaRef[i] {
+			t.Fatalf("sample variance[%d] = %v vs selinv %v", i, ev, vaRef[i])
+		}
+	}
+}
+
+func TestSamplePosteriorPoisson(t *testing.T) {
+	ds, err := synth.Generate(synth.GenConfig{
+		Nv: 1, Nt: 2, Nr: 1,
+		MeshNx: 3, MeshNy: 3,
+		ObsPerStep: 15,
+		Seed:       4,
+		Family:     model.LikPoisson,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	mu, samples, err := SamplePosterior(ds.Model, ds.Theta0, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mu) != ds.Model.Dims.Total() || len(samples) != 50 {
+		t.Fatal("Poisson sampling shapes wrong")
+	}
+}
+
+func TestExceedanceProbabilities(t *testing.T) {
+	ds := genSmall(t, 1)
+	rng := rand.New(rand.NewSource(7))
+	_, samples, err := SamplePosterior(ds.Model, ds.Theta0, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []mesh.Point{{X: 50, Y: 50}, {X: 80, Y: 20}}
+	tidx := []int{0, 1}
+	cov := covFor(pts)
+
+	// Probabilities in [0,1]; a −∞ threshold gives 1, +∞ gives 0, and they
+	// are monotone in the threshold.
+	pLo, err := Exceedance(ds.Model, ds.Theta0, samples, pts, tidx, cov, 0, -1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pHi, err := Exceedance(ds.Model, ds.Theta0, samples, pts, tidx, cov, 0, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pMid, err := Exceedance(ds.Model, ds.Theta0, samples, pts, tidx, cov, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if pLo[i] != 1 || pHi[i] != 0 {
+			t.Fatalf("degenerate thresholds wrong: %v %v", pLo[i], pHi[i])
+		}
+		if pMid[i] < 0 || pMid[i] > 1 {
+			t.Fatalf("probability %v outside [0,1]", pMid[i])
+		}
+	}
+}
+
+func TestExceedanceValidation(t *testing.T) {
+	ds := genSmall(t, 1)
+	pts := []mesh.Point{{X: 1, Y: 1}}
+	cov := covFor(pts)
+	if _, err := Exceedance(ds.Model, ds.Theta0, nil, pts, []int{0}, cov, 0, 0); err == nil {
+		t.Fatal("no samples must error")
+	}
+	rng := rand.New(rand.NewSource(1))
+	_, samples, err := SamplePosterior(ds.Model, ds.Theta0, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exceedance(ds.Model, ds.Theta0, samples, pts, []int{0}, cov, 5, 0); err == nil {
+		t.Fatal("bad response index must error")
+	}
+}
+
+func covFor(pts []mesh.Point) *dense.Matrix {
+	m := dense.New(len(pts), 2)
+	for i := range pts {
+		m.Set(i, 0, 1)
+		m.Set(i, 1, 0.5)
+	}
+	return m
+}

@@ -1,0 +1,247 @@
+package mesh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformCounts(t *testing.T) {
+	m := Uniform(4, 3, 2, 1)
+	if m.NumNodes() != 12 {
+		t.Fatalf("nodes = %d, want 12", m.NumNodes())
+	}
+	if m.NumTriangles() != 12 { // (4−1)(3−1)·2
+		t.Fatalf("triangles = %d, want 12", m.NumTriangles())
+	}
+}
+
+func TestUniformPanicsTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("1×n mesh must panic")
+		}
+	}()
+	Uniform(1, 5, 1, 1)
+}
+
+func TestTriangleOrientationAndArea(t *testing.T) {
+	m := Uniform(3, 3, 2, 2)
+	var total float64
+	for _, tri := range m.Tri {
+		a2 := m.triArea2(tri)
+		if a2 <= 0 {
+			t.Fatalf("triangle %v not CCW (area2=%v)", tri, a2)
+		}
+		total += a2 / 2
+	}
+	if math.Abs(total-4) > 1e-12 {
+		t.Fatalf("total area %v, want 4", total)
+	}
+}
+
+func TestMassMatrixSumsToArea(t *testing.T) {
+	m := Uniform(5, 4, 3, 2)
+	c := m.MassMatrix()
+	var sum float64
+	for i := 0; i < m.NumNodes(); i++ {
+		v := c.At(i, i)
+		if v <= 0 {
+			t.Fatalf("lumped mass %d = %v not positive", i, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-6) > 1e-12 {
+		t.Fatalf("mass total %v, want domain area 6", sum)
+	}
+}
+
+func TestStiffnessProperties(t *testing.T) {
+	m := Uniform(5, 5, 1, 1)
+	g := m.StiffnessMatrix()
+	if !g.IsSymmetric(1e-12) {
+		t.Fatal("stiffness not symmetric")
+	}
+	// Rows sum to zero (constants are in the kernel of the Laplacian).
+	n := m.NumNodes()
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	y := make([]float64, n)
+	g.MulVec(ones, y)
+	for i, v := range y {
+		if math.Abs(v) > 1e-10 {
+			t.Fatalf("stiffness row %d sums to %v", i, v)
+		}
+	}
+	// Positive semidefinite: xᵀGx ≥ 0 for random x.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		g.MulVec(x, y)
+		var q float64
+		for i := range x {
+			q += x[i] * y[i]
+		}
+		if q < -1e-10 {
+			t.Fatalf("xᵀGx = %v < 0", q)
+		}
+	}
+}
+
+func TestLocateInside(t *testing.T) {
+	m := Uniform(6, 6, 2, 3)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		p := Point{X: rng.Float64() * 2, Y: rng.Float64() * 3}
+		ti, bc, err := m.Locate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Barycentric reconstruction must recover the point.
+		tri := m.Tri[ti]
+		var x, y, s float64
+		for v := 0; v < 3; v++ {
+			x += bc[v] * m.Nodes[tri[v]].X
+			y += bc[v] * m.Nodes[tri[v]].Y
+			s += bc[v]
+		}
+		if math.Abs(s-1) > 1e-9 || math.Abs(x-p.X) > 1e-9 || math.Abs(y-p.Y) > 1e-9 {
+			t.Fatalf("locate reconstruction failed at %+v: (%v,%v) sum %v", p, x, y, s)
+		}
+	}
+}
+
+func TestLocateClampsOutside(t *testing.T) {
+	m := Uniform(4, 4, 1, 1)
+	_, bc, err := m.Locate(Point{X: -5, Y: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range bc {
+		if v < -1e-12 {
+			t.Fatalf("clamped barycentric coordinate %v < 0", v)
+		}
+	}
+}
+
+func TestInterpolationMatrix(t *testing.T) {
+	m := Uniform(5, 5, 1, 1)
+	pts := []Point{{0.5, 0.5}, {0.1, 0.9}, {0, 0}, {1, 1}}
+	a, err := m.InterpolationMatrix(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows() != 4 || a.Cols() != 25 {
+		t.Fatalf("interp shape %d×%d", a.Rows(), a.Cols())
+	}
+	// Interpolating the coordinate functions reproduces the points exactly
+	// (P1 elements are exact on linear functions).
+	xs := make([]float64, 25)
+	ys := make([]float64, 25)
+	for i, nd := range m.Nodes {
+		xs[i] = nd.X
+		ys[i] = nd.Y
+	}
+	gx := make([]float64, 4)
+	gy := make([]float64, 4)
+	a.MulVec(xs, gx)
+	a.MulVec(ys, gy)
+	for i, p := range pts {
+		if math.Abs(gx[i]-p.X) > 1e-12 || math.Abs(gy[i]-p.Y) > 1e-12 {
+			t.Fatalf("interp point %d: (%v,%v) want (%v,%v)", i, gx[i], gy[i], p.X, p.Y)
+		}
+	}
+	// Rows are convex combinations.
+	for i := 0; i < 4; i++ {
+		var s float64
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			s += a.Val[p]
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("row %d weights sum to %v", i, s)
+		}
+	}
+}
+
+func TestRefinementLevels(t *testing.T) {
+	ms := RefinementLevels(4, 300, 200)
+	if len(ms) != 4 {
+		t.Fatalf("levels = %d", len(ms))
+	}
+	prev := 0
+	for l, m := range ms {
+		if m.NumNodes() <= prev {
+			t.Fatalf("level %d nodes %d not increasing", l, m.NumNodes())
+		}
+		prev = m.NumNodes()
+	}
+	// First level matches the paper's coarsest mesh size (72 nodes).
+	if ms[0].NumNodes() != 72 {
+		t.Fatalf("coarsest level %d nodes, want 72", ms[0].NumNodes())
+	}
+	// Roughly quadrupling per level.
+	for l := 1; l < 4; l++ {
+		ratio := float64(ms[l].NumNodes()) / float64(ms[l-1].NumNodes())
+		if ratio < 3 || ratio > 5 {
+			t.Fatalf("level %d refinement ratio %v outside [3,5]", l, ratio)
+		}
+	}
+}
+
+func TestQuickLocateReconstruction(t *testing.T) {
+	m := Uniform(7, 5, 4, 3)
+	f := func(xr, yr uint16) bool {
+		p := Point{X: float64(xr) / 65535 * 4, Y: float64(yr) / 65535 * 3}
+		ti, bc, err := m.Locate(p)
+		if err != nil {
+			return false
+		}
+		tri := m.Tri[ti]
+		var x, y float64
+		for v := 0; v < 3; v++ {
+			x += bc[v] * m.Nodes[tri[v]].X
+			y += bc[v] * m.Nodes[tri[v]].Y
+		}
+		return math.Abs(x-p.X) < 1e-9 && math.Abs(y-p.Y) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocateGeneralMeshScanPath(t *testing.T) {
+	// A hand-built mesh without structured-grid metadata exercises the
+	// linear-scan locator.
+	m := &Mesh{
+		Nodes: []Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 1}},
+		Tri:   [][3]int{{0, 1, 2}, {1, 3, 2}},
+	}
+	ti, bc, err := m.Locate(Point{X: 0.2, Y: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti != 0 {
+		t.Fatalf("point in triangle %d, want 0", ti)
+	}
+	var s float64
+	for _, v := range bc {
+		s += v
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Fatalf("barycentric sum %v", s)
+	}
+	// Outside the hull must error on the scan path (no clamping metadata).
+	if _, _, err := m.Locate(Point{X: 5, Y: 5}); err == nil {
+		t.Fatal("point outside a general mesh must error")
+	}
+	// And the interpolation matrix surfaces that error.
+	if _, err := m.InterpolationMatrix([]Point{{X: 5, Y: 5}}); err == nil {
+		t.Fatal("InterpolationMatrix must propagate locate errors")
+	}
+}

@@ -1,0 +1,119 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dalia-hpc/dalia/internal/sparse"
+)
+
+// TestExpandGramBlocksMatchesTriplets pins the fast sorted-CSR expansion
+// against the straightforward triplet assembly it replaced.
+func TestExpandGramBlocksMatchesTriplets(t *testing.T) {
+	m, th := testModel(t, 3, 2)
+	w := NoiseW(th)
+	fast := m.expandGramBlocks(func(i, j int) float64 { return w.At(i, j) }, m.gram)
+
+	n := m.Dims.PerProcess()
+	nv := m.Dims.Nv
+	coo := sparse.NewCOO(nv*n, nv*n)
+	g := m.gram
+	for i := 0; i < nv; i++ {
+		for j := 0; j < nv; j++ {
+			c := w.At(i, j)
+			for r := 0; r < n; r++ {
+				for p := g.RowPtr[r]; p < g.RowPtr[r+1]; p++ {
+					coo.Add(i*n+r, j*n+g.ColIdx[p], c*g.Val[p])
+				}
+			}
+		}
+	}
+	slow := coo.ToCSR()
+	if !sparse.SameStructure(fast, slow) {
+		t.Fatal("fast expansion pattern differs from triplet assembly")
+	}
+	for p := range fast.Val {
+		if math.Abs(fast.Val[p]-slow.Val[p]) > 1e-14 {
+			t.Fatalf("value %d: %v vs %v", p, fast.Val[p], slow.Val[p])
+		}
+	}
+}
+
+// TestJointFastPathMatchesDense cross-checks the sorted-CSR joint assembly
+// in coreg through the full model path: QpCSR must stay symmetric and SPD
+// for several θ, including after repeated calls (no state corruption).
+func TestJointFastPathStability(t *testing.T) {
+	m, th := testModel(t, 3, 2)
+	first := m.QpCSR(th)
+	if !first.IsSymmetric(1e-9) {
+		t.Fatal("fast joint assembly lost symmetry")
+	}
+	for trial := 0; trial < 3; trial++ {
+		again := m.QpCSR(th)
+		if !sparse.SameStructure(first, again) {
+			t.Fatal("pattern changed across identical calls")
+		}
+		for p := range again.Val {
+			if again.Val[p] != first.Val[p] {
+				t.Fatal("values changed across identical calls")
+			}
+		}
+	}
+}
+
+// TestWeightedGramMatchesDense checks Aᵀdiag(w)A against a dense reference
+// and that its pattern matches the unweighted Gram kernel (the property the
+// Poisson inner loop relies on for mapping reuse).
+func TestWeightedGramMatchesDense(t *testing.T) {
+	m, _ := testModel(t, 1, 2)
+	mObs := m.Obs.M()
+	w := make([]float64, mObs)
+	for i := range w {
+		w[i] = 0.5 + float64(i%7)
+	}
+	got := m.weightedGram(w)
+	if !sparse.SameStructure(got, m.gram) {
+		t.Fatal("weighted Gram pattern differs from the cached kernel")
+	}
+	ad := m.aDesign.ToDense()
+	n := m.Dims.PerProcess()
+	for i := 0; i < n; i += 5 {
+		for j := 0; j < n; j += 7 {
+			var want float64
+			for o := 0; o < mObs; o++ {
+				want += ad.At(o, i) * w[o] * ad.At(o, j)
+			}
+			if math.Abs(got.At(i, j)-want) > 1e-10*(1+math.Abs(want)) {
+				t.Fatalf("weightedGram(%d,%d) = %v want %v", i, j, got.At(i, j), want)
+			}
+		}
+	}
+}
+
+// TestNaiveDensifyMatchesCachedMapping: both Q_c construction paths must
+// produce identical BTA matrices (the X1 ablation's correctness anchor).
+func TestNaiveDensifyMatchesCachedMapping(t *testing.T) {
+	m, th := testModel(t, 2, 3)
+	fast, err := m.Qc(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := m.QcDensifyNaive(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast.ToDense().Equal(naive.ToDense(), 1e-12) {
+		t.Fatal("cached mapping and naive densification disagree")
+	}
+	fastP, err := m.Qp(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveP, err := m.QpDensifyNaive(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fastP.ToDense().Equal(naiveP.ToDense(), 1e-12) {
+		t.Fatal("Q_p paths disagree")
+	}
+}

@@ -1,0 +1,190 @@
+package model
+
+import (
+	"fmt"
+
+	"github.com/dalia-hpc/dalia/internal/bta"
+	"github.com/dalia-hpc/dalia/internal/coreg"
+	"github.com/dalia-hpc/dalia/internal/dense"
+	"github.com/dalia-hpc/dalia/internal/sparse"
+	"github.com/dalia-hpc/dalia/internal/spde"
+)
+
+// prototypeHyper is any valid hyperparameter value; only the induced
+// sparsity pattern matters during mapping construction.
+func prototypeHyper() spde.Hyper { return spde.Hyper{RangeS: 1, RangeT: 2, Sigma: 1} }
+
+func newLambda(sig, lam []float64) (*coreg.Lambda, error) { return coreg.NewLambda(sig, lam) }
+
+// BTAMap is the cached sparse→block-dense mapping of §IV-F: for every
+// stored entry of a process-major CSR matrix with a θ-invariant pattern, it
+// precomputes the destination (block, offset) in the permuted BTA layout.
+// Applying the map is O(nnz) — the paper's replacement for the O(n·b²)
+// naive densification — and runs every fobj evaluation.
+type BTAMap struct {
+	N, B, A  int
+	nnz      int
+	blockIdx []int32
+	off      []int32
+}
+
+// newBTAMap builds the mapping for a process-major pattern under the given
+// permutation (perm[new] = old).
+func newBTAMap(pattern *sparse.CSR, permInv []int, n, b, a int) (*BTAMap, error) {
+	nb := n * b
+	dim := nb + a
+	if pattern.Rows() != dim || pattern.Cols() != dim {
+		return nil, fmt.Errorf("model: pattern is %d×%d, BTA(n=%d,b=%d,a=%d) needs %d",
+			pattern.Rows(), pattern.Cols(), n, b, a, dim)
+	}
+	m := &BTAMap{N: n, B: b, A: a, nnz: pattern.NNZ()}
+	m.blockIdx = make([]int32, m.nnz)
+	m.off = make([]int32, m.nnz)
+	// Unified block index space: [0,n) Diag, [n,2n−1) Lower, [2n−1,3n−1)
+	// Arrow, 3n−1 Tip.
+	p := 0
+	for r := 0; r < pattern.Rows(); r++ {
+		rp := permInv[r]
+		for q := pattern.RowPtr[r]; q < pattern.RowPtr[r+1]; q++ {
+			cp := permInv[pattern.ColIdx[q]]
+			blk, off, err := btaDest(rp, cp, n, b, a)
+			if err != nil {
+				return nil, err
+			}
+			m.blockIdx[p] = int32(blk)
+			m.off[p] = int32(off)
+			p++
+		}
+	}
+	return m, nil
+}
+
+// btaDest computes the unified block index and intra-block offset of the
+// permuted coordinate (r,c).
+func btaDest(r, c, n, b, a int) (int, int, error) {
+	nb := n * b
+	switch {
+	case r < nb && c < nb:
+		bi, bj := r/b, c/b
+		ri, cj := r%b, c%b
+		switch {
+		case bi == bj:
+			return bi, ri*b + cj, nil
+		case bi == bj+1:
+			return n + bj, ri*b + cj, nil
+		case bj == bi+1:
+			return n + bi, cj*b + ri, nil // symmetric entry stored transposed
+		default:
+			return 0, 0, fmt.Errorf("model: entry (%d,%d) outside BTA pattern", r, c)
+		}
+	case r >= nb && c < nb:
+		if a == 0 {
+			return 0, 0, fmt.Errorf("model: arrow entry (%d,%d) with a=0", r, c)
+		}
+		return 2*n - 1 + c/b, (r-nb)*b + c%b, nil
+	case c >= nb && r < nb:
+		if a == 0 {
+			return 0, 0, fmt.Errorf("model: arrow entry (%d,%d) with a=0", r, c)
+		}
+		return 2*n - 1 + r/b, (c-nb)*b + r%b, nil
+	default:
+		return 3*n - 1, (r-nb)*a + (c - nb), nil
+	}
+}
+
+// Apply scatters the CSR value array (in the pattern's canonical order)
+// into a fresh BTA matrix.
+func (m *BTAMap) Apply(vals []float64) (*bta.Matrix, error) {
+	if len(vals) != m.nnz {
+		return nil, fmt.Errorf("model: value array length %d, mapping built for %d", len(vals), m.nnz)
+	}
+	out := bta.NewMatrix(m.N, m.B, m.A)
+	blocks := unifiedBlocks(out)
+	for p, v := range vals {
+		blk := blocks[m.blockIdx[p]]
+		blk.Data[m.off[p]] = v
+	}
+	return out, nil
+}
+
+// unifiedBlocks lays the BTA blocks out in the map's unified index space.
+func unifiedBlocks(m *bta.Matrix) []*dense.Matrix {
+	blocks := make([]*dense.Matrix, 0, 3*m.N)
+	blocks = append(blocks, m.Diag...)
+	blocks = append(blocks, m.Lower...)
+	if m.A > 0 {
+		blocks = append(blocks, m.Arrow...)
+		blocks = append(blocks, m.Tip)
+	}
+	return blocks
+}
+
+// buildMappings constructs the θ-invariant Q_p and Q_c patterns from a
+// prototype hyperparameter configuration and caches their BTA mappings.
+func (m *Model) buildMappings() error {
+	proto, err := m.prototypeTheta()
+	if err != nil {
+		return err
+	}
+	m.qpPattern = m.QpCSR(proto)
+	m.qcPattern = sparse.Add(1, m.qpPattern, 1, m.dataTermCSR(proto))
+	n, b, a := m.Dims.BTAShape()
+	if m.qpMap, err = newBTAMap(m.qpPattern, m.permInv, n, b, a); err != nil {
+		return fmt.Errorf("model: Q_p mapping: %w", err)
+	}
+	if m.qcMap, err = newBTAMap(m.qcPattern, m.permInv, n, b, a); err != nil {
+		return fmt.Errorf("model: Q_c mapping: %w", err)
+	}
+	return nil
+}
+
+// prototypeTheta returns an arbitrary valid configuration used only for
+// pattern discovery.
+func (m *Model) prototypeTheta() (*Theta, error) {
+	nv := m.Dims.Nv
+	t := &Theta{}
+	for k := 0; k < nv; k++ {
+		t.Process = append(t.Process, prototypeHyper())
+		t.TauY = append(t.TauY, 1)
+	}
+	sig := make([]float64, nv)
+	lam := make([]float64, 0, nv*(nv-1)/2)
+	for k := 0; k < nv; k++ {
+		sig[k] = 1
+	}
+	for i := 0; i < cap(lam); i++ {
+		lam = append(lam, 0.1)
+	}
+	l, err := newLambda(sig, lam)
+	if err != nil {
+		return nil, err
+	}
+	t.Lambda = l
+	return t, nil
+}
+
+// Qp assembles the prior precision as a BTA matrix (BT blocks plus a
+// decoupled fixed-effects tip) for the given configuration.
+func (m *Model) Qp(t *Theta) (*bta.Matrix, error) {
+	csr := m.QpCSR(t)
+	if csr.NNZ() != m.qpPattern.NNZ() {
+		return nil, fmt.Errorf("model: Q_p pattern drifted (%d vs %d nonzeros)", csr.NNZ(), m.qpPattern.NNZ())
+	}
+	return m.qpMap.Apply(csr.Val)
+}
+
+// Qc assembles the conditional precision Q_c = Q_p + AᵀDA as a BTA matrix.
+func (m *Model) Qc(t *Theta) (*bta.Matrix, error) {
+	return m.QcFromCSR(m.QcCSR(t))
+}
+
+// QcFromCSR maps any process-major CSR with the model's Q_c pattern into
+// BTA form through the cached mapping — the entry point for non-Gaussian
+// conditional precisions whose values change every inner Newton iteration
+// while the pattern stays fixed.
+func (m *Model) QcFromCSR(csr *sparse.CSR) (*bta.Matrix, error) {
+	if csr.NNZ() != m.qcPattern.NNZ() {
+		return nil, fmt.Errorf("model: Q_c pattern drifted (%d vs %d nonzeros)", csr.NNZ(), m.qcPattern.NNZ())
+	}
+	return m.qcMap.Apply(csr.Val)
+}

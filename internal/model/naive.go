@@ -1,0 +1,62 @@
+package model
+
+import (
+	"github.com/dalia-hpc/dalia/internal/bta"
+	"github.com/dalia-hpc/dalia/internal/sparse"
+)
+
+// QcDensifyNaive builds the BTA form of Q_c by permuting the sparse matrix
+// and scanning every entry of every dense block with index lookups — the
+// O(n·b²) densification path that §IV-F's cached O(nnz) mapping replaces.
+// Kept as the INLA_DIST-like baseline and for the mapping ablation.
+func (m *Model) QcDensifyNaive(t *Theta) (*bta.Matrix, error) {
+	return m.densifyNaive(m.QcCSR(t))
+}
+
+// QpDensifyNaive is the naive-densification counterpart of Qp.
+func (m *Model) QpDensifyNaive(t *Theta) (*bta.Matrix, error) {
+	return m.densifyNaive(m.QpCSR(t))
+}
+
+func (m *Model) densifyNaive(csr *sparse.CSR) (*bta.Matrix, error) {
+	permuted := csr.PermuteSym(m.perm)
+	n, b, a := m.Dims.BTAShape()
+	out := bta.NewMatrix(n, b, a)
+	// Scan the full block pattern entry by entry (the deliberate O(n·b²)
+	// cost: one indexed lookup per position whether stored or not).
+	for blk := 0; blk < n; blk++ {
+		d := out.Diag[blk]
+		for i := 0; i < b; i++ {
+			gi := blk*b + i
+			for j := 0; j < b; j++ {
+				d.Set(i, j, permuted.At(gi, blk*b+j))
+			}
+		}
+		if blk < n-1 {
+			l := out.Lower[blk]
+			for i := 0; i < b; i++ {
+				gi := (blk+1)*b + i
+				for j := 0; j < b; j++ {
+					l.Set(i, j, permuted.At(gi, blk*b+j))
+				}
+			}
+		}
+		if a > 0 {
+			ar := out.Arrow[blk]
+			for i := 0; i < a; i++ {
+				gi := n*b + i
+				for j := 0; j < b; j++ {
+					ar.Set(i, j, permuted.At(gi, blk*b+j))
+				}
+			}
+		}
+	}
+	if a > 0 {
+		for i := 0; i < a; i++ {
+			for j := 0; j < a; j++ {
+				out.Tip.Set(i, j, permuted.At(n*b+i, n*b+j))
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,271 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/dalia-hpc/dalia/internal/dense"
+)
+
+func TestCholSolveAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for _, n := range []int{1, 2, 5, 12, 40} {
+		a := randSparseSPD(rng, n, 0.25)
+		f, err := CholFactorize(a, nil)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := f.Solve(b)
+		// Residual ‖Ax − b‖.
+		r := make([]float64, n)
+		a.MulVec(x, r)
+		for i := range r {
+			r[i] -= b[i]
+		}
+		if dense.Nrm2(r) > 1e-9 {
+			t.Fatalf("n=%d: residual %v", n, dense.Nrm2(r))
+		}
+	}
+}
+
+func TestCholIdentityPerm(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	a := randSparseSPD(rng, 15, 0.3)
+	f, err := CholFactorize(a, IdentityPerm(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 15)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := f.Solve(b)
+	r := make([]float64, 15)
+	a.MulVec(x, r)
+	for i := range r {
+		r[i] -= b[i]
+	}
+	if dense.Nrm2(r) > 1e-9 {
+		t.Fatal("identity-perm solve residual too large")
+	}
+}
+
+func TestCholLogDetAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	a := randSparseSPD(rng, 20, 0.2)
+	f, err := CholFactorize(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := dense.Chol(a.ToDense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dense.LogDetFromChol(ld)
+	if math.Abs(f.LogDet()-want) > 1e-8 {
+		t.Fatalf("LogDet = %v want %v", f.LogDet(), want)
+	}
+}
+
+func TestCholRejectsIndefinite(t *testing.T) {
+	coo := NewCOO(2, 2)
+	coo.Add(0, 0, 1)
+	coo.Add(1, 1, -2)
+	if _, err := CholFactorize(coo.ToCSR(), nil); err != ErrNotPositiveDefinite {
+		t.Fatalf("want ErrNotPositiveDefinite, got %v", err)
+	}
+}
+
+func TestCholRejectsNonSquare(t *testing.T) {
+	coo := NewCOO(2, 3)
+	coo.Add(0, 0, 1)
+	if _, err := CholFactorize(coo.ToCSR(), nil); err == nil {
+		t.Fatal("non-square must error")
+	}
+}
+
+func TestCholRejectsBadPerm(t *testing.T) {
+	a := Identity(3)
+	if _, err := CholFactorize(a, []int{0, 1}); err == nil {
+		t.Fatal("short permutation must error")
+	}
+}
+
+func TestRefactorizeMatchesFreshFactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	a := randSparseSPD(rng, 25, 0.2)
+	f, err := CholFactorize(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same pattern, scaled values — the INLA-loop situation.
+	a2 := a.Clone()
+	a2.Scale(2.5)
+	if err := f.Refactorize(a2); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := CholFactorize(a2, f.Perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.LogDet()-fresh.LogDet()) > 1e-10 {
+		t.Fatal("refactorize logdet != fresh factor logdet")
+	}
+	b := make([]float64, 25)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x1, x2 := f.Solve(b), fresh.Solve(b)
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-10 {
+			t.Fatal("refactorize solve mismatch")
+		}
+	}
+}
+
+func TestSelectedInverseDiagAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for _, n := range []int{2, 6, 15, 30} {
+		a := randSparseSPD(rng, n, 0.3)
+		f, err := CholFactorize(a, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := f.SelectedInverseDiag()
+		inv, err := dense.Inverse(a.ToDense())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(got[i]-inv.At(i, i)) > 1e-8 {
+				t.Fatalf("n=%d: selinv diag[%d] = %v want %v", n, i, got[i], inv.At(i, i))
+			}
+		}
+	}
+}
+
+func TestSigmaAtOrigMatchesDenseInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	a := randSparseSPD(rng, 12, 0.35)
+	f, err := CholFactorize(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := dense.Inverse(a.ToDense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entries on the pattern of A must match the true inverse (A's pattern is
+	// a subset of L's pattern after permutation-closure).
+	for i := 0; i < 12; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			j := a.ColIdx[p]
+			got := f.SigmaAtOrig(i, j)
+			if got == 0 && inv.At(i, j) != 0 {
+				// Entry may fall outside the permuted factor pattern only if
+				// it is structurally zero there; skip those.
+				continue
+			}
+			if math.Abs(got-inv.At(i, j)) > 1e-8 {
+				t.Fatalf("Σ(%d,%d) = %v want %v", i, j, got, inv.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCholTridiagonalKnownValues(t *testing.T) {
+	// Tridiagonal Toeplitz [−1, 2, −1] of size 3: A⁻¹ diag = [3/4, 1, 3/4].
+	coo := NewCOO(3, 3)
+	for i := 0; i < 3; i++ {
+		coo.Add(i, i, 2)
+		if i > 0 {
+			coo.Add(i, i-1, -1)
+			coo.Add(i-1, i, -1)
+		}
+	}
+	f, err := CholFactorize(coo.ToCSR(), IdentityPerm(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := f.SelectedInverseDiag()
+	want := []float64{0.75, 1.0, 0.75}
+	for i := range want {
+		if math.Abs(d[i]-want[i]) > 1e-12 {
+			t.Fatalf("diag[%d] = %v want %v", i, d[i], want[i])
+		}
+	}
+	// |A| = 4 for this matrix.
+	if math.Abs(f.LogDet()-math.Log(4)) > 1e-12 {
+		t.Fatalf("logdet = %v want log 4", f.LogDet())
+	}
+}
+
+func TestQuickCholSolve(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%25) + 2
+		rng := rand.New(rand.NewSource(seed))
+		a := randSparseSPD(rng, n, 0.3)
+		fac, err := CholFactorize(a, nil)
+		if err != nil {
+			return false
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := fac.Solve(b)
+		r := make([]float64, n)
+		a.MulVec(x, r)
+		for i := range r {
+			r[i] -= b[i]
+		}
+		return dense.Nrm2(r) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSelInvDiagPositive(t *testing.T) {
+	// Marginal variances must always be positive.
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%20) + 2
+		rng := rand.New(rand.NewSource(seed))
+		a := randSparseSPD(rng, n, 0.3)
+		fac, err := CholFactorize(a, nil)
+		if err != nil {
+			return false
+		}
+		for _, v := range fac.SelectedInverseDiag() {
+			if v <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSparseCholFactor(b *testing.B) {
+	rng := rand.New(rand.NewSource(80))
+	a := randSparseSPD(rng, 400, 0.02)
+	f, err := CholFactorize(a, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Refactorize(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

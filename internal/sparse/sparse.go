@@ -1,0 +1,426 @@
+// Package sparse implements the sparse-matrix substrate of the DALIA
+// reproduction: COO assembly, CSR storage and kernels (SpMV, add, scale,
+// Kronecker products, transpose, permutation), a fill-reducing ordering, and
+// a general sparse Cholesky factorization with Takahashi selected inversion.
+//
+// The general solver intentionally mirrors the role PARDISO plays for
+// R-INLA in the paper: it is the *baseline* the structured BTA solver
+// (package bta) is compared against, paying fill-in and irregular memory
+// access on spatio-temporal precision matrices.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dalia-hpc/dalia/internal/dense"
+)
+
+// COO is a triplet-format accumulator used to assemble matrices. Duplicate
+// entries are summed when converting to CSR.
+type COO struct {
+	Rows, Cols int
+	I, J       []int
+	V          []float64
+}
+
+// NewCOO returns an empty r×c triplet accumulator.
+func NewCOO(r, c int) *COO {
+	return &COO{Rows: r, Cols: c}
+}
+
+// Add appends entry (i,j) += v.
+func (c *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= c.Rows || j < 0 || j >= c.Cols {
+		panic(fmt.Sprintf("sparse: COO entry (%d,%d) out of range %d×%d", i, j, c.Rows, c.Cols))
+	}
+	c.I = append(c.I, i)
+	c.J = append(c.J, j)
+	c.V = append(c.V, v)
+}
+
+// ToCSR compresses the accumulator, summing duplicates and dropping explicit
+// zeros that result from cancellation is NOT done (INLA needs a stable
+// pattern across hyperparameter values, so structural zeros are kept).
+func (c *COO) ToCSR() *CSR {
+	nnzPer := make([]int, c.Rows+1)
+	for _, i := range c.I {
+		nnzPer[i+1]++
+	}
+	for i := 0; i < c.Rows; i++ {
+		nnzPer[i+1] += nnzPer[i]
+	}
+	colIdx := make([]int, len(c.I))
+	vals := make([]float64, len(c.I))
+	next := make([]int, c.Rows)
+	copy(next, nnzPer[:c.Rows])
+	for k, i := range c.I {
+		p := next[i]
+		colIdx[p] = c.J[k]
+		vals[p] = c.V[k]
+		next[i]++
+	}
+	m := &CSR{RowsN: c.Rows, ColsN: c.Cols, RowPtr: nnzPer, ColIdx: colIdx, Val: vals}
+	m.sortRowsAndMerge()
+	return m
+}
+
+// CSR is a compressed-sparse-row matrix. Column indices within each row are
+// sorted ascending and unique.
+type CSR struct {
+	RowsN, ColsN int
+	RowPtr       []int
+	ColIdx       []int
+	Val          []float64
+}
+
+// NewCSR builds a CSR directly from raw arrays (trusted; used by kernels).
+func NewCSR(rows, cols int, rowPtr, colIdx []int, val []float64) *CSR {
+	return &CSR{RowsN: rows, ColsN: cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+// Rows and Cols report the matrix shape.
+func (m *CSR) Rows() int { return m.RowsN }
+
+// Cols reports the number of columns.
+func (m *CSR) Cols() int { return m.ColsN }
+
+// NNZ reports the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// sortRowsAndMerge sorts column indices within each row and merges
+// duplicates by summation, compacting storage.
+func (m *CSR) sortRowsAndMerge() {
+	outPtr := make([]int, m.RowsN+1)
+	outCol := m.ColIdx[:0]
+	outVal := m.Val[:0]
+	type kv struct {
+		j int
+		v float64
+	}
+	var buf []kv
+	write := 0
+	for i := 0; i < m.RowsN; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		buf = buf[:0]
+		for p := lo; p < hi; p++ {
+			buf = append(buf, kv{m.ColIdx[p], m.Val[p]})
+		}
+		sort.Slice(buf, func(a, b int) bool { return buf[a].j < buf[b].j })
+		outPtr[i] = write
+		for k := 0; k < len(buf); {
+			j := buf[k].j
+			v := buf[k].v
+			k++
+			for k < len(buf) && buf[k].j == j {
+				v += buf[k].v
+				k++
+			}
+			// In-place compaction: write never overtakes the read cursor
+			// because merging only shrinks.
+			outCol = append(outCol[:write], j)
+			outVal = append(outVal[:write], v)
+			write++
+		}
+	}
+	outPtr[m.RowsN] = write
+	m.RowPtr = outPtr
+	m.ColIdx = outCol[:write]
+	m.Val = outVal[:write]
+}
+
+// At returns entry (i,j), zero when not stored. O(log nnz(row i)).
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	idx := sort.SearchInts(m.ColIdx[lo:hi], j)
+	if lo+idx < hi && m.ColIdx[lo+idx] == j {
+		return m.Val[lo+idx]
+	}
+	return 0
+}
+
+// Clone returns a deep copy.
+func (m *CSR) Clone() *CSR {
+	return &CSR{
+		RowsN: m.RowsN, ColsN: m.ColsN,
+		RowPtr: append([]int(nil), m.RowPtr...),
+		ColIdx: append([]int(nil), m.ColIdx...),
+		Val:    append([]float64(nil), m.Val...),
+	}
+}
+
+// Scale multiplies all stored values by alpha in place and returns m.
+func (m *CSR) Scale(alpha float64) *CSR {
+	for i := range m.Val {
+		m.Val[i] *= alpha
+	}
+	return m
+}
+
+// MulVec computes y = M·x. len(x) ≥ Cols, len(y) ≥ Rows.
+func (m *CSR) MulVec(x, y []float64) {
+	for i := 0; i < m.RowsN; i++ {
+		var s float64
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			s += m.Val[p] * x[m.ColIdx[p]]
+		}
+		y[i] = s
+	}
+}
+
+// MulVecT computes y = Mᵀ·x. len(x) ≥ Rows, len(y) ≥ Cols.
+func (m *CSR) MulVecT(x, y []float64) {
+	for j := 0; j < m.ColsN; j++ {
+		y[j] = 0
+	}
+	for i := 0; i < m.RowsN; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			y[m.ColIdx[p]] += m.Val[p] * xi
+		}
+	}
+}
+
+// Transpose returns Mᵀ as a new CSR.
+func (m *CSR) Transpose() *CSR {
+	cnt := make([]int, m.ColsN+1)
+	for _, j := range m.ColIdx {
+		cnt[j+1]++
+	}
+	for j := 0; j < m.ColsN; j++ {
+		cnt[j+1] += cnt[j]
+	}
+	colIdx := make([]int, m.NNZ())
+	val := make([]float64, m.NNZ())
+	next := make([]int, m.ColsN)
+	copy(next, cnt[:m.ColsN])
+	for i := 0; i < m.RowsN; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			j := m.ColIdx[p]
+			q := next[j]
+			colIdx[q] = i
+			val[q] = m.Val[p]
+			next[j]++
+		}
+	}
+	return &CSR{RowsN: m.ColsN, ColsN: m.RowsN, RowPtr: cnt, ColIdx: colIdx, Val: val}
+}
+
+// Add returns alpha*A + beta*B for matrices with identical shapes. The
+// result's pattern is the union of both patterns.
+func Add(alpha float64, a *CSR, beta float64, b *CSR) *CSR {
+	if a.RowsN != b.RowsN || a.ColsN != b.ColsN {
+		panic(fmt.Sprintf("sparse: add shape mismatch %d×%d vs %d×%d", a.RowsN, a.ColsN, b.RowsN, b.ColsN))
+	}
+	rowPtr := make([]int, a.RowsN+1)
+	var colIdx []int
+	var val []float64
+	for i := 0; i < a.RowsN; i++ {
+		pa, ea := a.RowPtr[i], a.RowPtr[i+1]
+		pb, eb := b.RowPtr[i], b.RowPtr[i+1]
+		for pa < ea || pb < eb {
+			switch {
+			case pb >= eb || (pa < ea && a.ColIdx[pa] < b.ColIdx[pb]):
+				colIdx = append(colIdx, a.ColIdx[pa])
+				val = append(val, alpha*a.Val[pa])
+				pa++
+			case pa >= ea || b.ColIdx[pb] < a.ColIdx[pa]:
+				colIdx = append(colIdx, b.ColIdx[pb])
+				val = append(val, beta*b.Val[pb])
+				pb++
+			default:
+				colIdx = append(colIdx, a.ColIdx[pa])
+				val = append(val, alpha*a.Val[pa]+beta*b.Val[pb])
+				pa++
+				pb++
+			}
+		}
+		rowPtr[i+1] = len(colIdx)
+	}
+	return &CSR{RowsN: a.RowsN, ColsN: a.ColsN, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+// Kron returns the Kronecker product A ⊗ B.
+func Kron(a, b *CSR) *CSR {
+	rows := a.RowsN * b.RowsN
+	cols := a.ColsN * b.ColsN
+	nnz := a.NNZ() * b.NNZ()
+	rowPtr := make([]int, rows+1)
+	colIdx := make([]int, 0, nnz)
+	val := make([]float64, 0, nnz)
+	for ia := 0; ia < a.RowsN; ia++ {
+		for ib := 0; ib < b.RowsN; ib++ {
+			for pa := a.RowPtr[ia]; pa < a.RowPtr[ia+1]; pa++ {
+				av := a.Val[pa]
+				jaOff := a.ColIdx[pa] * b.ColsN
+				for pb := b.RowPtr[ib]; pb < b.RowPtr[ib+1]; pb++ {
+					colIdx = append(colIdx, jaOff+b.ColIdx[pb])
+					val = append(val, av*b.Val[pb])
+				}
+			}
+			rowPtr[ia*b.RowsN+ib+1] = len(colIdx)
+		}
+	}
+	return &CSR{RowsN: rows, ColsN: cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+// MatMul returns A·B as a new CSR (classical Gustavson row-by-row).
+func MatMul(a, b *CSR) *CSR {
+	if a.ColsN != b.RowsN {
+		panic(fmt.Sprintf("sparse: matmul shape mismatch %d×%d · %d×%d", a.RowsN, a.ColsN, b.RowsN, b.ColsN))
+	}
+	rowPtr := make([]int, a.RowsN+1)
+	var colIdx []int
+	var val []float64
+	acc := make([]float64, b.ColsN)
+	mark := make([]int, b.ColsN)
+	for i := range mark {
+		mark[i] = -1
+	}
+	var pat []int
+	for i := 0; i < a.RowsN; i++ {
+		pat = pat[:0]
+		for pa := a.RowPtr[i]; pa < a.RowPtr[i+1]; pa++ {
+			k := a.ColIdx[pa]
+			av := a.Val[pa]
+			for pb := b.RowPtr[k]; pb < b.RowPtr[k+1]; pb++ {
+				j := b.ColIdx[pb]
+				if mark[j] != i {
+					mark[j] = i
+					acc[j] = 0
+					pat = append(pat, j)
+				}
+				acc[j] += av * b.Val[pb]
+			}
+		}
+		sort.Ints(pat)
+		for _, j := range pat {
+			colIdx = append(colIdx, j)
+			val = append(val, acc[j])
+		}
+		rowPtr[i+1] = len(colIdx)
+	}
+	return &CSR{RowsN: a.RowsN, ColsN: b.ColsN, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+// Diag returns a CSR diagonal matrix with the given diagonal values.
+func Diag(d []float64) *CSR {
+	n := len(d)
+	rowPtr := make([]int, n+1)
+	colIdx := make([]int, n)
+	val := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] = i + 1
+		colIdx[i] = i
+		val[i] = d[i]
+	}
+	return &CSR{RowsN: n, ColsN: n, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+// Identity returns the n×n identity as CSR.
+func Identity(n int) *CSR {
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = 1
+	}
+	return Diag(d)
+}
+
+// ToDense materializes the matrix densely (tests and small blocks only).
+func (m *CSR) ToDense() *dense.Matrix {
+	out := dense.New(m.RowsN, m.ColsN)
+	for i := 0; i < m.RowsN; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			out.Set(i, m.ColIdx[p], m.Val[p])
+		}
+	}
+	return out
+}
+
+// FromDense converts a dense matrix, dropping entries with |v| ≤ tol.
+func FromDense(a *dense.Matrix, tol float64) *CSR {
+	c := NewCOO(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if v := a.At(i, j); v > tol || v < -tol {
+				c.Add(i, j, v)
+			}
+		}
+	}
+	return c.ToCSR()
+}
+
+// PermuteSym returns P·M·Pᵀ where P is given as perm: row i of the result is
+// row perm[i] of M (i.e. newIdx = inversePerm[oldIdx]).
+func (m *CSR) PermuteSym(perm []int) *CSR {
+	if m.RowsN != m.ColsN || len(perm) != m.RowsN {
+		panic("sparse: PermuteSym needs square matrix and full permutation")
+	}
+	inv := make([]int, len(perm))
+	for newI, oldI := range perm {
+		inv[oldI] = newI
+	}
+	c := NewCOO(m.RowsN, m.ColsN)
+	for i := 0; i < m.RowsN; i++ {
+		ni := inv[i]
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			c.Add(ni, inv[m.ColIdx[p]], m.Val[p])
+		}
+	}
+	return c.ToCSR()
+}
+
+// SameStructure reports whether two matrices share an identical sparsity
+// pattern (shape, row pointers, and column indices).
+func SameStructure(a, b *CSR) bool {
+	if a.RowsN != b.RowsN || a.ColsN != b.ColsN || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range a.ColIdx {
+		if a.ColIdx[i] != b.ColIdx[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSymmetric reports whether M equals Mᵀ within tol.
+func (m *CSR) IsSymmetric(tol float64) bool {
+	if m.RowsN != m.ColsN {
+		return false
+	}
+	t := m.Transpose()
+	for i := 0; i < m.RowsN; i++ {
+		pa, ea := m.RowPtr[i], m.RowPtr[i+1]
+		pb, eb := t.RowPtr[i], t.RowPtr[i+1]
+		for pa < ea || pb < eb {
+			switch {
+			case pb >= eb || (pa < ea && m.ColIdx[pa] < t.ColIdx[pb]):
+				if v := m.Val[pa]; v > tol || v < -tol {
+					return false
+				}
+				pa++
+			case pa >= ea || t.ColIdx[pb] < m.ColIdx[pa]:
+				if v := t.Val[pb]; v > tol || v < -tol {
+					return false
+				}
+				pb++
+			default:
+				if d := m.Val[pa] - t.Val[pb]; d > tol || d < -tol {
+					return false
+				}
+				pa++
+				pb++
+			}
+		}
+	}
+	return true
+}

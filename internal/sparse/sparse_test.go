@@ -1,0 +1,364 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/dalia-hpc/dalia/internal/dense"
+)
+
+// randSparse returns a random r×c CSR with approximate density dens.
+func randSparse(rng *rand.Rand, r, c int, dens float64) *CSR {
+	coo := NewCOO(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if rng.Float64() < dens {
+				coo.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// randSparseSPD returns a random sparse SPD matrix (diagonally dominant
+// symmetric pattern).
+func randSparseSPD(rng *rand.Rand, n int, dens float64) *CSR {
+	coo := NewCOO(n, n)
+	rowAbs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			if rng.Float64() < dens {
+				v := rng.NormFloat64()
+				coo.Add(i, j, v)
+				coo.Add(j, i, v)
+				rowAbs[i] += math.Abs(v)
+				rowAbs[j] += math.Abs(v)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, rowAbs[i]+1+rng.Float64())
+	}
+	return coo.ToCSR()
+}
+
+func TestCOODuplicatesSummed(t *testing.T) {
+	coo := NewCOO(2, 2)
+	coo.Add(0, 1, 1.5)
+	coo.Add(0, 1, 2.5)
+	coo.Add(1, 0, -1)
+	m := coo.ToCSR()
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", m.NNZ())
+	}
+	if m.At(0, 1) != 4 {
+		t.Fatalf("At(0,1) = %v, want 4", m.At(0, 1))
+	}
+	if m.At(1, 1) != 0 {
+		t.Fatal("missing entry should read 0")
+	}
+}
+
+func TestCOOOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range COO.Add must panic")
+		}
+	}()
+	NewCOO(2, 2).Add(2, 0, 1)
+}
+
+func TestCSRSortedUnique(t *testing.T) {
+	coo := NewCOO(1, 5)
+	coo.Add(0, 3, 1)
+	coo.Add(0, 1, 2)
+	coo.Add(0, 4, 3)
+	coo.Add(0, 1, 5)
+	m := coo.ToCSR()
+	want := []int{1, 3, 4}
+	if len(m.ColIdx) != 3 {
+		t.Fatalf("cols %v", m.ColIdx)
+	}
+	for i, j := range want {
+		if m.ColIdx[i] != j {
+			t.Fatalf("cols %v, want %v", m.ColIdx, want)
+		}
+	}
+	if m.At(0, 1) != 7 {
+		t.Fatal("duplicate merge failed")
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	m := randSparse(rng, 8, 6, 0.4)
+	d := m.ToDense()
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, 8)
+	m.MulVec(x, y)
+	want := make([]float64, 8)
+	dense.Gemv(dense.NoTrans, 1, d, x, 0, want)
+	for i := range y {
+		if math.Abs(y[i]-want[i]) > 1e-12 {
+			t.Fatalf("MulVec[%d] = %v want %v", i, y[i], want[i])
+		}
+	}
+	yt := make([]float64, 6)
+	m.MulVecT(y, yt)
+	wantT := make([]float64, 6)
+	dense.Gemv(dense.Trans, 1, d, y, 0, wantT)
+	for i := range yt {
+		if math.Abs(yt[i]-wantT[i]) > 1e-12 {
+			t.Fatalf("MulVecT[%d] mismatch", i)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	m := randSparse(rng, 7, 5, 0.3)
+	mt := m.Transpose()
+	if mt.RowsN != 5 || mt.ColsN != 7 {
+		t.Fatal("transpose shape wrong")
+	}
+	if !mt.ToDense().Equal(m.ToDense().T(), 0) {
+		t.Fatal("transpose values wrong")
+	}
+	if !m.Transpose().Transpose().ToDense().Equal(m.ToDense(), 0) {
+		t.Fatal("double transpose not identity")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	a := randSparse(rng, 6, 6, 0.3)
+	b := randSparse(rng, 6, 6, 0.3)
+	c := Add(2, a, -3, b)
+	want := a.ToDense().Clone()
+	want.Scale(2)
+	want.Add(-3, b.ToDense())
+	if !c.ToDense().Equal(want, 1e-13) {
+		t.Fatal("Add mismatch")
+	}
+}
+
+func TestAddShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch must panic")
+		}
+	}()
+	Add(1, Identity(2), 1, Identity(3))
+}
+
+func TestKronAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	a := randSparse(rng, 3, 4, 0.5)
+	b := randSparse(rng, 2, 3, 0.5)
+	k := Kron(a, b)
+	if k.RowsN != 6 || k.ColsN != 12 {
+		t.Fatal("kron shape wrong")
+	}
+	ad, bd := a.ToDense(), b.ToDense()
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 12; j++ {
+			want := ad.At(i/2, j/3) * bd.At(i%2, j%3)
+			if math.Abs(k.At(i, j)-want) > 1e-14 {
+				t.Fatalf("kron (%d,%d) = %v want %v", i, j, k.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestKronIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	a := randSparse(rng, 4, 4, 0.4)
+	k := Kron(Identity(3), a)
+	// I ⊗ A is block diagonal with 3 copies of A.
+	kd := k.ToDense()
+	ad := a.ToDense()
+	for blk := 0; blk < 3; blk++ {
+		if !kd.View(blk*4, blk*4, 4, 4).Clone().Equal(ad, 0) {
+			t.Fatal("I ⊗ A block mismatch")
+		}
+	}
+}
+
+func TestMatMulAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	a := randSparse(rng, 5, 7, 0.4)
+	b := randSparse(rng, 7, 4, 0.4)
+	c := MatMul(a, b)
+	want := dense.MatMul(dense.NoTrans, dense.NoTrans, a.ToDense(), b.ToDense())
+	if !c.ToDense().Equal(want, 1e-12) {
+		t.Fatal("sparse MatMul mismatch")
+	}
+}
+
+func TestDiagIdentity(t *testing.T) {
+	d := Diag([]float64{1, 2, 3})
+	if d.At(1, 1) != 2 || d.At(0, 1) != 0 {
+		t.Fatal("Diag wrong")
+	}
+	i3 := Identity(3)
+	x := []float64{4, 5, 6}
+	y := make([]float64, 3)
+	i3.MulVec(x, y)
+	for k := range x {
+		if y[k] != x[k] {
+			t.Fatal("Identity MulVec not identity")
+		}
+	}
+}
+
+func TestPermuteSymRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	a := randSparseSPD(rng, 10, 0.3)
+	perm := rng.Perm(10)
+	p := a.PermuteSym(perm)
+	// Permuting back with the inverse must restore A.
+	back := p.PermuteSym(InvertPerm(perm))
+	if !back.ToDense().Equal(a.ToDense(), 0) {
+		t.Fatal("PermuteSym round trip failed")
+	}
+	// Entry check: P A Pᵀ [i,j] = A[perm[i], perm[j]].
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if p.At(i, j) != a.At(perm[i], perm[j]) {
+				t.Fatal("PermuteSym entry mapping wrong")
+			}
+		}
+	}
+}
+
+func TestSameStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	a := randSparse(rng, 5, 5, 0.4)
+	b := a.Clone()
+	b.Scale(3)
+	if !SameStructure(a, b) {
+		t.Fatal("scaled clone must share structure")
+	}
+	c := Identity(5)
+	if SameStructure(a, c) && a.NNZ() != c.NNZ() {
+		t.Fatal("different patterns reported same")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(58))
+	a := randSparseSPD(rng, 8, 0.3)
+	if !a.IsSymmetric(0) {
+		t.Fatal("SPD generator must be symmetric")
+	}
+	coo := NewCOO(2, 2)
+	coo.Add(0, 1, 1)
+	if coo.ToCSR().IsSymmetric(1e-15) {
+		t.Fatal("asymmetric matrix reported symmetric")
+	}
+}
+
+func TestFromDense(t *testing.T) {
+	d := dense.New(2, 3)
+	d.Set(0, 1, 5)
+	d.Set(1, 2, 1e-12)
+	m := FromDense(d, 1e-10)
+	if m.NNZ() != 1 || m.At(0, 1) != 5 {
+		t.Fatalf("FromDense kept %d entries", m.NNZ())
+	}
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	// A ring graph numbered randomly has large bandwidth; RCM restores a
+	// banded layout.
+	const n = 60
+	rng := rand.New(rand.NewSource(59))
+	label := rng.Perm(n)
+	coo := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		a, b := label[i], label[(i+1)%n]
+		coo.Add(a, b, 1)
+		coo.Add(b, a, 1)
+		coo.Add(a, a, 4)
+	}
+	m := coo.ToCSR()
+	before := Bandwidth(m)
+	perm := RCM(m)
+	after := Bandwidth(m.PermuteSym(perm))
+	if after >= before {
+		t.Fatalf("RCM bandwidth %d not better than %d", after, before)
+	}
+	if after > 3 {
+		t.Fatalf("ring bandwidth after RCM = %d, want ≤ 3", after)
+	}
+}
+
+func TestRCMIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	m := randSparseSPD(rng, 30, 0.1)
+	perm := RCM(m)
+	seen := make([]bool, 30)
+	for _, v := range perm {
+		if v < 0 || v >= 30 || seen[v] {
+			t.Fatal("RCM output is not a permutation")
+		}
+		seen[v] = true
+	}
+}
+
+func TestQuickPermutationRoundTrip(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%20) + 2
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(n)
+		inv := InvertPerm(perm)
+		for i := 0; i < n; i++ {
+			if perm[inv[i]] != i || inv[perm[i]] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKronMulVec(t *testing.T) {
+	// Property: (A ⊗ B)(x ⊗ y) = (A x) ⊗ (B y).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSparse(rng, 3, 3, 0.6)
+		b := randSparse(rng, 2, 2, 0.6)
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		y := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		xy := make([]float64, 6)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 2; j++ {
+				xy[i*2+j] = x[i] * y[j]
+			}
+		}
+		got := make([]float64, 6)
+		Kron(a, b).MulVec(xy, got)
+		ax := make([]float64, 3)
+		by := make([]float64, 2)
+		a.MulVec(x, ax)
+		b.MulVec(y, by)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 2; j++ {
+				if math.Abs(got[i*2+j]-ax[i]*by[j]) > 1e-10 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package spde
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dalia-hpc/dalia/internal/bta"
+	"github.com/dalia-hpc/dalia/internal/dense"
+	"github.com/dalia-hpc/dalia/internal/mesh"
+	"github.com/dalia-hpc/dalia/internal/sparse"
+)
+
+func TestDiffusionPrecisionSPDAndBT(t *testing.T) {
+	b := NewBuilder(mesh.Uniform(5, 4, 100, 80), 5)
+	q := b.DiffusionPrecision(Hyper{RangeS: 40, RangeT: 3, Sigma: 1})
+	if q.Rows() != 5*b.Ns() {
+		t.Fatalf("dim %d", q.Rows())
+	}
+	if !q.IsSymmetric(1e-9) {
+		t.Fatal("diffusion precision not symmetric")
+	}
+	if _, err := sparse.CholFactorize(q, nil); err != nil {
+		t.Fatalf("diffusion precision not SPD: %v", err)
+	}
+	// Block-tridiagonal in time and BTA-extractable.
+	if _, err := bta.FromCSR(q, 5, b.Ns(), 0); err != nil {
+		t.Fatalf("diffusion precision not block-tridiagonal: %v", err)
+	}
+}
+
+func TestDiffusionSingleStepIsMatern(t *testing.T) {
+	b := NewBuilder(mesh.Uniform(4, 4, 50, 50), 1)
+	h := Hyper{RangeS: 25, RangeT: 2, Sigma: 1.3}
+	q := b.DiffusionPrecision(h)
+	kappa := KappaFromRange(h.RangeS)
+	want := b.SpatialPrecision(kappa, TauFromKappaSigma(kappa, h.Sigma))
+	if !q.ToDense().Equal(want.ToDense(), 1e-10) {
+		t.Fatal("nt=1 diffusion model must reduce to the stationary Matérn prior")
+	}
+}
+
+func TestDiffusionTemporalDecay(t *testing.T) {
+	// Correlation between the same node at lag 1 and lag 4 must decay, and
+	// a longer temporal range must slow the decay.
+	b := NewBuilder(mesh.Uniform(5, 5, 100, 100), 6)
+	node := 12 // central node
+	corrAt := func(rangeT float64, lag int) float64 {
+		q := b.DiffusionPrecision(Hyper{RangeS: 50, RangeT: rangeT, Sigma: 1})
+		inv, err := dense.Inverse(q.ToDense())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns := b.Ns()
+		i := 2*ns + node // time step 2 (interior)
+		j := (2+lag)*ns + node
+		return inv.At(i, j) / math.Sqrt(inv.At(i, i)*inv.At(j, j))
+	}
+	c1 := corrAt(2, 1)
+	c3 := corrAt(2, 3)
+	if !(c1 > c3 && c3 > -0.2) {
+		t.Fatalf("temporal correlation not decaying: lag1 %v lag3 %v", c1, c3)
+	}
+	if c1 <= 0.05 {
+		t.Fatalf("lag-1 correlation %v too small", c1)
+	}
+	// Longer range ⇒ slower decay.
+	c1long := corrAt(6, 1)
+	if c1long <= c1 {
+		t.Fatalf("longer temporal range must raise lag-1 correlation: %v vs %v", c1long, c1)
+	}
+}
+
+func TestDiffusionIsNonSeparable(t *testing.T) {
+	// A separable covariance satisfies r(h_s, h_t) = r(h_s,0)·r(0,h_t) for
+	// all pairs; the diffusion model must violate it (covariance transports
+	// through space-time jointly).
+	b := NewBuilder(mesh.Uniform(5, 5, 100, 100), 4)
+	q := b.DiffusionPrecision(Hyper{RangeS: 60, RangeT: 2, Sigma: 1})
+	inv, err := dense.Inverse(q.ToDense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := b.Ns()
+	corr := func(i, j int) float64 {
+		return inv.At(i, j) / math.Sqrt(inv.At(i, i)*inv.At(j, j))
+	}
+	nodeA, nodeB := 12, 13 // spatial neighbours
+	tRef := 1
+	// r(Δs, Δt) vs r(Δs,0)·r(0,Δt) at the same reference node/time.
+	rST := corr(tRef*ns+nodeA, (tRef+1)*ns+nodeB)
+	rS := corr(tRef*ns+nodeA, tRef*ns+nodeB)
+	rT := corr(tRef*ns+nodeA, (tRef+1)*ns+nodeA)
+	if math.Abs(rST-rS*rT) < 1e-3 {
+		t.Fatalf("model looks separable: r(Δs,Δt)=%v vs r(Δs)r(Δt)=%v", rST, rS*rT)
+	}
+	// While the separable reference passes the same test (sanity check the
+	// test itself): the AR1⊗Matérn construction factorizes by design.
+	qSep := b.Precision(Hyper{RangeS: 60, RangeT: 2, Sigma: 1})
+	invSep, err := dense.Inverse(qSep.ToDense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrSep := func(i, j int) float64 {
+		return invSep.At(i, j) / math.Sqrt(invSep.At(i, i)*invSep.At(j, j))
+	}
+	sST := corrSep(tRef*ns+nodeA, (tRef+1)*ns+nodeB)
+	sS := corrSep(tRef*ns+nodeA, tRef*ns+nodeB)
+	sT := corrSep(tRef*ns+nodeA, (tRef+1)*ns+nodeA)
+	if math.Abs(sST-sS*sT) > 0.05 {
+		t.Fatalf("separable reference violates factorization: %v vs %v", sST, sS*sT)
+	}
+}
+
+func TestDiffusionMarginalOrder(t *testing.T) {
+	// Marginal variances must be within an order of magnitude of σ².
+	b := NewBuilder(mesh.Uniform(6, 6, 120, 120), 5)
+	sigma := 1.5
+	q := b.DiffusionPrecision(Hyper{RangeS: 40, RangeT: 3, Sigma: sigma})
+	f, err := sparse.CholFactorize(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := median(f.SelectedInverseDiag())
+	want := sigma * sigma
+	if med < want/10 || med > want*10 {
+		t.Fatalf("median marginal variance %v an order off σ² = %v", med, want)
+	}
+}
