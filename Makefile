@@ -1,0 +1,26 @@
+# DALIA-Go build/verify/bench targets.
+#
+#   make test    — tier-1 verification: vet + build + full test suite
+#   make bench   — microbenchmarks (testing.B, 1 iteration, with allocs)
+#   make baseline— write BENCH_1.json: the dense-engine perf baseline this
+#                  PR establishes, for future PRs to compare against
+#   make all     — everything above
+
+GO ?= go
+
+.PHONY: all test vet bench baseline
+
+all: test bench baseline
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) build ./...
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
+
+baseline:
+	$(GO) run ./cmd/dalia-bench -exp=kernels -out BENCH_1.json

@@ -1,5 +1,5 @@
 // Benchmark harness: one testing.B benchmark per table/figure of the
-// paper's evaluation section plus the ablation studies of DESIGN.md. Each
+// paper's evaluation section plus the ablation studies (X1–X5). Each
 // benchmark runs its experiment driver in quick mode (trimmed sweeps) and
 // reports the headline quantities via b.ReportMetric; cmd/dalia-bench runs
 // the full sweeps and prints the complete series.
@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"github.com/dalia-hpc/dalia/internal/bench"
+	"github.com/dalia-hpc/dalia/internal/dense"
 )
 
 // reportLast publishes the last point of the named series as a metric.
@@ -24,6 +25,30 @@ func reportLast(b *testing.B, fig *bench.Figure, series, unit string) {
 			return
 		}
 	}
+}
+
+// BenchmarkKernelGemm1024 reports the headline dense-engine number: packed
+// register-tiled GEMM GFLOP/s at n=1024, single-threaded. The packed-vs-
+// naive comparison sweep lives in internal/dense/kernel_test.go and in
+// `dalia-bench -exp=kernels` (which also writes the JSON baseline).
+func BenchmarkKernelGemm1024(b *testing.B) {
+	prev := dense.SetMaxWorkers(1)
+	defer dense.SetMaxWorkers(prev)
+	n := 1024
+	x := dense.New(n, n)
+	y := dense.New(n, n)
+	c := dense.New(n, n)
+	for i := range x.Data {
+		x.Data[i] = float64(i%17) * 0.25
+		y.Data[i] = float64(i%13) * 0.5
+	}
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dense.Gemm(dense.NoTrans, dense.NoTrans, 1, x, y, 0, c)
+	}
+	b.StopTimer()
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s-packed")
 }
 
 // BenchmarkFig4StrongScaling regenerates the strong-scaling comparison of

@@ -9,7 +9,8 @@
 //	dalia-bench -exp=all -quick      # everything, trimmed sweeps
 //
 // Experiments: table1, table4, fig4, fig5, fig6a, fig6b, fig7, app,
-// x1 (mapping), x3 (solver ablation), x4 (S2 ablation), x5 (lb sweep).
+// x1 (mapping), x3 (solver ablation), x4 (S2 ablation), x5 (lb sweep),
+// kernels (dense BLAS-3 engine GFLOP/s; -out writes a JSON perf baseline).
 package main
 
 import (
@@ -42,6 +43,7 @@ func figExp(name, desc string, f func(bool) (*bench.Figure, error)) experiment {
 func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiments or 'all'")
 	quick := flag.Bool("quick", false, "trim sweeps for fast runs")
+	out := flag.String("out", "", "write the kernels experiment's JSON baseline to this path")
 	flag.Parse()
 
 	experiments := []experiment{
@@ -70,6 +72,17 @@ func main() {
 		figExp("x3", "ablation: BTA solver vs general sparse Cholesky", bench.AblationBTAvsSparse),
 		figExp("x4", "ablation: S2 pipeline on/off at fixed resources", bench.AblationS2),
 		figExp("x5", "ablation: load-balance factor sweep (§V-C)", bench.AblationLB),
+		{"kernels", "dense BLAS-3 engine microbenchmarks (tiled vs naive)", func(quick bool) error {
+			base := bench.Kernels(quick)
+			bench.PrintKernels(base, os.Stdout)
+			if *out != "" {
+				if err := bench.WriteBaseline(base, *out); err != nil {
+					return err
+				}
+				fmt.Printf("    baseline written to %s\n", *out)
+			}
+			return nil
+		}},
 	}
 
 	want := map[string]bool{}

@@ -25,8 +25,8 @@
 //	m, err := dalia.NewModel(msh, nt, nv, nr, obs)
 //	res, err := dalia.Fit(m, dalia.WeakPrior(theta0, 5), theta0, dalia.DefaultFitOptions())
 //
-// See examples/ for runnable programs and DESIGN.md for the system
-// inventory and the paper-experiment index.
+// See examples/ for runnable programs, README.md for the quick-start and
+// repository layout, and cmd/dalia-bench for the paper-experiment index.
 package dalia
 
 import (

@@ -1,0 +1,3 @@
+module github.com/dalia-hpc/dalia
+
+go 1.24

@@ -66,19 +66,30 @@ func (m *Matrix) Dim() int { return m.N*m.B + m.A }
 // Clone returns a deep copy.
 func (m *Matrix) Clone() *Matrix {
 	out := NewMatrix(m.N, m.B, m.A)
+	out.CopyFrom(m)
+	return out
+}
+
+// CopyFrom copies src's blocks into m. Shapes must match. This is the
+// workspace-reuse primitive of the allocation-free INLA hot path: the same
+// BTA storage is refilled on every θ-evaluation instead of re-allocated.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.N != src.N || m.B != src.B || m.A != src.A {
+		panic(fmt.Sprintf("bta: copy BTA(n=%d,b=%d,a=%d) into BTA(n=%d,b=%d,a=%d)",
+			src.N, src.B, src.A, m.N, m.B, m.A))
+	}
 	for i := 0; i < m.N; i++ {
-		out.Diag[i].CopyFrom(m.Diag[i])
+		m.Diag[i].CopyFrom(src.Diag[i])
 		if i < m.N-1 {
-			out.Lower[i].CopyFrom(m.Lower[i])
+			m.Lower[i].CopyFrom(src.Lower[i])
 		}
 		if m.A > 0 {
-			out.Arrow[i].CopyFrom(m.Arrow[i])
+			m.Arrow[i].CopyFrom(src.Arrow[i])
 		}
 	}
 	if m.A > 0 {
-		out.Tip.CopyFrom(m.Tip)
+		m.Tip.CopyFrom(src.Tip)
 	}
-	return out
 }
 
 // ToDense materializes the full symmetric matrix (tests and small sizes).

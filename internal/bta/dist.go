@@ -43,24 +43,64 @@ type LocalBTA struct {
 // (tests and single-host experiment drivers; at paper scale each rank would
 // assemble its slice directly).
 func LocalSlice(g *Matrix, parts []Partition, rank int) *LocalBTA {
-	part := parts[rank]
-	l := &LocalBTA{Part: part, NGlobal: g.N, B: g.B, A: g.A}
-	for k := part.Lo; k <= part.Hi; k++ {
-		l.Diag = append(l.Diag, g.Diag[k].Clone())
-		if k < part.Hi {
-			l.Lower = append(l.Lower, g.Lower[k].Clone())
-		}
-		if g.A > 0 {
-			l.Arrow = append(l.Arrow, g.Arrow[k].Clone())
+	l := NewLocalBTA(parts[rank], g.N, g.B, g.A, rank)
+	LocalSliceInto(l, g, parts, rank)
+	return l
+}
+
+// NewLocalBTA allocates a zeroed local slice workspace for one rank's
+// partition, refillable with LocalSliceInto. The factorization consumes the
+// slice blocks as workspace, so a slice refilled every INLA iteration gives
+// the distributed path the same fixed memory footprint as the sequential
+// Refactorize loop.
+func NewLocalBTA(part Partition, nGlobal, b, a, rank int) *LocalBTA {
+	l := &LocalBTA{Part: part, NGlobal: nGlobal, B: b, A: a}
+	size := part.Size()
+	l.Diag = make([]*dense.Matrix, size)
+	if size > 1 {
+		l.Lower = make([]*dense.Matrix, size-1)
+	}
+	for i := 0; i < size; i++ {
+		l.Diag[i] = dense.New(b, b)
+		if i < size-1 {
+			l.Lower[i] = dense.New(b, b)
 		}
 	}
 	if part.Lo > 0 {
-		l.TopCoupling = g.Lower[part.Lo-1].Clone()
+		l.TopCoupling = dense.New(b, b)
 	}
-	if g.A > 0 && rank == 0 {
-		l.Tip = g.Tip.Clone()
+	if a > 0 {
+		l.Arrow = make([]*dense.Matrix, size)
+		for i := range l.Arrow {
+			l.Arrow[i] = dense.New(a, b)
+		}
+		if rank == 0 {
+			l.Tip = dense.New(a, a)
+		}
 	}
 	return l
+}
+
+// LocalSliceInto refills an existing local slice from a globally assembled
+// matrix without allocating. The slice must have been built for the same
+// partition shape (NewLocalBTA or a previous LocalSlice).
+func LocalSliceInto(dst *LocalBTA, g *Matrix, parts []Partition, rank int) {
+	part := parts[rank]
+	for k := part.Lo; k <= part.Hi; k++ {
+		dst.Diag[k-part.Lo].CopyFrom(g.Diag[k])
+		if k < part.Hi {
+			dst.Lower[k-part.Lo].CopyFrom(g.Lower[k])
+		}
+		if g.A > 0 {
+			dst.Arrow[k-part.Lo].CopyFrom(g.Arrow[k])
+		}
+	}
+	if part.Lo > 0 {
+		dst.TopCoupling.CopyFrom(g.Lower[part.Lo-1])
+	}
+	if g.A > 0 && rank == 0 {
+		dst.Tip.CopyFrom(g.Tip)
+	}
 }
 
 // DistFactor is the outcome of PPOBTAF: rank-local interior factor data plus
@@ -90,6 +130,96 @@ type DistFactor struct {
 
 	reduced *Factor // rank 0 only
 	logDet  float64 // full log-determinant, replicated on all ranks
+
+	scr *DistScratch // optional recycled block storage (PPOBTAFScratch)
+}
+
+// DistScratch recycles the per-factorization block allocations of PPOBTAF
+// (fill-coupling chain, tip delta, reduced system) across INLA iterations.
+// Usage: pass it to PPOBTAFScratch; when the factor is no longer needed —
+// before the next factorization — call Reclaim on it.
+type DistScratch struct {
+	bb  []*dense.Matrix // spare b×b blocks
+	aa  *dense.Matrix   // spare a×a tip delta
+	red *Matrix         // spare reduced system (rank 0)
+}
+
+func (s *DistScratch) popBB() *dense.Matrix {
+	if n := len(s.bb); n > 0 {
+		m := s.bb[n-1]
+		s.bb = s.bb[:n-1]
+		return m
+	}
+	return nil
+}
+
+// Reclaim returns a dead factor's recycled blocks to the scratch. The
+// factor must not be used afterwards.
+func (s *DistScratch) Reclaim(f *DistFactor) {
+	if f == nil {
+		return
+	}
+	for _, g := range f.gTop {
+		if g != nil {
+			s.bb = append(s.bb, g)
+		}
+	}
+	if f.fill != nil {
+		// The remaining boundary-boundary coupling block is never part of
+		// the gTop chain (it is the final, unconsumed tNext, or the fresh
+		// transpose of the size-2 middle-partition case).
+		s.bb = append(s.bb, f.fill)
+	}
+	if f.tipDelta != nil {
+		s.aa = f.tipDelta
+	}
+	if f.reduced != nil && f.p > 1 {
+		s.red = &Matrix{N: f.reduced.N, B: f.reduced.B, A: f.reduced.A,
+			Diag: f.reduced.Diag, Lower: f.reduced.Lower, Arrow: f.reduced.Arrow, Tip: f.reduced.Tip}
+	}
+}
+
+// newBB returns a b×b working block, recycled when scratch is attached.
+func (f *DistFactor) newBB() *dense.Matrix {
+	if f.scr != nil {
+		if m := f.scr.popBB(); m != nil {
+			return m
+		}
+	}
+	return dense.New(f.b, f.b)
+}
+
+// newTipDelta returns a zeroed a×a accumulator block.
+func (f *DistFactor) newTipDelta() *dense.Matrix {
+	if f.scr != nil && f.scr.aa != nil {
+		m := f.scr.aa
+		f.scr.aa = nil
+		m.Zero()
+		return m
+	}
+	return dense.New(f.a, f.a)
+}
+
+// newReduced returns reduced-system storage for nr blocks, zeroed.
+func (f *DistFactor) newReduced(nr int) *Matrix {
+	if f.scr != nil && f.scr.red != nil && f.scr.red.N == nr && f.scr.red.B == f.b && f.scr.red.A == f.a {
+		red := f.scr.red
+		f.scr.red = nil
+		for i := 0; i < red.N; i++ {
+			red.Diag[i].Zero()
+			if i < red.N-1 {
+				red.Lower[i].Zero()
+			}
+			if red.A > 0 {
+				red.Arrow[i].Zero()
+			}
+		}
+		if red.A > 0 {
+			red.Tip.Zero()
+		}
+		return red
+	}
+	return NewMatrix(nr, f.b, f.a)
 }
 
 // Part returns the factor's partition.
@@ -108,12 +238,21 @@ func (f *DistFactor) LogDet() float64 { return f.logDet }
 // Must be called collectively by all ranks of c with consistent local
 // slices. The local input is consumed (its blocks are used as workspace).
 func PPOBTAF(c *comm.Comm, local *LocalBTA) (*DistFactor, error) {
+	return PPOBTAFScratch(c, local, nil)
+}
+
+// PPOBTAFScratch is PPOBTAF with recycled block storage: the fill-coupling
+// chain, tip delta and reduced system are drawn from scr (which the caller
+// refills via DistScratch.Reclaim on the previous iteration's factor)
+// instead of freshly allocated. scr may be nil.
+func PPOBTAFScratch(c *comm.Comm, local *LocalBTA, scr *DistScratch) (*DistFactor, error) {
 	p := c.Size()
 	rank := c.Rank()
 	f := &DistFactor{
 		part: local.Part, rank: rank, p: p,
 		nGlobal: local.NGlobal, b: local.B, a: local.A,
 		interior: interiors(local.Part, rank, p),
+		scr:      scr,
 	}
 	if p == 1 {
 		return ppobtafSingle(c, local, f)
@@ -126,6 +265,13 @@ func PPOBTAF(c *comm.Comm, local *LocalBTA) (*DistFactor, error) {
 	var elimErr error
 	c.Compute(func() { elimErr = f.eliminateInteriors(local) })
 	if anyFailed(c, elimErr) {
+		// The dead partial factor's recycled blocks must flow back to the
+		// scratch: infeasible θ points are routine in the INLA mode search,
+		// and dropping the chain on every failure would reintroduce
+		// per-evaluation allocation churn.
+		if scr != nil {
+			scr.Reclaim(f)
+		}
 		if elimErr != nil {
 			return nil, elimErr
 		}
@@ -133,6 +279,9 @@ func PPOBTAF(c *comm.Comm, local *LocalBTA) (*DistFactor, error) {
 	}
 	redErr := f.assembleAndFactorReduced(c, local)
 	if anyFailed(c, redErr) {
+		if scr != nil {
+			scr.Reclaim(f)
+		}
 		if redErr != nil {
 			return nil, redErr
 		}
@@ -181,16 +330,21 @@ func (f *DistFactor) eliminateInteriors(local *LocalBTA) error {
 	// partition's first sub-diagonal block.
 	var tCur *dense.Matrix
 	if twoSided && len(local.Lower) > 0 {
-		tCur = local.Lower[0].T()
+		tCur = f.newBB()
+		local.Lower[0].TransposeInto(tCur)
 	}
 	if hasArrow {
-		f.tipDelta = dense.New(f.a, f.a)
+		f.tipDelta = f.newTipDelta()
 	}
 
 	for _, k := range f.interior {
 		rel := k - lo
 		lk := local.Diag[rel]
 		if err := dense.Potrf(lk); err != nil {
+			// Park the in-flight fill block where Reclaim looks for it, so
+			// a failed (infeasible-θ) factorization returns every recycled
+			// block to the scratch.
+			f.fill = tCur
 			return fmt.Errorf("bta: rank %d interior block %d: %w", f.rank, k, err)
 		}
 		lk.ZeroUpper()
@@ -222,7 +376,7 @@ func (f *DistFactor) eliminateInteriors(local *LocalBTA) error {
 			dense.Syrk(dense.NoTrans, -1, gTop, 1, local.Diag[0])
 			local.Diag[0].MirrorLowerToUpper()
 			if gNext != nil {
-				tNext := dense.New(f.b, f.b)
+				tNext := f.newBB()
 				dense.Gemm(dense.NoTrans, dense.Trans, -1, gTop, gNext, 0, tNext)
 				tCur = tNext
 			} else {
@@ -251,12 +405,11 @@ func (f *DistFactor) eliminateInteriors(local *LocalBTA) error {
 	}
 	if f.rank != 0 && f.rank != f.p-1 {
 		// Middle partition: remaining coupling between its two boundaries.
-		if len(f.interior) == 0 {
-			// size-2 partition: original coupling, untouched
-			f.fill = local.Lower[len(local.Lower)-1].T()
-		} else {
-			f.fill = tCur
-		}
+		// With no interiors (size-2 partition) tCur still holds the
+		// untouched Lower[0]ᵀ prepared before the loop; with interiors it is
+		// the final, unconsumed fill coupling. Either way it is the
+		// remaining boundary-boundary block.
+		f.fill = tCur
 	}
 	f.localTopCoupling = local.TopCoupling
 	f.localTip = local.Tip
@@ -289,7 +442,7 @@ func (f *DistFactor) assembleAndFactorReduced(c *comm.Comm, local *LocalBTA) err
 		return nil
 	}
 
-	red := NewMatrix(nr, f.b, f.a)
+	red := f.newReduced(nr)
 	// Rank 0's own contribution: bottom boundary at reduced index 0.
 	red.Diag[0].CopyFrom(f.bndDiag[0])
 	if hasArrow {
@@ -326,6 +479,10 @@ func (f *DistFactor) assembleAndFactorReduced(c *comm.Comm, local *LocalBTA) err
 		if err == nil {
 			f.reduced = &Factor{N: red.N, B: red.B, A: red.A,
 				Diag: red.Diag, Lower: red.Lower, Arrow: red.Arrow, Tip: red.Tip}
+		} else if f.scr != nil {
+			// Failed reduced factorization: hand the (recycled) storage
+			// straight back rather than dropping it with the dead factor.
+			f.scr.red = red
 		}
 	})
 	return err

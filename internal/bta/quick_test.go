@@ -3,6 +3,7 @@ package bta
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -47,7 +48,7 @@ func TestQuickDistributedEqualsSequential(t *testing.T) {
 		wantDiag := sigRef.DiagVec()
 		wantLd := fRef.LogDet()
 
-		ok := true
+		var failed atomic.Bool
 		x := make([]float64, g.Dim())
 		sigDiag := make([]float64, g.Dim())
 		gotLd := math.NaN()
@@ -57,7 +58,7 @@ func TestQuickDistributedEqualsSequential(t *testing.T) {
 			local := LocalSlice(g, parts, c.Rank())
 			df, err := PPOBTAF(c, local)
 			if err != nil {
-				ok = false
+				failed.Store(true)
 				return
 			}
 			part := parts[c.Rank()]
@@ -68,34 +69,36 @@ func TestQuickDistributedEqualsSequential(t *testing.T) {
 			}
 			xl, xt, err := PPOBTAS(c, df, rl, rt)
 			if err != nil {
-				ok = false
+				failed.Store(true)
 				return
 			}
 			sig, err := PPOBTASI(c, df)
 			if err != nil {
-				ok = false
+				failed.Store(true)
 				return
 			}
-			// Each rank writes disjoint slices; tip written by all ranks
-			// with identical values.
-			copy(x[part.Lo*b:], xl)
-			if a > 0 && xt != nil {
-				copy(x[g.N*b:], xt)
-			}
-			copy(sigDiag[part.Lo*b:], sig.DiagVec())
-			if a > 0 && sig.Tip != nil {
-				for k := 0; k < a; k++ {
-					sigDiag[g.N*b+k] = sig.Tip.At(k, k)
-				}
-			}
+			// Each rank writes its own disjoint slices; the replicated tip
+			// values are written by rank 0 only (all ranks hold identical
+			// copies, but identical-value concurrent writes are still a
+			// data race).
+			copy(x[part.Lo*b:(part.Hi+1)*b], xl)
+			copy(sigDiag[part.Lo*b:(part.Hi+1)*b], sig.DiagVec())
 			if c.Rank() == 0 {
+				if a > 0 && xt != nil {
+					copy(x[g.N*b:], xt)
+				}
+				if a > 0 && sig.Tip != nil {
+					for k := 0; k < a; k++ {
+						sigDiag[g.N*b+k] = sig.Tip.At(k, k)
+					}
+				}
 				gotLd = df.LogDet()
 			}
 		})
 		for i := 0; i < p; i++ {
 			<-done
 		}
-		if !ok {
+		if failed.Load() {
 			return false
 		}
 		if math.Abs(gotLd-wantLd) > 1e-6*(1+math.Abs(wantLd)) {

@@ -22,12 +22,43 @@ type Factor struct {
 // Factorize computes the block Cholesky factorization A = L·Lᵀ of a BTA
 // matrix (POBTAF). The input is not modified. The cost is
 // O(n·(b³ + b²a) + a³), sequential over the n diagonal blocks.
+//
+// Factorize allocates fresh factor storage on every call; the INLA loop,
+// which factorizes the same shape hundreds of times, should allocate a
+// Factor once with NewFactor and call Refactorize per θ instead.
 func Factorize(m *Matrix) (*Factor, error) {
-	w := m.Clone()
-	if err := factorizeInPlace(w); err != nil {
+	f := NewFactor(m.N, m.B, m.A)
+	if err := f.Refactorize(m); err != nil {
 		return nil, err
 	}
-	return &Factor{N: w.N, B: w.B, A: w.A, Diag: w.Diag, Lower: w.Lower, Arrow: w.Arrow, Tip: w.Tip}, nil
+	return f, nil
+}
+
+// NewFactor allocates zeroed factor storage for a BTA shape. The factor is
+// not usable until a successful Refactorize.
+func NewFactor(n, b, a int) *Factor {
+	w := NewMatrix(n, b, a)
+	return &Factor{N: n, B: b, A: a, Diag: w.Diag, Lower: w.Lower, Arrow: w.Arrow, Tip: w.Tip}
+}
+
+// FactorizeInto factorizes m into the caller-owned factor storage f,
+// performing no heap allocation. Equivalent to f.Refactorize(m).
+func FactorizeInto(f *Factor, m *Matrix) error { return f.Refactorize(m) }
+
+// Refactorize recomputes the factorization of m in place of f's existing
+// block storage — the zero-allocation hot path of repeated INLA
+// θ-evaluations. m is not modified. On error (non-SPD input) the factor
+// contents are undefined and must not be used until the next successful
+// Refactorize; callers in the INLA loop treat this as an infeasible point
+// and back off.
+func (f *Factor) Refactorize(m *Matrix) error {
+	if f.N != m.N || f.B != m.B || f.A != m.A {
+		return fmt.Errorf("bta: refactorize shape mismatch: factor (n=%d,b=%d,a=%d), matrix (n=%d,b=%d,a=%d)",
+			f.N, f.B, f.A, m.N, m.B, m.A)
+	}
+	w := Matrix{N: f.N, B: f.B, A: f.A, Diag: f.Diag, Lower: f.Lower, Arrow: f.Arrow, Tip: f.Tip}
+	w.CopyFrom(m)
+	return factorizeInPlace(&w)
 }
 
 // factorizeInPlace overwrites the blocks of w with the factor blocks.

@@ -31,6 +31,8 @@ type Lambda struct {
 	// P is the unit lower triangular coupling matrix; P = Π of elementary
 	// couplings as in the paper's trivariate convention.
 	P *dense.Matrix
+
+	coreg *dense.Matrix // cached Λ_c = P·diag(σ), computed at construction
 }
 
 // NumLambdas returns the number of coupling parameters for nv processes.
@@ -70,7 +72,16 @@ func NewLambda(sigmas, lambdas []float64) (*Lambda, error) {
 	for i := 1; i < nv; i++ {
 		applyElementary(p, i, i-1, lambdas[i-1])
 	}
-	return &Lambda{Nv: nv, Sigmas: append([]float64(nil), sigmas...), P: p}, nil
+	l := &Lambda{Nv: nv, Sigmas: append([]float64(nil), sigmas...), P: p}
+	lc := p.Clone()
+	for i := 0; i < nv; i++ {
+		row := lc.Row(i)
+		for j := range row {
+			row[j] *= l.Sigmas[j]
+		}
+	}
+	l.coreg = lc
+	return l, nil
 }
 
 func applyElementary(p *dense.Matrix, i, j int, lam float64) {
@@ -80,17 +91,16 @@ func applyElementary(p *dense.Matrix, i, j int, lam float64) {
 	}
 }
 
-// Coreg returns the dense n_v×n_v coregionalization matrix Λ_c = P·diag(σ).
+// Coreg returns the dense n_v×n_v coregionalization matrix Λ_c = P·diag(σ)
+// as a fresh copy the caller may modify.
 func (l *Lambda) Coreg() *dense.Matrix {
-	out := l.P.Clone()
-	for i := 0; i < l.Nv; i++ {
-		row := out.Row(i)
-		for j := range row {
-			row[j] *= l.Sigmas[j]
-		}
-	}
-	return out
+	return l.coreg.Clone()
 }
+
+// CoregView returns the cached Λ_c without copying — the allocation-free
+// accessor for hot paths. The returned matrix is shared and must be
+// treated as read-only.
+func (l *Lambda) CoregView() *dense.Matrix { return l.coreg }
 
 // MInv returns M = Λ_c⁻¹ (lower triangular).
 func (l *Lambda) MInv() *dense.Matrix {

@@ -21,144 +21,92 @@ const (
 	Right
 )
 
-// Gemm computes C = alpha*op(A)*op(B) + beta*C, where op is identity or
-// transpose per the flags. Shapes must conform; C must not alias A or B.
-func Gemm(transA, transB Transpose, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
-	am, ak := a.Rows, a.Cols
-	if transA == Trans {
-		am, ak = a.Cols, a.Rows
+// gemmPackFlops is the dispatch threshold between the naive small-size
+// loops and the packed micro-kernel engine: below ~24³ multiply-adds the
+// O(m·k + k·n) packing traffic is not amortized.
+const gemmPackFlops = 24 * 24 * 24
+
+// opShape returns the rows/cols of op(M).
+func opShape(t Transpose, m *Matrix) (int, int) {
+	if t == Trans {
+		return m.Cols, m.Rows
 	}
-	bk, bn := b.Rows, b.Cols
-	if transB == Trans {
-		bk, bn = b.Cols, b.Rows
-	}
+	return m.Rows, m.Cols
+}
+
+// checkGemmShapes panics unless op(A)·op(B) conforms with C.
+func checkGemmShapes(transA, transB Transpose, a, b, c *Matrix) {
+	am, ak := opShape(transA, a)
+	bk, bn := opShape(transB, b)
 	if ak != bk || c.Rows != am || c.Cols != bn {
 		panic(fmt.Sprintf("dense: gemm shape mismatch op(A)=%d×%d op(B)=%d×%d C=%d×%d",
 			am, ak, bk, bn, c.Rows, c.Cols))
 	}
-	if beta != 1 {
-		if beta == 0 {
-			c.Zero()
-		} else {
-			c.Scale(beta)
-		}
+}
+
+// applyBeta scales C by beta (with the beta == 0 fast path clearing C, so
+// NaN/Inf garbage in uninitialized output buffers never propagates).
+func applyBeta(beta float64, c *Matrix) {
+	if beta == 1 {
+		return
 	}
+	if beta == 0 {
+		c.Zero()
+		return
+	}
+	c.Scale(beta)
+}
+
+// Gemm computes C = alpha*op(A)*op(B) + beta*C, where op is identity or
+// transpose per the flags. Shapes must conform; C must not alias A or B.
+// Large products run on the packed register-tiled micro-kernel engine
+// (kernel.go/pack.go), parallelized over macro-tiles of C; small ones use
+// the retained naive loops (ref.go), whose packing overhead would dominate.
+func Gemm(transA, transB Transpose, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	checkGemmShapes(transA, transB, a, b, c)
+	am, ak := opShape(transA, a)
+	_, bn := opShape(transB, b)
+	applyBeta(beta, c)
 	if alpha == 0 || am == 0 || bn == 0 || ak == 0 {
+		return
+	}
+	if am*bn*ak >= gemmPackFlops {
+		gemmPacked(transA, transB, alpha, a, b, c)
 		return
 	}
 	switch {
 	case transA == NoTrans && transB == NoTrans:
-		gemmNN(alpha, a, b, c)
+		gemmSmallNN(alpha, a, b, c)
 	case transA == NoTrans && transB == Trans:
-		gemmNT(alpha, a, b, c)
+		gemmSmallNT(alpha, a, b, c)
 	case transA == Trans && transB == NoTrans:
-		gemmTN(alpha, a, b, c)
+		gemmSmallTN(alpha, a, b, c)
 	default:
-		gemmTT(alpha, a, b, c)
+		gemmSmallTT(alpha, a, b, c)
 	}
-}
-
-// gemmNN: C += alpha * A*B. i-k-j loop order is cache-friendly row-major.
-func gemmNN(alpha float64, a, b, c *Matrix) {
-	parFor(c.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow, crow := a.Row(i), c.Row(i)
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				s := alpha * av
-				brow := b.Row(k)
-				for j, bv := range brow {
-					crow[j] += s * bv
-				}
-			}
-		}
-	})
-}
-
-// gemmNT: C += alpha * A*Bᵀ. C[i,j] = dot(A row i, B row j).
-func gemmNT(alpha float64, a, b, c *Matrix) {
-	parFor(c.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow, crow := a.Row(i), c.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				brow := b.Row(j)
-				var s float64
-				for k, av := range arow {
-					s += av * brow[k]
-				}
-				crow[j] += alpha * s
-			}
-		}
-	})
-}
-
-// gemmTN: C += alpha * Aᵀ*B. k-outer saxpy form.
-func gemmTN(alpha float64, a, b, c *Matrix) {
-	// Parallelizing over C rows (columns of A) requires strided reads of A;
-	// instead split the k loop range per worker into private accumulation when
-	// parallel — simpler: parallelize over C rows with strided A access.
-	parFor(c.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			crow := c.Row(i)
-			for k := 0; k < a.Rows; k++ {
-				av := a.Data[k*a.Stride+i]
-				if av == 0 {
-					continue
-				}
-				s := alpha * av
-				brow := b.Row(k)
-				for j, bv := range brow {
-					crow[j] += s * bv
-				}
-			}
-		}
-	})
-}
-
-// gemmTT: C += alpha * Aᵀ*Bᵀ. Rare; computed via explicit strided dots.
-func gemmTT(alpha float64, a, b, c *Matrix) {
-	parFor(c.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			crow := c.Row(i)
-			for j := 0; j < c.Cols; j++ {
-				brow := b.Row(j)
-				var s float64
-				for k := 0; k < a.Rows; k++ {
-					s += a.Data[k*a.Stride+i] * brow[k]
-				}
-				crow[j] += alpha * s
-			}
-		}
-	})
 }
 
 // MatMul returns op(A)*op(B) as a fresh matrix (convenience for tests and
 // non-hot paths).
 func MatMul(transA, transB Transpose, a, b *Matrix) *Matrix {
-	am := a.Rows
-	if transA == Trans {
-		am = a.Cols
-	}
-	bn := b.Cols
-	if transB == Trans {
-		bn = b.Rows
-	}
+	am, _ := opShape(transA, a)
+	_, bn := opShape(transB, b)
 	c := New(am, bn)
 	Gemm(transA, transB, 1, a, b, 0, c)
 	return c
 }
+
+// syrkBlock is the panel width of the blocked Syrk: off-diagonal panels
+// become Gemm calls on the packed engine, diagonal blocks stay on the
+// naive triangular loops.
+const syrkBlock = 64
 
 // Syrk computes the lower triangle of C = alpha*op(A)*op(A)ᵀ + beta*C.
 // With trans == NoTrans, op(A) = A (C is a.Rows×a.Rows); with Trans,
 // op(A) = Aᵀ (C is a.Cols×a.Cols). Only the lower triangle of C is
 // referenced and written.
 func Syrk(trans Transpose, alpha float64, a *Matrix, beta float64, c *Matrix) {
-	n := a.Rows
-	if trans == Trans {
-		n = a.Cols
-	}
+	n, k := opShape(trans, a)
 	if c.Rows != n || c.Cols != n {
 		panic(fmt.Sprintf("dense: syrk shape mismatch C=%d×%d want %d×%d", c.Rows, c.Cols, n, n))
 	}
@@ -166,45 +114,46 @@ func Syrk(trans Transpose, alpha float64, a *Matrix, beta float64, c *Matrix) {
 		for i := 0; i < n; i++ {
 			row := c.Row(i)
 			for j := 0; j <= i; j++ {
-				row[j] *= beta
-			}
-		}
-	}
-	if alpha == 0 {
-		return
-	}
-	if trans == NoTrans {
-		parFor(n, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				arow, crow := a.Row(i), c.Row(i)
-				for j := 0; j <= i; j++ {
-					brow := a.Row(j)
-					var s float64
-					for k, av := range arow {
-						s += av * brow[k]
-					}
-					crow[j] += alpha * s
+				if beta == 0 {
+					row[j] = 0
+				} else {
+					row[j] *= beta
 				}
 			}
-		})
-		return
-	}
-	// Trans: C += alpha * AᵀA, lower triangle. k-outer accumulation.
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		for i := 0; i < n; i++ {
-			av := arow[i]
-			if av == 0 {
-				continue
-			}
-			s := alpha * av
-			crow := c.Row(i)
-			for j := 0; j <= i; j++ {
-				crow[j] += s * arow[j]
-			}
 		}
 	}
+	if alpha == 0 || n == 0 || k == 0 {
+		return
+	}
+	if n <= syrkBlock {
+		syrkRef(trans, alpha, a, c)
+		return
+	}
+	for i0 := 0; i0 < n; i0 += syrkBlock {
+		ib := min(syrkBlock, n-i0)
+		if i0 > 0 {
+			// Off-diagonal panel C[i0:i0+ib, 0:i0] += alpha·op(A)_I·op(A)_Jᵀ.
+			cPanel := c.View(i0, 0, ib, i0)
+			if trans == NoTrans {
+				Gemm(NoTrans, Trans, alpha, a.View(i0, 0, ib, k), a.View(0, 0, i0, k), 1, cPanel)
+			} else {
+				Gemm(Trans, NoTrans, alpha, a.View(0, i0, k, ib), a.View(0, 0, k, i0), 1, cPanel)
+			}
+		}
+		// Diagonal block: naive triangular accumulation.
+		var slab *Matrix
+		if trans == NoTrans {
+			slab = a.View(i0, 0, ib, k)
+		} else {
+			slab = a.View(0, i0, k, ib)
+		}
+		syrkRef(trans, alpha, slab, c.View(i0, i0, ib, ib))
+	}
 }
+
+// trsmBlock is the diagonal-block size of the blocked Trsm; the
+// off-diagonal updates become Gemm calls.
+const trsmBlock = 64
 
 // Trsm solves a triangular system with a lower-triangular L in place of B:
 //
@@ -214,7 +163,9 @@ func Syrk(trans Transpose, alpha float64, a *Matrix, beta float64, c *Matrix) {
 //	Right, Trans:   B ← B L⁻ᵀ
 //
 // Only the lower triangle of L is referenced. Unit-diagonal systems are not
-// needed by the BTA solvers and are not supported.
+// needed by the BTA solvers and are not supported. Systems larger than
+// trsmBlock are solved blocked: small triangular solves on the diagonal
+// blocks, level-3 Gemm updates for everything else.
 func Trsm(side Side, trans Transpose, l, b *Matrix) {
 	if l.Rows != l.Cols {
 		panic("dense: trsm with non-square triangular factor")
@@ -223,9 +174,65 @@ func Trsm(side Side, trans Transpose, l, b *Matrix) {
 	if side == Left && b.Rows != n || side == Right && b.Cols != n {
 		panic(fmt.Sprintf("dense: trsm shape mismatch L=%d×%d B=%d×%d side=%d", l.Rows, l.Cols, b.Rows, b.Cols, side))
 	}
+	if n == 0 || b.Rows == 0 || b.Cols == 0 {
+		return
+	}
+	if n <= trsmBlock {
+		trsmUnb(side, trans, l, b)
+		return
+	}
 	switch {
 	case side == Left && trans == NoTrans:
-		// Forward substitution over block rows; columns are independent.
+		// Forward over row blocks: solve diag, then eliminate below.
+		for k0 := 0; k0 < n; k0 += trsmBlock {
+			kb := min(trsmBlock, n-k0)
+			bk := b.View(k0, 0, kb, b.Cols)
+			trsmUnb(Left, NoTrans, l.View(k0, k0, kb, kb), bk)
+			if rem := n - k0 - kb; rem > 0 {
+				Gemm(NoTrans, NoTrans, -1, l.View(k0+kb, k0, rem, kb), bk, 1, b.View(k0+kb, 0, rem, b.Cols))
+			}
+		}
+	case side == Left && trans == Trans:
+		// Backward over row blocks: eliminate from below, then solve diag.
+		k0 := ((n - 1) / trsmBlock) * trsmBlock
+		for ; k0 >= 0; k0 -= trsmBlock {
+			kb := min(trsmBlock, n-k0)
+			bk := b.View(k0, 0, kb, b.Cols)
+			if rem := n - k0 - kb; rem > 0 {
+				Gemm(Trans, NoTrans, -1, l.View(k0+kb, k0, rem, kb), b.View(k0+kb, 0, rem, b.Cols), 1, bk)
+			}
+			trsmUnb(Left, Trans, l.View(k0, k0, kb, kb), bk)
+		}
+	case side == Right && trans == Trans:
+		// Forward over column blocks of X·Lᵀ = B.
+		for j0 := 0; j0 < n; j0 += trsmBlock {
+			jb := min(trsmBlock, n-j0)
+			bj := b.View(0, j0, b.Rows, jb)
+			if j0 > 0 {
+				Gemm(NoTrans, Trans, -1, b.View(0, 0, b.Rows, j0), l.View(j0, 0, jb, j0), 1, bj)
+			}
+			trsmUnb(Right, Trans, l.View(j0, j0, jb, jb), bj)
+		}
+	default: // Right, NoTrans
+		// Backward over column blocks of X·L = B.
+		j0 := ((n - 1) / trsmBlock) * trsmBlock
+		for ; j0 >= 0; j0 -= trsmBlock {
+			jb := min(trsmBlock, n-j0)
+			bj := b.View(0, j0, b.Rows, jb)
+			if rem := n - j0 - jb; rem > 0 {
+				Gemm(NoTrans, NoTrans, -1, b.View(0, j0+jb, b.Rows, rem), l.View(j0+jb, j0, rem, jb), 1, bj)
+			}
+			trsmUnb(Right, NoTrans, l.View(j0, j0, jb, jb), bj)
+		}
+	}
+}
+
+// trsmUnb is the unblocked triangular solve used on diagonal blocks.
+func trsmUnb(side Side, trans Transpose, l, b *Matrix) {
+	n := l.Rows
+	switch {
+	case side == Left && trans == NoTrans:
+		// Forward substitution over rows; columns are independent.
 		for i := 0; i < n; i++ {
 			li := l.Row(i)
 			bi := b.Row(i)
@@ -264,34 +271,62 @@ func Trsm(side Side, trans Transpose, l, b *Matrix) {
 			}
 		}
 	case side == Right && trans == Trans:
-		// Row-wise: x Lᵀ = b ⇒ x[j] = (b[j] − Σ_{k<j} x[k] L[j,k]) / L[j,j].
-		parFor(b.Rows, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				x := b.Row(i)
-				for j := 0; j < n; j++ {
-					lj := l.Row(j)
-					s := x[j]
-					for k := 0; k < j; k++ {
-						s -= x[k] * lj[k]
-					}
-					x[j] = s / lj[j]
-				}
-			}
-		})
+		trsmUnbRT(n, l.Data, l.Stride, b.Data, b.Stride, b.Rows, b.Cols)
 	default: // Right, NoTrans
-		// Row-wise: x L = b ⇒ backward over j using column j of L below j.
-		parFor(b.Rows, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				x := b.Row(i)
-				for j := n - 1; j >= 0; j-- {
-					s := x[j]
-					for k := j + 1; k < n; k++ {
-						s -= x[k] * l.Data[k*l.Stride+j]
-					}
-					x[j] = s / l.Data[j*l.Stride+j]
-				}
+		trsmUnbRN(n, l.Data, l.Stride, b.Data, b.Stride, b.Rows, b.Cols)
+	}
+}
+
+// trsmUnbRT solves x·Lᵀ = b row-wise: x[j] = (b[j] − Σ_{k<j} x[k]·L[j,k]) / L[j,j].
+// Operands arrive as raw (data, stride) so the parallel closure captures no
+// *Matrix (keeps caller Views stack-allocated); the serial branch avoids
+// even the closure allocation.
+func trsmUnbRT(n int, lData []float64, lStride int, bData []float64, bStride, bRows, bCols int) {
+	if MaxWorkers() <= 1 || bRows < parallelRows {
+		trsmUnbRTRange(0, bRows, n, lData, lStride, bData, bStride, bCols)
+		return
+	}
+	parFor(bRows, func(lo, hi int) {
+		trsmUnbRTRange(lo, hi, n, lData, lStride, bData, bStride, bCols)
+	})
+}
+
+func trsmUnbRTRange(lo, hi, n int, lData []float64, lStride int, bData []float64, bStride, bCols int) {
+	for i := lo; i < hi; i++ {
+		x := bData[i*bStride : i*bStride+bCols]
+		for j := 0; j < n; j++ {
+			lj := lData[j*lStride : j*lStride+j+1]
+			s := x[j]
+			for k := 0; k < j; k++ {
+				s -= x[k] * lj[k]
 			}
-		})
+			x[j] = s / lj[j]
+		}
+	}
+}
+
+// trsmUnbRN solves x·L = b row-wise, backward over j using column j of L
+// below the diagonal.
+func trsmUnbRN(n int, lData []float64, lStride int, bData []float64, bStride, bRows, bCols int) {
+	if MaxWorkers() <= 1 || bRows < parallelRows {
+		trsmUnbRNRange(0, bRows, n, lData, lStride, bData, bStride, bCols)
+		return
+	}
+	parFor(bRows, func(lo, hi int) {
+		trsmUnbRNRange(lo, hi, n, lData, lStride, bData, bStride, bCols)
+	})
+}
+
+func trsmUnbRNRange(lo, hi, n int, lData []float64, lStride int, bData []float64, bStride, bCols int) {
+	for i := lo; i < hi; i++ {
+		x := bData[i*bStride : i*bStride+bCols]
+		for j := n - 1; j >= 0; j-- {
+			s := x[j]
+			for k := j + 1; k < n; k++ {
+				s -= x[k] * lData[k*lStride+j]
+			}
+			x[j] = s / lData[j*lStride+j]
+		}
 	}
 }
 
@@ -399,15 +434,13 @@ func Gemv(trans Transpose, alpha float64, a *Matrix, x []float64, beta float64, 
 		return
 	}
 	if trans == NoTrans {
+		aData, aStride, aCols := a.Data, a.Stride, a.Cols
+		if MaxWorkers() <= 1 || m < parallelRows {
+			gemvRows(0, m, alpha, aData, aStride, aCols, x, y)
+			return
+		}
 		parFor(m, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				row := a.Row(i)
-				var s float64
-				for j, v := range row {
-					s += v * x[j]
-				}
-				y[i] += alpha * s
-			}
+			gemvRows(lo, hi, alpha, aData, aStride, aCols, x, y)
 		})
 		return
 	}
@@ -420,6 +453,18 @@ func Gemv(trans Transpose, alpha float64, a *Matrix, x []float64, beta float64, 
 		for j, v := range row {
 			y[j] += f * v
 		}
+	}
+}
+
+// gemvRows accumulates y[i] += alpha·(A row i · x) over the row range.
+func gemvRows(lo, hi int, alpha float64, aData []float64, aStride, aCols int, x, y []float64) {
+	for i := lo; i < hi; i++ {
+		row := aData[i*aStride : i*aStride+aCols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] += alpha * s
 	}
 }
 

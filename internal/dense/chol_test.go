@@ -212,28 +212,5 @@ func TestQuickTrsmRoundTrip(t *testing.T) {
 	}
 }
 
-func BenchmarkPotrf256(b *testing.B) {
-	rng := rand.New(rand.NewSource(40))
-	a := randSPD(rng, 256)
-	w := New(256, 256)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		w.CopyFrom(a)
-		if err := Potrf(w); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkGemm256(b *testing.B) {
-	rng := rand.New(rand.NewSource(41))
-	x := randMat(rng, 256, 256)
-	y := randMat(rng, 256, 256)
-	c := New(256, 256)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		Gemm(NoTrans, NoTrans, 1, x, y, 0, c)
-	}
-}
+// The GEMM/POTRF GFLOP/s benchmarks (packed engine vs the retained naive
+// reference) live in kernel_test.go.

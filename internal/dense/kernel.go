@@ -1,0 +1,113 @@
+package dense
+
+// Register-blocked GEMM micro-kernel layer. The packed driver in pack.go
+// feeds the micro-kernel MR×kc panels of op(A) and kc×NR panels of op(B);
+// the kernel accumulates a full MR×NR tile of C held in registers:
+//
+//	C[r,j] += Σ_p a[p·MR+r] · b[p·NR+j]
+//
+// On amd64 with AVX2+FMA the kernel is hand-written assembly
+// (kernel_amd64.s): the 4×8 tile lives in 8 YMM accumulators, each k step
+// issuing 2 packed loads, 4 broadcasts and 8 FMAs. Elsewhere (or when the
+// CPU lacks AVX2/FMA) the pure-Go kernel below is used.
+const (
+	// MR×NR is the register tile. 4×8 float64 = 8 YMM registers of
+	// accumulator, leaving headroom for the two B vectors and the A
+	// broadcast within the 16-register AVX file.
+	MR = 4
+	NR = 8
+)
+
+// ukernel points at the best micro-kernel for this CPU. The initializer is
+// the portable Go kernel below (the default on every architecture);
+// kernel_amd64.go's init swaps in the assembly kernel when AVX2+FMA are
+// available.
+var ukernel func(k int, a, b []float64, c []float64, ldc int) = ukernelGo
+
+// ukernelGo is the portable micro-kernel: C[r,j] += Σ_p a[p·MR+r]·b[p·NR+j]
+// with the 4×8 accumulator tile in locals. It is the fallback on
+// non-amd64 builds and CPUs without AVX2+FMA, and the reference the
+// assembly kernel is tested against.
+func ukernelGo(k int, a, b []float64, c []float64, ldc int) {
+	var (
+		c00, c01, c02, c03, c04, c05, c06, c07 float64
+		c10, c11, c12, c13, c14, c15, c16, c17 float64
+		c20, c21, c22, c23, c24, c25, c26, c27 float64
+		c30, c31, c32, c33, c34, c35, c36, c37 float64
+	)
+	for p := 0; p < k; p++ {
+		av := a[p*MR : p*MR+MR : p*MR+MR]
+		bv := b[p*NR : p*NR+NR : p*NR+NR]
+		a0, a1, a2, a3 := av[0], av[1], av[2], av[3]
+		b0, b1, b2, b3 := bv[0], bv[1], bv[2], bv[3]
+		b4, b5, b6, b7 := bv[4], bv[5], bv[6], bv[7]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c04 += a0 * b4
+		c05 += a0 * b5
+		c06 += a0 * b6
+		c07 += a0 * b7
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c14 += a1 * b4
+		c15 += a1 * b5
+		c16 += a1 * b6
+		c17 += a1 * b7
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c24 += a2 * b4
+		c25 += a2 * b5
+		c26 += a2 * b6
+		c27 += a2 * b7
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		c34 += a3 * b4
+		c35 += a3 * b5
+		c36 += a3 * b6
+		c37 += a3 * b7
+	}
+	r := c[0:NR:NR]
+	r[0] += c00
+	r[1] += c01
+	r[2] += c02
+	r[3] += c03
+	r[4] += c04
+	r[5] += c05
+	r[6] += c06
+	r[7] += c07
+	r = c[ldc : ldc+NR : ldc+NR]
+	r[0] += c10
+	r[1] += c11
+	r[2] += c12
+	r[3] += c13
+	r[4] += c14
+	r[5] += c15
+	r[6] += c16
+	r[7] += c17
+	r = c[2*ldc : 2*ldc+NR : 2*ldc+NR]
+	r[0] += c20
+	r[1] += c21
+	r[2] += c22
+	r[3] += c23
+	r[4] += c24
+	r[5] += c25
+	r[6] += c26
+	r[7] += c27
+	r = c[3*ldc : 3*ldc+NR : 3*ldc+NR]
+	r[0] += c30
+	r[1] += c31
+	r[2] += c32
+	r[3] += c33
+	r[4] += c34
+	r[5] += c35
+	r[6] += c36
+	r[7] += c37
+}

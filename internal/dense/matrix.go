@@ -68,9 +68,14 @@ func (m *Matrix) AtChecked(i, j int) (float64, error) {
 }
 
 // View returns an r×c view starting at (i,j) sharing storage with m.
+// View is kept small enough to inline so that short-lived views inside the
+// blocked kernels (Potrf/Syrk/Trsm panels) stay on the caller's stack.
 func (m *Matrix) View(i, j, r, c int) *Matrix {
 	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.Rows || j+c > m.Cols {
-		panic(fmt.Sprintf("dense: view (%d,%d,%d,%d) out of range %d×%d", i, j, r, c, m.Rows, m.Cols))
+		// Constant-string panic keeps View within the inlining budget
+		// (fmt.Sprintf here would push it over and force every panel view
+		// of the blocked kernels onto the heap).
+		panic("dense: view out of range")
 	}
 	return &Matrix{Rows: r, Cols: c, Stride: m.Stride, Data: m.Data[i*m.Stride+j:]}
 }
@@ -141,13 +146,22 @@ func (m *Matrix) Add(alpha float64, src *Matrix) {
 // T returns a compact transposed copy of m.
 func (m *Matrix) T() *Matrix {
 	out := New(m.Cols, m.Rows)
+	m.TransposeInto(out)
+	return out
+}
+
+// TransposeInto writes mᵀ into dst (allocation-free transpose for reused
+// workspaces). dst must be Cols×Rows and must not alias m.
+func (m *Matrix) TransposeInto(dst *Matrix) {
+	if dst.Rows != m.Cols || dst.Cols != m.Rows {
+		panic(fmt.Sprintf("dense: transpose %d×%d into %d×%d", m.Rows, m.Cols, dst.Rows, dst.Cols))
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
-			out.Data[j*out.Stride+i] = v
+			dst.Data[j*dst.Stride+i] = v
 		}
 	}
-	return out
 }
 
 // Symmetrize overwrites m with (m+mᵀ)/2. m must be square.

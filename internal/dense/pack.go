@@ -1,0 +1,200 @@
+package dense
+
+import "sync"
+
+// Cache blocking parameters of the packed GEMM driver (GotoBLAS scheme):
+// op(B) is packed once per (kc×nc) panel and streamed from L2/L3; each
+// worker packs its own (mc×kc) panel of op(A) into L2; the micro-kernel
+// then runs MR×NR register tiles over the packed panels.
+const (
+	kcBlock = 256 // depth of one packed panel pair (L1 residency of the micro-panels)
+	mcBlock = 128 // rows of op(A) per packed A panel (multiple of MR)
+	ncBlock = 512 // cols of op(B) per packed B panel (multiple of NR)
+)
+
+// Packing buffers are recycled through sync.Pools so steady-state GEMM
+// calls perform zero heap allocations. The A buffer carries MR·NR extra
+// trailing elements used as the edge-tile scratch (kept out of the stack so
+// the indirect micro-kernel call cannot force a heap escape per call).
+var packAPool = sync.Pool{New: func() any {
+	s := make([]float64, mcBlock*kcBlock+MR*NR)
+	return &s
+}}
+
+var packBPool = sync.Pool{New: func() any {
+	s := make([]float64, kcBlock*ncBlock)
+	return &s
+}}
+
+// packPanelsA packs op(A)[i0:i0+mcb, p0:p0+kcb] into MR-interleaved
+// micro-panels: panel ip holds rows [ip,ip+MR) k-major, so the micro-kernel
+// reads MR consecutive values per k step. Rows beyond mcb are zero-padded;
+// alpha is folded in here so the kernel needs no epilogue scaling.
+// A is passed as raw (data, stride) so parallel closures upstream never
+// capture a *Matrix — keeping caller-side Views stack-allocated.
+func packPanelsA(dst []float64, trans Transpose, aData []float64, aStride, i0, p0, mcb, kcb int, alpha float64) {
+	for ip := 0; ip < mcb; ip += MR {
+		h := MR
+		if ip+h > mcb {
+			h = mcb - ip
+		}
+		panel := dst[(ip/MR)*MR*kcb:]
+		if trans == NoTrans {
+			for r := 0; r < h; r++ {
+				src := aData[(i0+ip+r)*aStride+p0 : (i0+ip+r)*aStride+p0+kcb]
+				for p, v := range src {
+					panel[p*MR+r] = alpha * v
+				}
+			}
+		} else {
+			for p := 0; p < kcb; p++ {
+				src := aData[(p0+p)*aStride+i0+ip : (p0+p)*aStride+i0+ip+h]
+				d := panel[p*MR : p*MR+MR]
+				for r, v := range src {
+					d[r] = alpha * v
+				}
+			}
+		}
+		if h < MR {
+			for p := 0; p < kcb; p++ {
+				d := panel[p*MR : p*MR+MR]
+				for r := h; r < MR; r++ {
+					d[r] = 0
+				}
+			}
+		}
+	}
+}
+
+// packPanelsB packs op(B)[p0:p0+kcb, j0:j0+ncb] into NR-interleaved
+// micro-panels: panel jp holds columns [jp,jp+NR) k-major. Columns beyond
+// ncb are zero-padded.
+func packPanelsB(dst []float64, trans Transpose, bData []float64, bStride, p0, j0, kcb, ncb int) {
+	for jp := 0; jp < ncb; jp += NR {
+		w := NR
+		if jp+w > ncb {
+			w = ncb - jp
+		}
+		panel := dst[(jp/NR)*NR*kcb:]
+		if trans == NoTrans {
+			for p := 0; p < kcb; p++ {
+				src := bData[(p0+p)*bStride+j0+jp : (p0+p)*bStride+j0+jp+w]
+				d := panel[p*NR : p*NR+NR]
+				copy(d, src)
+				for j := w; j < NR; j++ {
+					d[j] = 0
+				}
+			}
+		} else {
+			if w < NR {
+				for p := 0; p < kcb; p++ {
+					d := panel[p*NR+w : p*NR+NR]
+					for j := range d {
+						d[j] = 0
+					}
+				}
+			}
+			for j := 0; j < w; j++ {
+				src := bData[(j0+jp+j)*bStride+p0 : (j0+jp+j)*bStride+p0+kcb]
+				for p, v := range src {
+					panel[p*NR+j] = v
+				}
+			}
+		}
+	}
+}
+
+// macroKernel sweeps the register tiles of one (mcb×ncb) block of C over
+// the packed panels. cData points at the (0,0) element of the C block, with
+// row stride ldc. Full MR×NR tiles hit C directly; edge tiles go through
+// the zero-padded scratch tile and only the valid region is accumulated.
+func macroKernel(mcb, ncb, kcb int, aPan, bPan, tile, cData []float64, ldc int) {
+	for jp := 0; jp < ncb; jp += NR {
+		w := NR
+		if jp+w > ncb {
+			w = ncb - jp
+		}
+		bp := bPan[(jp/NR)*NR*kcb:]
+		for ip := 0; ip < mcb; ip += MR {
+			h := MR
+			if ip+h > mcb {
+				h = mcb - ip
+			}
+			ap := aPan[(ip/MR)*MR*kcb:]
+			if h == MR && w == NR {
+				ukernel(kcb, ap, bp, cData[ip*ldc+jp:], ldc)
+				continue
+			}
+			for i := range tile[:MR*NR] {
+				tile[i] = 0
+			}
+			ukernel(kcb, ap, bp, tile, NR)
+			for r := 0; r < h; r++ {
+				crow := cData[(ip+r)*ldc+jp : (ip+r)*ldc+jp+w]
+				trow := tile[r*NR : r*NR+w]
+				for j, v := range trow {
+					crow[j] += v
+				}
+			}
+		}
+	}
+}
+
+// gemmPacked computes C += alpha·op(A)·op(B) through the packed micro-kernel
+// engine. Parallelism is over mc-sized macro-tiles of C rows: the packed B
+// panel is shared read-only, each worker packs its own A panel. Matrix
+// operands are unwrapped to (data, stride) immediately: the goroutine
+// closures below must never capture a *Matrix, or escape analysis would
+// heap-allocate every View the blocked Potrf/Trsm/Syrk callers pass in.
+func gemmPacked(transA, transB Transpose, alpha float64, a, b, c *Matrix) {
+	m, n := c.Rows, c.Cols
+	k := a.Cols
+	if transA == Trans {
+		k = a.Rows
+	}
+	aData, aStride := a.Data, a.Stride
+	bData, bStride := b.Data, b.Stride
+	cData, cStride := c.Data, c.Stride
+	bBufP := packBPool.Get().(*[]float64)
+	bBuf := *bBufP
+	for jc := 0; jc < n; jc += ncBlock {
+		ncb := min(ncBlock, n-jc)
+		for pc := 0; pc < k; pc += kcBlock {
+			kcb := min(kcBlock, k-pc)
+			packPanelsB(bBuf, transB, bData, bStride, pc, jc, kcb, ncb)
+			nTiles := (m + mcBlock - 1) / mcBlock
+			if MaxWorkers() <= 1 || nTiles < 2 {
+				// Serial fast path: no closure, zero per-call allocations.
+				gemmTileRange(0, nTiles, transA, alpha, aData, aStride, cData, cStride, bBuf, m, pc, jc, kcb, ncb)
+			} else {
+				gemmTilesParallel(nTiles, transA, alpha, aData, aStride, cData, cStride, bBuf, m, pc, jc, kcb, ncb)
+			}
+		}
+	}
+	packBPool.Put(bBufP)
+}
+
+// gemmTilesParallel fans the macro-tile sweep out across workers. It lives
+// in its own function so the closure (and the heap moves of its captures)
+// only exists when parallelism is actually used — the serial path in
+// gemmPacked must stay allocation-free.
+func gemmTilesParallel(nTiles int, transA Transpose, alpha float64, aData []float64, aStride int, cData []float64, cStride int, bBuf []float64, m, pc, jc, kcb, ncb int) {
+	parForTiles(nTiles, func(t0, t1 int) {
+		gemmTileRange(t0, t1, transA, alpha, aData, aStride, cData, cStride, bBuf, m, pc, jc, kcb, ncb)
+	})
+}
+
+// gemmTileRange processes macro-tiles [t0,t1) of C rows against the shared
+// packed B panel: pack the worker-private A panel, run the macro-kernel.
+func gemmTileRange(t0, t1 int, transA Transpose, alpha float64, aData []float64, aStride int, cData []float64, cStride int, bBuf []float64, m, pc, jc, kcb, ncb int) {
+	aBufP := packAPool.Get().(*[]float64)
+	aBuf := *aBufP
+	tile := aBuf[mcBlock*kcBlock:]
+	for t := t0; t < t1; t++ {
+		ic := t * mcBlock
+		mcb := min(mcBlock, m-ic)
+		packPanelsA(aBuf, transA, aData, aStride, ic, pc, mcb, kcb, alpha)
+		macroKernel(mcb, ncb, kcb, aBuf, bBuf, tile, cData[ic*cStride+jc:], cStride)
+	}
+	packAPool.Put(aBufP)
+}

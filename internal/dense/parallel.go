@@ -32,8 +32,21 @@ const parallelRows = 128
 // most MaxWorkers goroutines. It runs serially when the bound is 1 or the
 // range is small.
 func parFor(n int, body func(lo, hi int)) {
+	parForMin(n, parallelRows, body)
+}
+
+// parForTiles distributes nTiles macro-tiles across workers. Unlike parFor,
+// any multi-tile range fans out: one tile is mcBlock rows of level-3 work,
+// far above goroutine overhead.
+func parForTiles(nTiles int, body func(t0, t1 int)) {
+	parForMin(nTiles, 2, body)
+}
+
+// parForMin is the shared splitter: serial below the given grain, otherwise
+// contiguous chunks across at most MaxWorkers goroutines.
+func parForMin(n, grain int, body func(lo, hi int)) {
 	w := MaxWorkers()
-	if w <= 1 || n < parallelRows {
+	if w <= 1 || n < grain {
 		body(0, n)
 		return
 	}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package dense
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Race-mode sync.Pool intentionally drops Put items, so the zero-allocation
+// assertions over the pooled GEMM path are skipped under -race.
+const RaceEnabled = false

@@ -127,6 +127,39 @@ func thetaKey(theta []float64) string {
 	return fmt.Sprintf("%x", theta)
 }
 
+// groupScratch is one rank's reusable distributed-solver arena: the local
+// BTA slice refilled per evaluation, the recycled PPOBTAF block storage,
+// and the small quadratic-form vectors. Both pipelines of a rank share it —
+// they run sequentially on the same goroutine and use the same partitioning.
+type groupScratch struct {
+	local    *bta.LocalBTA
+	dist     bta.DistScratch
+	prev     *bta.DistFactor // dead factor awaiting reclamation
+	quadTmp  []float64
+	quadTmpA []float64
+}
+
+// slice refills (allocating only on first use) the rank-local slice of g.
+func (s *groupScratch) slice(g *bta.Matrix, parts []bta.Partition, rank int) *bta.LocalBTA {
+	if s.local == nil {
+		s.local = bta.NewLocalBTA(parts[rank], g.N, g.B, g.A, rank)
+	}
+	bta.LocalSliceInto(s.local, g, parts, rank)
+	return s.local
+}
+
+// factorize reclaims the previous factor's recycled blocks and runs the
+// distributed factorization against the scratch.
+func (s *groupScratch) factorize(solver *comm.Comm, local *bta.LocalBTA) (*bta.DistFactor, error) {
+	s.dist.Reclaim(s.prev)
+	s.prev = nil
+	f, err := bta.PPOBTAFScratch(solver, local, &s.dist)
+	if err == nil {
+		s.prev = f
+	}
+	return f, err
+}
+
 // DistConfig configures a simulated distributed INLA run.
 type DistConfig struct {
 	World   int
@@ -213,12 +246,13 @@ func RunDistributed(m *model.Model, prior Prior, theta0 []float64, cfg DistConfi
 
 		theta := append([]float64(nil), theta0...)
 		grad := make([]float64, d)
+		scr := &groupScratch{}
 		var localTrace []float64
 		for iter := 0; iter < iterations; iter++ {
 			pts := gradientPoints(theta, 1e-3)
 			vals := make([]float64, len(pts))
 			for i := g; i < len(pts); i += plan.Groups {
-				f, err := evalFobjGroup(group, state, m, prior, pts[i], plan, cfg, lb)
+				f, err := evalFobjGroup(group, state, m, prior, pts[i], plan, cfg, lb, scr)
 				if err != nil {
 					f = math.Inf(1)
 				}
@@ -267,7 +301,7 @@ func RunDistributed(m *model.Model, prior Prior, theta0 []float64, cfg DistConfi
 // Q_p and Q_c pipelines, each running the S3 distributed solver over its
 // sub-communicator. Returns the objective on every rank of the group.
 func evalFobjGroup(group *comm.Comm, state *sharedState, m *model.Model, prior Prior,
-	theta []float64, plan Plan, cfg DistConfig, lb float64) (float64, error) {
+	theta []float64, plan Plan, cfg DistConfig, lb float64, scr *groupScratch) (float64, error) {
 
 	w := group.Size()
 	useS2 := plan.UseS2 && w >= 2
@@ -364,8 +398,8 @@ func evalFobjGroup(group *comm.Comm, state *sharedState, m *model.Model, prior P
 			if err != nil {
 				return err
 			}
-			local := bta.LocalSlice(cell.qc, parts, solver.Rank())
-			f, err := bta.PPOBTAF(solver, local)
+			local := scr.slice(cell.qc, parts, solver.Rank())
+			f, err := scr.factorize(solver, local)
 			if err != nil {
 				return err
 			}
@@ -425,8 +459,8 @@ func evalFobjGroup(group *comm.Comm, state *sharedState, m *model.Model, prior P
 			if err != nil {
 				return err
 			}
-			local := bta.LocalSlice(cell.qp, parts, solver.Rank())
-			f, err := bta.PPOBTAF(solver, local)
+			local := scr.slice(cell.qp, parts, solver.Rank())
+			f, err := scr.factorize(solver, local)
 			if err != nil {
 				return err
 			}
@@ -447,7 +481,7 @@ func evalFobjGroup(group *comm.Comm, state *sharedState, m *model.Model, prior P
 			muFull = solver.Bcast(0, muFull)
 			var quadLocal float64
 			solver.Compute(func() {
-				quadLocal = localQuad(cell.qp, parts[solver.Rank()], solver.Rank(), muFull)
+				quadLocal = localQuad(cell.qp, parts[solver.Rank()], solver.Rank(), muFull, scr)
 			})
 			total := solver.AllReduceSum([]float64{quadLocal})
 			if solver.Rank() == 0 {
@@ -540,10 +574,13 @@ func adjustLB(lb float64, nt, p int) float64 {
 // block structure: diagonal terms for owned blocks, coupling terms for
 // owned sub-diagonals plus the coupling to the previous partition, arrow
 // terms for owned blocks, and the tip term on rank 0.
-func localQuad(q *bta.Matrix, part bta.Partition, rank int, mu []float64) float64 {
+func localQuad(q *bta.Matrix, part bta.Partition, rank int, mu []float64, scr *groupScratch) float64 {
 	b := q.B
 	var s float64
-	tmp := make([]float64, b)
+	if len(scr.quadTmp) < b {
+		scr.quadTmp = make([]float64, b)
+	}
+	tmp := scr.quadTmp[:b]
 	for k := part.Lo; k <= part.Hi; k++ {
 		mk := mu[k*b : (k+1)*b]
 		dense.Gemv(dense.NoTrans, 1, q.Diag[k], mk, 0, tmp)
@@ -560,7 +597,10 @@ func localQuad(q *bta.Matrix, part bta.Partition, rank int, mu []float64) float6
 	}
 	if q.A > 0 {
 		ma := mu[q.N*b : q.N*b+q.A]
-		tmpA := make([]float64, q.A)
+		if len(scr.quadTmpA) < q.A {
+			scr.quadTmpA = make([]float64, q.A)
+		}
+		tmpA := scr.quadTmpA[:q.A]
 		for k := part.Lo; k <= part.Hi; k++ {
 			dense.Gemv(dense.NoTrans, 1, q.Arrow[k], mu[k*b:(k+1)*b], 0, tmpA)
 			s += 2 * dense.Dot(ma, tmpA)

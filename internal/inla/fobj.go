@@ -10,6 +10,7 @@ package inla
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/dalia-hpc/dalia/internal/bta"
 	"github.com/dalia-hpc/dalia/internal/dense"
@@ -63,12 +64,49 @@ func (p FobjParts) F() float64 {
 	return p.LogPrior + p.LogLik + 0.5*p.LogDetQp - 0.5*p.QuadQp - 0.5*p.LogDetQc
 }
 
+// solverScratch is the reusable arena of one fobj evaluation pipeline pair:
+// the two BTA workspaces and factors (prior and conditional precision), the
+// conditional-mean vector, and the assembly/permutation scratch vectors.
+// After warm-up, repeated Refactorize+Solve cycles on the same scratch
+// perform zero heap allocations — the fixed-memory-footprint property the
+// INLA mode search needs across its hundreds of θ-evaluations.
+type solverScratch struct {
+	qp, qc *bta.Matrix
+	fp, fc *bta.Factor
+	mu     []float64 // conditional mean (solution of Q_c·μ = rhs)
+	tmp    []float64 // Q_p·μ product for the quadratic form
+	pm     []float64 // process-major rhs before permutation
+	obs    []float64 // weighted response combination
+}
+
+func newSolverScratch(m *model.Model) *solverScratch {
+	n, b, a := m.Dims.BTAShape()
+	tot := m.Dims.Total()
+	return &solverScratch{
+		qp:  bta.NewMatrix(n, b, a),
+		qc:  bta.NewMatrix(n, b, a),
+		fp:  bta.NewFactor(n, b, a),
+		fc:  bta.NewFactor(n, b, a),
+		mu:  make([]float64, tot),
+		tmp: make([]float64, tot),
+		pm:  make([]float64, tot),
+		obs: make([]float64, m.Obs.M()),
+	}
+}
+
 // EvalFobj evaluates the objective at theta using the sequential BTA solver
 // (the single-device DALIA path). The two factorizations of Q_p and Q_c are
 // independent (§III-A); runS2 runs them concurrently when true — the S2
 // layer in shared-memory form. Non-Gaussian likelihoods route through the
 // inner Newton loop for the conditional mode.
 func EvalFobj(m *model.Model, prior Prior, theta []float64, runS2 bool) (FobjParts, error) {
+	return evalFobjScratch(m, prior, theta, runS2, nil)
+}
+
+// evalFobjScratch is EvalFobj against a caller-owned arena (nil allocates a
+// fresh one). The returned FobjParts.Mu aliases the arena's μ buffer and is
+// only valid until the arena's next evaluation.
+func evalFobjScratch(m *model.Model, prior Prior, theta []float64, runS2 bool, ws *solverScratch) (FobjParts, error) {
 	t, err := m.DecodeTheta(theta)
 	if err != nil {
 		return FobjParts{}, err
@@ -76,74 +114,63 @@ func EvalFobj(m *model.Model, prior Prior, theta []float64, runS2 bool) (FobjPar
 	if m.Lik == model.LikPoisson {
 		return evalFobjPoisson(m, prior, t, theta)
 	}
+	if ws == nil {
+		ws = newSolverScratch(m)
+	}
 	parts := FobjParts{LogPrior: prior.LogDensity(theta)}
 
-	type qpOut struct {
-		logDet float64
-		qp     *bta.Matrix
-		err    error
-	}
-	type qcOut struct {
-		logDet float64
-		mu     []float64
-		err    error
-	}
-	qpRes := make(chan qpOut, 1)
-	qcRes := make(chan qcOut, 1)
-
+	var qpErr, qcErr error
+	var ldQp, ldQc float64
 	qpPipeline := func() {
-		qp, err := m.Qp(t)
-		if err != nil {
-			qpRes <- qpOut{err: err}
+		if qpErr = m.QpInto(t, ws.qp); qpErr != nil {
 			return
 		}
-		f, err := bta.Factorize(qp)
-		if err != nil {
-			qpRes <- qpOut{err: fmt.Errorf("inla: Q_p factorization: %w", err)}
+		if qpErr = ws.fp.Refactorize(ws.qp); qpErr != nil {
+			qpErr = fmt.Errorf("inla: Q_p factorization: %w", qpErr)
 			return
 		}
-		qpRes <- qpOut{logDet: f.LogDet(), qp: qp}
+		ldQp = ws.fp.LogDet()
 	}
 	qcPipeline := func() {
-		qc, err := m.Qc(t)
-		if err != nil {
-			qcRes <- qcOut{err: err}
+		if qcErr = m.QcInto(t, ws.qc); qcErr != nil {
 			return
 		}
-		f, err := bta.Factorize(qc)
-		if err != nil {
-			qcRes <- qcOut{err: fmt.Errorf("inla: Q_c factorization: %w", err)}
+		if qcErr = ws.fc.Refactorize(ws.qc); qcErr != nil {
+			qcErr = fmt.Errorf("inla: Q_c factorization: %w", qcErr)
 			return
 		}
-		mu := m.CondRHS(t)
-		f.Solve(mu)
-		qcRes <- qcOut{logDet: f.LogDet(), mu: mu}
+		m.CondRHSInto(t, ws.mu, ws.pm, ws.obs)
+		ws.fc.Solve(ws.mu)
+		ldQc = ws.fc.LogDet()
 	}
 	if runS2 {
-		go qpPipeline()
-		go qcPipeline()
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			qpPipeline()
+		}()
+		qcPipeline()
+		wg.Wait()
 	} else {
 		qpPipeline()
 		qcPipeline()
 	}
-	qp := <-qpRes
-	qc := <-qcRes
-	if qp.err != nil {
-		return FobjParts{}, qp.err
+	if qpErr != nil {
+		return FobjParts{}, qpErr
 	}
-	if qc.err != nil {
-		return FobjParts{}, qc.err
+	if qcErr != nil {
+		return FobjParts{}, qcErr
 	}
 
-	parts.LogDetQp = qp.logDet
-	parts.LogDetQc = qc.logDet
-	parts.Mu = qc.mu
-	parts.LatentDim = len(qc.mu)
+	parts.LogDetQp = ldQp
+	parts.LogDetQc = ldQc
+	parts.Mu = ws.mu
+	parts.LatentDim = len(ws.mu)
 	// μᵀ·Q_p·μ via the block structure.
-	tmp := make([]float64, len(qc.mu))
-	qp.qp.MulVec(qc.mu, tmp)
-	parts.QuadQp = dense.Dot(qc.mu, tmp)
-	parts.LogLik = m.LogLik(t, qc.mu)
+	ws.qp.MulVec(ws.mu, ws.tmp)
+	parts.QuadQp = dense.Dot(ws.mu, ws.tmp)
+	parts.LogLik = m.LogLik(t, ws.mu)
 	return parts, nil
 }
 
@@ -159,7 +186,10 @@ type Evaluator interface {
 }
 
 // BTAEvaluator runs fobj on the sequential BTA solver with goroutine
-// parallelism across points (S1) and across the two pipelines (S2).
+// parallelism across points (S1) and across the two pipelines (S2). Every
+// worker draws a solverScratch arena from an internal pool, so steady-state
+// batches re-use precision workspaces, factors and vectors instead of
+// re-allocating them at each of the 2·dim(θ)+1 evaluations per iteration.
 type BTAEvaluator struct {
 	Model *model.Model
 	Prior Prior
@@ -167,6 +197,15 @@ type BTAEvaluator struct {
 	Workers int
 	// S2 toggles the concurrent Q_p/Q_c pipelines.
 	S2 bool
+
+	scratch sync.Pool // *solverScratch, shape-bound to Model
+}
+
+func (e *BTAEvaluator) getScratch() *solverScratch {
+	if ws, ok := e.scratch.Get().(*solverScratch); ok {
+		return ws
+	}
+	return newSolverScratch(e.Model)
 }
 
 // EvalBatch evaluates −fobj at every point, +Inf for infeasible ones.
@@ -182,12 +221,14 @@ func (e *BTAEvaluator) EvalBatch(points [][]float64) []float64 {
 		go func(i int) {
 			sem <- struct{}{}
 			defer func() { <-sem; done <- struct{}{} }()
-			parts, err := EvalFobj(e.Model, e.Prior, points[i], e.S2)
+			ws := e.getScratch()
+			parts, err := evalFobjScratch(e.Model, e.Prior, points[i], e.S2, ws)
 			if err != nil {
 				out[i] = math.Inf(1)
-				return
+			} else {
+				out[i] = -parts.F()
 			}
-			out[i] = -parts.F()
+			e.scratch.Put(ws) // parts.Mu is dead past this point
 		}(i)
 	}
 	for range points {
@@ -207,19 +248,20 @@ func (e *BTAEvaluator) Posterior(theta []float64) ([]float64, []float64, error) 
 	if err != nil {
 		return nil, nil, err
 	}
-	qc, err := e.Model.Qc(t)
+	ws := e.getScratch()
+	defer e.scratch.Put(ws)
+	if err := e.Model.QcInto(t, ws.qc); err != nil {
+		return nil, nil, err
+	}
+	if err := ws.fc.Refactorize(ws.qc); err != nil {
+		return nil, nil, err
+	}
+	e.Model.CondRHSInto(t, ws.mu, ws.pm, ws.obs)
+	ws.fc.Solve(ws.mu)
+	sig, err := ws.fc.SelectedInversion()
 	if err != nil {
 		return nil, nil, err
 	}
-	f, err := bta.Factorize(qc)
-	if err != nil {
-		return nil, nil, err
-	}
-	mu := e.Model.CondRHS(t)
-	f.Solve(mu)
-	sig, err := f.SelectedInversion()
-	if err != nil {
-		return nil, nil, err
-	}
+	mu := append([]float64(nil), ws.mu...) // detach from the pooled arena
 	return mu, sig.DiagVec(), nil
 }

@@ -1,0 +1,80 @@
+package inla
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dalia-hpc/dalia/internal/dense"
+)
+
+// TestEvalFobjScratchReuseConsistent: evaluations through a shared arena
+// must agree exactly with fresh-allocation evaluations, including when the
+// arena is re-used across different θ (stale workspace content must never
+// leak into a later evaluation).
+func TestEvalFobjScratchReuseConsistent(t *testing.T) {
+	ds := genSmall(t, 2)
+	prior := WeakPrior(ds.Theta0, 5)
+	ws := newSolverScratch(ds.Model)
+
+	theta1 := append([]float64(nil), ds.Theta0...)
+	theta1[0] += 0.3
+	theta1[len(theta1)-1] -= 0.2
+
+	for _, theta := range [][]float64{ds.Theta0, theta1, ds.Theta0} {
+		want, err := EvalFobj(ds.Model, prior, theta, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := evalFobjScratch(ds.Model, prior, theta, false, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.F()-want.F()) > 1e-9*(1+math.Abs(want.F())) {
+			t.Fatalf("scratch evaluation drifted: got %v want %v", got.F(), want.F())
+		}
+		if got.LogDetQc != want.LogDetQc || got.LogDetQp != want.LogDetQp {
+			t.Fatalf("log-determinants differ: got (%v,%v) want (%v,%v)",
+				got.LogDetQp, got.LogDetQc, want.LogDetQp, want.LogDetQc)
+		}
+	}
+}
+
+// TestEvaluatorRefactorizeSolveZeroAlloc pins the acceptance criterion at
+// the evaluator level: with a warm arena, the per-θ solver cycle
+// (Refactorize of Q_c + conditional-mean solve + log-determinant) performs
+// zero heap allocations.
+func TestEvaluatorRefactorizeSolveZeroAlloc(t *testing.T) {
+	if dense.RaceEnabled {
+		t.Skip("race-mode sync.Pool drops Put items; alloc counts are meaningless")
+	}
+	prev := dense.SetMaxWorkers(1)
+	defer dense.SetMaxWorkers(prev)
+	ds := genSmall(t, 2)
+	e := &BTAEvaluator{Model: ds.Model, Prior: WeakPrior(ds.Theta0, 5)}
+	th, err := ds.Model.DecodeTheta(ds.Theta0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := e.getScratch()
+	defer e.scratch.Put(ws)
+	// Warm-up: assemble once, factorize once, solve once.
+	if err := ds.Model.QcInto(th, ws.qc); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.fc.Refactorize(ws.qc); err != nil {
+		t.Fatal(err)
+	}
+	ds.Model.CondRHSInto(th, ws.mu, ws.pm, ws.obs)
+	ws.fc.Solve(ws.mu)
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := ws.fc.Refactorize(ws.qc); err != nil {
+			t.Fatal(err)
+		}
+		ds.Model.CondRHSInto(th, ws.mu, ws.pm, ws.obs)
+		ws.fc.Solve(ws.mu)
+		_ = ws.fc.LogDet()
+	})
+	if allocs != 0 {
+		t.Fatalf("evaluator solver cycle allocates %.1f objects per run in steady state, want 0", allocs)
+	}
+}

@@ -46,7 +46,7 @@ func (m *Model) linPred(t *Theta, xPM []float64) [][]float64 {
 	nv := m.Dims.Nv
 	n := m.Dims.PerProcess()
 	mObs := m.Obs.M()
-	lc := t.Lambda.Coreg()
+	lc := t.Lambda.CoregView()
 	u := make([][]float64, nv)
 	for j := 0; j < nv; j++ {
 		u[j] = make([]float64, mObs)
@@ -103,7 +103,7 @@ func (m *Model) dataTermPoisson(t *Theta, eta [][]float64) *sparse.CSR {
 	nv := m.Dims.Nv
 	n := m.Dims.PerProcess()
 	mObs := m.Obs.M()
-	lc := t.Lambda.Coreg()
+	lc := t.Lambda.CoregView()
 	mu := make([][]float64, nv)
 	for k := 0; k < nv; k++ {
 		mu[k] = make([]float64, mObs)
@@ -142,7 +142,7 @@ func (m *Model) scoreRHSPoisson(t *Theta, eta [][]float64) []float64 {
 	nv := m.Dims.Nv
 	n := m.Dims.PerProcess()
 	mObs := m.Obs.M()
-	lc := t.Lambda.Coreg()
+	lc := t.Lambda.CoregView()
 	rhs := make([]float64, m.Dims.Total())
 	buf := make([]float64, mObs)
 	col := make([]float64, n)

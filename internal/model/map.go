@@ -95,28 +95,45 @@ func btaDest(r, c, n, b, a int) (int, int, error) {
 // Apply scatters the CSR value array (in the pattern's canonical order)
 // into a fresh BTA matrix.
 func (m *BTAMap) Apply(vals []float64) (*bta.Matrix, error) {
-	if len(vals) != m.nnz {
-		return nil, fmt.Errorf("model: value array length %d, mapping built for %d", len(vals), m.nnz)
-	}
 	out := bta.NewMatrix(m.N, m.B, m.A)
-	blocks := unifiedBlocks(out)
-	for p, v := range vals {
-		blk := blocks[m.blockIdx[p]]
-		blk.Data[m.off[p]] = v
+	if err := m.ApplyInto(vals, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// unifiedBlocks lays the BTA blocks out in the map's unified index space.
-func unifiedBlocks(m *bta.Matrix) []*dense.Matrix {
-	blocks := make([]*dense.Matrix, 0, 3*m.N)
-	blocks = append(blocks, m.Diag...)
-	blocks = append(blocks, m.Lower...)
-	if m.A > 0 {
-		blocks = append(blocks, m.Arrow...)
-		blocks = append(blocks, m.Tip)
+// ApplyInto scatters the CSR value array into an existing BTA workspace of
+// the mapping's shape without allocating — the hot-path variant used by the
+// INLA scratch arena. Entries outside the pattern keep whatever values the
+// previous scatter left, which is correct because the pattern is
+// θ-invariant: every stored position is rewritten on every call.
+func (m *BTAMap) ApplyInto(vals []float64, out *bta.Matrix) error {
+	if len(vals) != m.nnz {
+		return fmt.Errorf("model: value array length %d, mapping built for %d", len(vals), m.nnz)
 	}
-	return blocks
+	if out.N != m.N || out.B != m.B || out.A != m.A {
+		return fmt.Errorf("model: workspace BTA(n=%d,b=%d,a=%d), mapping built for (n=%d,b=%d,a=%d)",
+			out.N, out.B, out.A, m.N, m.B, m.A)
+	}
+	// Resolve the unified block index space without materializing a block
+	// slice per call: [0,n) Diag, [n,2n−1) Lower, [2n−1,3n−1) Arrow, 3n−1 Tip.
+	n := int32(m.N)
+	for p, v := range vals {
+		idx := m.blockIdx[p]
+		var blk *dense.Matrix
+		switch {
+		case idx < n:
+			blk = out.Diag[idx]
+		case idx < 2*n-1:
+			blk = out.Lower[idx-n]
+		case idx < 3*n-1:
+			blk = out.Arrow[idx-(2*n-1)]
+		default:
+			blk = out.Tip
+		}
+		blk.Data[m.off[p]] = v
+	}
+	return nil
 }
 
 // buildMappings constructs the θ-invariant Q_p and Q_c patterns from a
@@ -166,11 +183,22 @@ func (m *Model) prototypeTheta() (*Theta, error) {
 // Qp assembles the prior precision as a BTA matrix (BT blocks plus a
 // decoupled fixed-effects tip) for the given configuration.
 func (m *Model) Qp(t *Theta) (*bta.Matrix, error) {
+	out := bta.NewMatrix(m.qpMap.N, m.qpMap.B, m.qpMap.A)
+	if err := m.QpInto(t, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// QpInto assembles the prior precision into an existing BTA workspace
+// (zero solver-side allocations; the sparse assembly itself still builds
+// its CSR scaffolding).
+func (m *Model) QpInto(t *Theta, out *bta.Matrix) error {
 	csr := m.QpCSR(t)
 	if csr.NNZ() != m.qpPattern.NNZ() {
-		return nil, fmt.Errorf("model: Q_p pattern drifted (%d vs %d nonzeros)", csr.NNZ(), m.qpPattern.NNZ())
+		return fmt.Errorf("model: Q_p pattern drifted (%d vs %d nonzeros)", csr.NNZ(), m.qpPattern.NNZ())
 	}
-	return m.qpMap.Apply(csr.Val)
+	return m.qpMap.ApplyInto(csr.Val, out)
 }
 
 // Qc assembles the conditional precision Q_c = Q_p + AᵀDA as a BTA matrix.
@@ -178,13 +206,27 @@ func (m *Model) Qc(t *Theta) (*bta.Matrix, error) {
 	return m.QcFromCSR(m.QcCSR(t))
 }
 
+// QcInto assembles the conditional precision into an existing workspace.
+func (m *Model) QcInto(t *Theta, out *bta.Matrix) error {
+	return m.QcFromCSRInto(m.QcCSR(t), out)
+}
+
 // QcFromCSR maps any process-major CSR with the model's Q_c pattern into
 // BTA form through the cached mapping — the entry point for non-Gaussian
 // conditional precisions whose values change every inner Newton iteration
 // while the pattern stays fixed.
 func (m *Model) QcFromCSR(csr *sparse.CSR) (*bta.Matrix, error) {
-	if csr.NNZ() != m.qcPattern.NNZ() {
-		return nil, fmt.Errorf("model: Q_c pattern drifted (%d vs %d nonzeros)", csr.NNZ(), m.qcPattern.NNZ())
+	out := bta.NewMatrix(m.qcMap.N, m.qcMap.B, m.qcMap.A)
+	if err := m.QcFromCSRInto(csr, out); err != nil {
+		return nil, err
 	}
-	return m.qcMap.Apply(csr.Val)
+	return out, nil
+}
+
+// QcFromCSRInto is QcFromCSR into an existing workspace.
+func (m *Model) QcFromCSRInto(csr *sparse.CSR, out *bta.Matrix) error {
+	if csr.NNZ() != m.qcPattern.NNZ() {
+		return fmt.Errorf("model: Q_c pattern drifted (%d vs %d nonzeros)", csr.NNZ(), m.qcPattern.NNZ())
+	}
+	return m.qcMap.ApplyInto(csr.Val, out)
 }

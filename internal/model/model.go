@@ -313,7 +313,7 @@ func (m *Model) QpCSR(t *Theta) *sparse.CSR {
 
 // NoiseW returns W = Λᵀ·diag(τ_y)·Λ, the nv×nv data-term mixing matrix.
 func NoiseW(t *Theta) *dense.Matrix {
-	lc := t.Lambda.Coreg()
+	lc := t.Lambda.CoregView()
 	nv := lc.Rows
 	w := dense.New(nv, nv)
 	for i := 0; i < nv; i++ {
@@ -380,38 +380,53 @@ func (m *Model) expandGramBlocks(coef func(i, j int) float64, g *sparse.CSR) *sp
 // CondRHS returns Aᵀ_eff·D·y in the permuted (BTA) ordering: the right-hand
 // side of the conditional-mean solve Q_c·μ = rhs.
 func (m *Model) CondRHS(t *Theta) []float64 {
+	dst := make([]float64, m.Dims.Total())
+	m.CondRHSInto(t, dst, make([]float64, m.Dims.Total()), make([]float64, m.Obs.M()))
+	return dst
+}
+
+// CondRHSInto computes the conditional right-hand side into dst without
+// allocating. pmScratch (length Total) holds the process-major intermediate
+// before permutation; obsScratch (length Obs.M) holds the weighted response
+// combination. dst must not alias pmScratch.
+func (m *Model) CondRHSInto(t *Theta, dst, pmScratch, obsScratch []float64) {
 	nv := m.Dims.Nv
 	n := m.Dims.PerProcess()
 	mObs := m.Obs.M()
-	lc := t.Lambda.Coreg()
-	rhs := make([]float64, m.Dims.Total())
-	buf := make([]float64, mObs)
-	col := make([]float64, n)
+	lc := t.Lambda.CoregView()
+	for i := range pmScratch {
+		pmScratch[i] = 0
+	}
 	for i := 0; i < nv; i++ {
 		// weighted response combination Σ_k Λ[k,i]·τ_k·y_k
 		for o := 0; o < mObs; o++ {
-			buf[o] = 0
+			obsScratch[o] = 0
 		}
 		for k := 0; k < nv; k++ {
 			f := lc.At(k, i) * t.TauY[k]
 			if f == 0 {
 				continue
 			}
-			dense.Axpy(f, m.Obs.Y[k], buf)
+			dense.Axpy(f, m.Obs.Y[k], obsScratch[:mObs])
 		}
-		m.aDesign.MulVecT(buf, col)
-		copy(rhs[i*n:(i+1)*n], col)
+		m.aDesign.MulVecT(obsScratch[:mObs], pmScratch[i*n:(i+1)*n])
 	}
-	return m.ApplyPerm(rhs)
+	m.ApplyPermInto(pmScratch, dst)
 }
 
 // ApplyPerm maps a process-major vector to the BTA (time-major) ordering.
 func (m *Model) ApplyPerm(x []float64) []float64 {
 	out := make([]float64, len(x))
-	for newI, oldI := range m.perm {
-		out[newI] = x[oldI]
-	}
+	m.ApplyPermInto(x, out)
 	return out
+}
+
+// ApplyPermInto maps a process-major vector to the BTA ordering into an
+// existing buffer (dst must not alias x).
+func (m *Model) ApplyPermInto(x, dst []float64) {
+	for newI, oldI := range m.perm {
+		dst[newI] = x[oldI]
+	}
 }
 
 // UnPerm maps a BTA-ordered vector back to process-major ordering.
@@ -433,7 +448,7 @@ func (m *Model) LogLik(t *Theta, xPermuted []float64) float64 {
 	nv := m.Dims.Nv
 	n := m.Dims.PerProcess()
 	mObs := m.Obs.M()
-	lc := t.Lambda.Coreg()
+	lc := t.Lambda.CoregView()
 	// u_j = A·x_j per process
 	u := make([][]float64, nv)
 	for j := 0; j < nv; j++ {
@@ -478,7 +493,7 @@ func (m *Model) PredictMean(t *Theta, xPermuted []float64, pts []mesh.Point, tim
 		u[j] = make([]float64, len(pts))
 		aNew.MulVec(x[j*n:(j+1)*n], u[j])
 	}
-	lc := t.Lambda.Coreg()
+	lc := t.Lambda.CoregView()
 	out := make([][]float64, d.Nv)
 	for k := 0; k < d.Nv; k++ {
 		out[k] = make([]float64, len(pts))
