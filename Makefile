@@ -1,16 +1,33 @@
 # DALIA-Go build/verify/bench targets.
 #
-#   make test    — tier-1 verification: vet + build + full test suite
-#   make bench   — microbenchmarks (testing.B, 1 iteration, with allocs)
-#   make baseline— write BENCH_1.json: the dense-engine perf baseline this
-#                  PR establishes, for future PRs to compare against
-#   make all     — everything above
+#   make test       — tier-1 verification: vet + build + full test suite
+#   make ci         — the CI pipeline locally: gofmt gate, tier-1, race,
+#                     purego fallback, then the non-blocking bench smoke
+#   make bench      — microbenchmarks (testing.B, 1 iteration, with allocs)
+#   make baseline   — write BENCH_$(PR).json: the perf baseline this PR
+#                     establishes (EXP selects the experiment; PR 1 wrote
+#                     the kernels baseline, PR 2 the serving baseline)
+#   make bench-smoke— regression gate: kernels GEMM rate vs the PR 1
+#                     baseline, fails beyond a 25% drop
+#   make all        — everything above
 
 GO ?= go
+# PR/BENCH parameterize the baseline artifact so successive PRs never
+# clobber earlier baselines (BENCH_1.json is the PR 1 kernels reference the
+# smoke compares against).
+PR ?= 2
+BENCH ?= BENCH_$(PR).json
+EXP ?= serving
 
-.PHONY: all test vet bench baseline
+.PHONY: all test vet fmt-check race purego bench baseline bench-smoke ci
 
 all: test bench baseline
+
+fmt-check:
+	@files=$$(gofmt -l .); \
+	if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -19,8 +36,21 @@ test: vet
 	$(GO) build ./...
 	$(GO) test ./...
 
+race:
+	$(GO) test -race ./...
+
+# Portable path: the amd64 assembly micro-kernel compiled out.
+purego:
+	$(GO) test -tags purego ./...
+
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
 
 baseline:
-	$(GO) run ./cmd/dalia-bench -exp=kernels -out BENCH_1.json
+	$(GO) run ./cmd/dalia-bench -exp=$(EXP) -out $(BENCH)
+
+bench-smoke:
+	$(GO) run ./cmd/dalia-bench -exp=kernels -compare BENCH_1.json
+
+ci: fmt-check test race purego
+	-$(MAKE) bench-smoke

@@ -10,7 +10,10 @@
 //
 // Experiments: table1, table4, fig4, fig5, fig6a, fig6b, fig7, app,
 // x1 (mapping), x3 (solver ablation), x4 (S2 ablation), x5 (lb sweep),
-// kernels (dense BLAS-3 engine GFLOP/s; -out writes a JSON perf baseline).
+// kernels (dense BLAS-3 engine GFLOP/s; -out writes a JSON perf baseline,
+// -compare checks GEMM rates against a stored baseline and fails on
+// regression), serving (posterior-prediction throughput; -out writes the
+// serving baseline BENCH_2.json).
 package main
 
 import (
@@ -43,7 +46,9 @@ func figExp(name, desc string, f func(bool) (*bench.Figure, error)) experiment {
 func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiments or 'all'")
 	quick := flag.Bool("quick", false, "trim sweeps for fast runs")
-	out := flag.String("out", "", "write the kernels experiment's JSON baseline to this path")
+	out := flag.String("out", "", "write the kernels/serving experiment's JSON baseline to this path")
+	compare := flag.String("compare", "", "kernels: compare against this stored baseline and exit 1 on >-maxregress GEMM regression")
+	maxRegress := flag.Float64("maxregress", 0.25, "maximum tolerated fractional GEMM GFLOP/s regression in -compare mode")
 	flag.Parse()
 
 	experiments := []experiment{
@@ -81,6 +86,34 @@ func main() {
 				}
 				fmt.Printf("    baseline written to %s\n", *out)
 			}
+			if *compare != "" {
+				stored, err := bench.LoadBaseline(*compare)
+				if err != nil {
+					return err
+				}
+				regs := bench.CompareKernels(base, stored, *maxRegress)
+				if len(regs) > 0 {
+					for _, r := range regs {
+						fmt.Fprintf(os.Stderr, "    REGRESSION %s\n", r)
+					}
+					return fmt.Errorf("%d GEMM regression(s) beyond %.0f%% vs %s", len(regs), *maxRegress*100, *compare)
+				}
+				fmt.Printf("    no GEMM regression beyond %.0f%% vs %s\n", *maxRegress*100, *compare)
+			}
+			return nil
+		}},
+		{"serving", "posterior-prediction serving throughput (engine + HTTP paths)", func(quick bool) error {
+			base, err := bench.Serving(quick)
+			if err != nil {
+				return err
+			}
+			bench.PrintServing(base, os.Stdout)
+			if *out != "" {
+				if err := bench.WriteServingBaseline(base, *out); err != nil {
+					return err
+				}
+				fmt.Printf("    baseline written to %s\n", *out)
+			}
 			return nil
 		}},
 	}
@@ -89,6 +122,13 @@ func main() {
 	runAll := *expFlag == "all"
 	for _, e := range strings.Split(*expFlag, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+
+	// -out is honored by both the kernels and serving experiments; refuse a
+	// selection where the second would silently overwrite the first's file.
+	if *out != "" && (runAll || (want["kernels"] && want["serving"])) {
+		fmt.Fprintln(os.Stderr, "-out with both kernels and serving selected would write two baselines to one path; pick one experiment")
+		os.Exit(2)
 	}
 
 	ran := 0

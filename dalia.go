@@ -39,6 +39,8 @@ import (
 	"github.com/dalia-hpc/dalia/internal/inla"
 	"github.com/dalia-hpc/dalia/internal/mesh"
 	"github.com/dalia-hpc/dalia/internal/model"
+	"github.com/dalia-hpc/dalia/internal/predict"
+	"github.com/dalia-hpc/dalia/internal/serve"
 	"github.com/dalia-hpc/dalia/internal/spde"
 	"github.com/dalia-hpc/dalia/internal/synth"
 )
@@ -108,6 +110,41 @@ type (
 	// Dataset bundles a generated model with its ground truth.
 	Dataset = synth.Dataset
 )
+
+// Posterior-prediction and serving types (the fit-once/serve-many layer).
+type (
+	// Predictor is a goroutine-safe posterior prediction engine bound to a
+	// fitted model: batched predictive means and variances at arbitrary new
+	// space-time locations through the mode-factorized Q_c.
+	Predictor = predict.Predictor
+	// PredictQuery asks for one response at one space-time location.
+	PredictQuery = predict.Query
+	// PredictOption customizes a Predictor (batch width, observation noise).
+	PredictOption = predict.Option
+	// Server is the dalia-serve HTTP application: a registry of fitted
+	// models with per-model request batching.
+	Server = serve.Server
+	// ServeOptions configures a Server (batch coalescing window).
+	ServeOptions = serve.Options
+)
+
+// NewPredictor builds a posterior prediction engine from a fit result,
+// factorizing Q_c at the fitted mode once.
+func NewPredictor(m *Model, res *Result, opts ...PredictOption) (*Predictor, error) {
+	return predict.New(m, res, opts...)
+}
+
+// WithPredictMaxBatch sets the predictor's multi-RHS coalescing width.
+func WithPredictMaxBatch(k int) PredictOption { return predict.WithMaxBatch(k) }
+
+// WithObservationNoise folds Gaussian observation noise into predictive
+// variances, giving the law of a new observation rather than of the latent
+// predictor.
+func WithObservationNoise() PredictOption { return predict.WithObservationNoise() }
+
+// NewServer builds an empty-registry batch inference server; mount
+// srv.Handler() on any HTTP listener.
+func NewServer(opts ServeOptions) *Server { return serve.New(opts) }
 
 // UniformMesh builds a structured triangulation of [0,w]×[0,h] with nx×ny
 // vertices.

@@ -21,7 +21,8 @@ const (
 // ukernel points at the best micro-kernel for this CPU. The initializer is
 // the portable Go kernel below (the default on every architecture);
 // kernel_amd64.go's init swaps in the assembly kernel when AVX2+FMA are
-// available.
+// available. Building with -tags purego compiles the assembly out entirely
+// — the portable-path configuration CI keeps green.
 var ukernel func(k int, a, b []float64, c []float64, ldc int) = ukernelGo
 
 // ukernelGo is the portable micro-kernel: C[r,j] += Σ_p a[p·MR+r]·b[p·NR+j]

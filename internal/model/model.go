@@ -429,6 +429,12 @@ func (m *Model) ApplyPermInto(x, dst []float64) {
 	}
 }
 
+// BTAIndex maps a process-major latent index to its position in the BTA
+// (time-major) ordering — the coordinate-level counterpart of ApplyPerm,
+// used by the prediction layer to scatter sparse projection rows directly
+// into solver-ordered right-hand sides without building a full vector.
+func (m *Model) BTAIndex(processMajor int) int { return m.permInv[processMajor] }
+
 // UnPerm maps a BTA-ordered vector back to process-major ordering.
 func (m *Model) UnPerm(x []float64) []float64 {
 	out := make([]float64, len(x))

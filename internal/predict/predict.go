@@ -1,0 +1,243 @@
+// Package predict turns a finished INLA fit into a reusable posterior
+// prediction engine: given the fitted hyperparameter mode, the factorized
+// conditional precision Q_c at that mode, and the latent posterior mean, it
+// computes posterior predictive means and variances of any response at
+// arbitrary new space-time locations — the downscaling/serving operation
+// the paper's fitted models exist to provide.
+//
+// For a query (point p, time t, response k, covariates c) the linear
+// predictor is η = φᵀx with the sparse cross-projection row
+//
+//	φ = Σ_j Λ[k,j]·( Σ_v w_v·e_{j,t,node_v} + Σ_r c_r·e_{j,fixed_r} )
+//
+// where w are the barycentric basis weights of p in the SPDE mesh. Under
+// the Gaussian posterior x ~ N(μ, Q_c⁻¹), the predictive law is
+//
+//	η ~ N(φᵀμ, φᵀ·Q_c⁻¹·φ),  φᵀQ_c⁻¹φ = ‖L⁻¹φ‖².
+//
+// Queries are batched: a whole batch of φ columns is half-solved through
+// the mode factor in one BLAS-3 multi-RHS sweep (bta.MultiSolve), and every
+// per-batch buffer comes from a pooled scratch arena, so the steady-state
+// prediction path performs zero heap allocations — the same fixed-memory
+// discipline the INLA mode search established for fitting.
+package predict
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/dalia-hpc/dalia/internal/bta"
+	"github.com/dalia-hpc/dalia/internal/inla"
+	"github.com/dalia-hpc/dalia/internal/mesh"
+	"github.com/dalia-hpc/dalia/internal/model"
+)
+
+// Query asks for the posterior predictive law of one response at one
+// space-time location.
+type Query struct {
+	Point mesh.Point
+	// T is the time index in [0, nt).
+	T int
+	// Response selects the response process k in [0, nv).
+	Response int
+	// Covariates holds the nr fixed-effect covariate values at the query
+	// location (e.g. intercept, elevation). nil means all-zero covariates,
+	// i.e. the spatio-temporal field contribution alone.
+	Covariates []float64
+}
+
+// Option customizes a Predictor.
+type Option func(*Predictor)
+
+// WithMaxBatch sets the number of queries coalesced into one multi-RHS
+// solve (default 64). Larger batches amortize the triangular sweeps better;
+// the scratch arena grows linearly with it.
+func WithMaxBatch(k int) Option { return func(p *Predictor) { p.maxBatch = k } }
+
+// WithObservationNoise adds the Gaussian observation noise 1/τ_k to every
+// predictive variance, turning the latent-predictor law into the posterior
+// predictive law of a new observation.
+func WithObservationNoise() Option { return func(p *Predictor) { p.includeNoise = true } }
+
+// Predictor is an immutable, goroutine-safe posterior prediction engine
+// bound to one fitted model. Construction factorizes Q_c at the mode once;
+// every subsequent batch reuses that factor.
+type Predictor struct {
+	m     *model.Model
+	theta *model.Theta
+	fc    *bta.Factor
+	mu    []float64 // latent posterior mean, BTA ordering
+
+	maxBatch     int
+	includeNoise bool
+
+	scratch sync.Pool // *batchScratch
+}
+
+// batchScratch is one worker's arena: the multi-RHS workspace whose columns
+// hold the φ rows and, after the half solve, L⁻¹φ.
+type batchScratch struct {
+	ms *bta.MultiSolve
+}
+
+// New builds a Predictor from a fitted result: the mode θ* is re-decoded,
+// Q_c(θ*) is assembled and factorized (inla.ModeFactor), and the latent
+// mean is copied out of the result so the predictor stays valid however the
+// result is used afterwards.
+func New(m *model.Model, res *inla.Result, opts ...Option) (*Predictor, error) {
+	t, fc, err := inla.ModeFactor(m, res.Theta)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Mu) != m.Dims.Total() {
+		return nil, fmt.Errorf("predict: latent mean length %d, want %d", len(res.Mu), m.Dims.Total())
+	}
+	p := &Predictor{
+		m:        m,
+		theta:    t,
+		fc:       fc,
+		mu:       append([]float64(nil), res.Mu...),
+		maxBatch: 64,
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	if p.maxBatch < 1 {
+		return nil, fmt.Errorf("predict: max batch %d < 1", p.maxBatch)
+	}
+	if p.includeNoise && m.Lik != model.LikGaussian {
+		return nil, fmt.Errorf("predict: observation noise is only defined for Gaussian likelihoods")
+	}
+	return p, nil
+}
+
+// Theta returns the decoded hyperparameter configuration the predictor is
+// bound to.
+func (p *Predictor) Theta() *model.Theta { return p.theta }
+
+// MaxBatch returns the multi-RHS coalescing width.
+func (p *Predictor) MaxBatch() int { return p.maxBatch }
+
+func (p *Predictor) getScratch() *batchScratch {
+	if ws, ok := p.scratch.Get().(*batchScratch); ok {
+		return ws
+	}
+	n, b, a := p.m.Dims.BTAShape()
+	return &batchScratch{ms: bta.NewMultiSolve(n, b, a, p.maxBatch)}
+}
+
+// Predict computes posterior predictive means and variances for the
+// queries, allocating the result slices. See PredictInto for the
+// allocation-free variant services use.
+func (p *Predictor) Predict(qs []Query) (means, vars []float64, err error) {
+	means = make([]float64, len(qs))
+	vars = make([]float64, len(qs))
+	if err := p.PredictInto(qs, means, vars); err != nil {
+		return nil, nil, err
+	}
+	return means, vars, nil
+}
+
+// PredictInto computes posterior predictive means and variances into the
+// caller-provided slices (len(qs) each). Queries are processed in coalesced
+// batches of up to MaxBatch columns per triangular sweep; after the pooled
+// scratch warms up, the path performs zero heap allocations.
+func (p *Predictor) PredictInto(qs []Query, means, vars []float64) error {
+	if len(means) < len(qs) || len(vars) < len(qs) {
+		return fmt.Errorf("predict: output length %d/%d for %d queries", len(means), len(vars), len(qs))
+	}
+	ws := p.getScratch()
+	defer p.scratch.Put(ws)
+	for lo := 0; lo < len(qs); lo += p.maxBatch {
+		hi := lo + p.maxBatch
+		if hi > len(qs) {
+			hi = len(qs)
+		}
+		if err := p.predictBatch(ws, qs[lo:hi], means[lo:hi], vars[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// predictBatch fills one φ column per query, accumulates the means against
+// μ during the fill, half-solves all columns at once, and reads the
+// variances back as column squared norms.
+func (p *Predictor) predictBatch(ws *batchScratch, qs []Query, means, vars []float64) error {
+	d := p.m.Dims
+	lc := p.theta.Lambda.CoregView()
+	msh := p.m.Builder.Mesh
+	per := d.PerProcess()
+	// Narrow the workspace to the batch width: a partially filled batch
+	// sweeps only the columns it uses.
+	ms := ws.ms.Narrow(len(qs))
+	rhs := ms.RHS
+	rhs.Zero()
+
+	for col, q := range qs {
+		if q.T < 0 || q.T >= d.Nt {
+			return fmt.Errorf("predict: query %d: time index %d outside [0,%d)", col, q.T, d.Nt)
+		}
+		if q.Response < 0 || q.Response >= d.Nv {
+			return fmt.Errorf("predict: query %d: response %d outside [0,%d)", col, q.Response, d.Nv)
+		}
+		if q.Covariates != nil && len(q.Covariates) != d.Nr {
+			return fmt.Errorf("predict: query %d: %d covariates, want %d", col, len(q.Covariates), d.Nr)
+		}
+		ti, bc, err := msh.Locate(q.Point)
+		if err != nil {
+			return fmt.Errorf("predict: query %d: %w", col, err)
+		}
+		tri := msh.Tri[ti]
+		var mean float64
+		for j := 0; j <= q.Response; j++ {
+			f := lc.At(q.Response, j)
+			if f == 0 {
+				continue
+			}
+			base := j * per
+			for v := 0; v < 3; v++ {
+				if bc[v] == 0 {
+					continue
+				}
+				idx := p.m.BTAIndex(base + q.T*d.Ns + tri[v])
+				w := f * bc[v]
+				rhs.Set(idx, col, rhs.At(idx, col)+w)
+				mean += w * p.mu[idx]
+			}
+			for r := 0; r < d.Nr && q.Covariates != nil; r++ {
+				c := q.Covariates[r]
+				if c == 0 {
+					continue
+				}
+				idx := p.m.BTAIndex(base + d.Ns*d.Nt + r)
+				w := f * c
+				rhs.Set(idx, col, rhs.At(idx, col)+w)
+				mean += w * p.mu[idx]
+			}
+		}
+		means[col] = mean
+	}
+
+	// One BLAS-3 half solve for the whole batch: columns become L⁻¹φ, whose
+	// squared norms are the predictive variances (nonnegative by
+	// construction).
+	p.fc.ForwardSolveMultiInto(ms)
+
+	for i := range qs {
+		vars[i] = 0
+	}
+	dim := ms.Dim()
+	for r := 0; r < dim; r++ {
+		row := rhs.Row(r)
+		for i := range qs {
+			vars[i] += row[i] * row[i]
+		}
+	}
+	if p.includeNoise {
+		for i, q := range qs {
+			vars[i] += 1 / p.theta.TauY[q.Response]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dalia-hpc/dalia/internal/predict"
+)
+
+// pending is one in-flight prediction request awaiting its batch: the
+// queries, the caller-owned result slices, and a completion signal.
+type pending struct {
+	qs          []predict.Query
+	means, vars []float64
+	err         error
+	done        chan struct{}
+}
+
+// batcher coalesces concurrent prediction requests against one registered
+// model into multi-RHS solves. A worker goroutine drains the request
+// channel: the first arrival opens a collection window, further requests
+// pack into the same batch until either the predictor's coalescing width is
+// reached (immediate flush, no waiting) or the window elapses. All queries
+// of a flushed batch go through one Predictor.PredictInto call — one
+// triangular sweep for everything that arrived together.
+type batcher struct {
+	pr         *predict.Predictor
+	window     time.Duration
+	ch         chan *pending
+	stop       chan struct{}
+	stopOnce   sync.Once
+	workerDone chan struct{}
+
+	// batch statistics (atomics; read by /stats)
+	batches      atomic.Int64
+	batchedQs    atomic.Int64
+	maxBatchSeen atomic.Int64
+}
+
+// newBatcher starts the worker. window 0 means flush as soon as the
+// channel momentarily drains (minimum latency, still coalescing whatever
+// is already queued).
+func newBatcher(pr *predict.Predictor, window time.Duration) *batcher {
+	b := &batcher{
+		pr: pr, window: window,
+		ch:         make(chan *pending, 64),
+		stop:       make(chan struct{}),
+		workerDone: make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// do submits a request and blocks until its batch completes.
+func (b *batcher) do(qs []predict.Query) ([]float64, []float64, error) {
+	p := &pending{
+		qs:    qs,
+		means: make([]float64, len(qs)),
+		vars:  make([]float64, len(qs)),
+		done:  make(chan struct{}),
+	}
+	select {
+	case b.ch <- p:
+	case <-b.stop:
+		return nil, nil, errStopped
+	}
+	// The send can race shutdown: both cases above may be ready and the
+	// enqueue land in a channel no worker reads anymore. Never wait on done
+	// alone once stop is closed — but prefer a completed result if the
+	// worker did pick the item up.
+	select {
+	case <-p.done:
+	case <-b.stop:
+		select {
+		case <-p.done:
+		default:
+			return nil, nil, errStopped
+		}
+	}
+	return p.means, p.vars, p.err
+}
+
+// shutdown stops the worker and waits for it to exit, so callers folding
+// the batcher's statistics afterwards see the final flush counted. Queued
+// and subsequent requests fail with errStopped. Safe to call repeatedly.
+func (b *batcher) shutdown() {
+	b.stopOnce.Do(func() { close(b.stop) })
+	<-b.workerDone
+}
+
+// stopped reports whether shutdown has begun.
+func (b *batcher) stopped() bool {
+	select {
+	case <-b.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (b *batcher) run() {
+	defer close(b.workerDone)
+	maxQ := b.pr.MaxBatch()
+	for {
+		var first *pending
+		select {
+		case first = <-b.ch:
+		case <-b.stop:
+			b.drainFailed()
+			return
+		}
+		// Both select cases may have been ready (Go picks randomly): honor
+		// shutdown over work received after stop closed, so the errStopped
+		// contract is deterministic.
+		if b.stopped() {
+			first.err = errStopped
+			close(first.done)
+			b.drainFailed()
+			return
+		}
+		batch := []*pending{first}
+		n := len(first.qs)
+
+		var timeout <-chan time.Time
+		if b.window > 0 {
+			timeout = time.After(b.window)
+		}
+	collect:
+		for n < maxQ {
+			if b.window > 0 {
+				// Window open: block until more work, the deadline, or stop.
+				select {
+				case p := <-b.ch:
+					batch = append(batch, p)
+					n += len(p.qs)
+				case <-timeout:
+					break collect
+				case <-b.stop:
+					break collect
+				}
+			} else {
+				// No window: take whatever is already queued, then flush.
+				select {
+				case p := <-b.ch:
+					batch = append(batch, p)
+					n += len(p.qs)
+				default:
+					break collect
+				}
+			}
+		}
+		b.flush(batch, n)
+	}
+}
+
+// flush concatenates the batch and runs one coalesced prediction pass.
+func (b *batcher) flush(batch []*pending, n int) {
+	qs := make([]predict.Query, 0, n)
+	for _, p := range batch {
+		qs = append(qs, p.qs...)
+	}
+	means := make([]float64, len(qs))
+	vars := make([]float64, len(qs))
+	err := b.pr.PredictInto(qs, means, vars)
+	// Count the batch before waking any requester: a client must never
+	// observe /stats missing the batch its own reply came from.
+	b.batches.Add(1)
+	b.batchedQs.Add(int64(n))
+	for {
+		cur := b.maxBatchSeen.Load()
+		if int64(n) <= cur || b.maxBatchSeen.CompareAndSwap(cur, int64(n)) {
+			break
+		}
+	}
+	off := 0
+	for _, p := range batch {
+		if err != nil {
+			p.err = err
+		} else {
+			copy(p.means, means[off:off+len(p.qs)])
+			copy(p.vars, vars[off:off+len(p.qs)])
+		}
+		off += len(p.qs)
+		close(p.done)
+	}
+}
+
+// drainFailed fails whatever was queued when shutdown raced a submit.
+func (b *batcher) drainFailed() {
+	for {
+		select {
+		case p := <-b.ch:
+			p.err = errStopped
+			close(p.done)
+		default:
+			return
+		}
+	}
+}

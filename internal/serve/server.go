@@ -1,0 +1,566 @@
+// Package serve implements the dalia-serve batch inference server: a
+// long-lived HTTP JSON service holding a registry of fitted
+// spatio-temporal models (fit once, serve many) and answering posterior
+// prediction queries through the internal/predict engine. Concurrent point
+// queries against the same model are coalesced by a per-model batcher into
+// single multi-RHS solves, so serving throughput scales with the BLAS-3
+// triangular sweep rather than with per-request vector solves.
+//
+// Endpoints:
+//
+//	GET    /healthz                   liveness probe
+//	GET    /stats                     serving counters (JSON)
+//	GET    /v1/models                 list registered models
+//	POST   /v1/models                 fit + register a model from a dataset spec
+//	GET    /v1/models/{name}          model card (dims, θ*, fit time)
+//	DELETE /v1/models/{name}          unregister
+//	POST   /v1/models/{name}/predict  batched posterior prediction
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dalia-hpc/dalia/internal/coreg"
+	"github.com/dalia-hpc/dalia/internal/inla"
+	"github.com/dalia-hpc/dalia/internal/mesh"
+	"github.com/dalia-hpc/dalia/internal/predict"
+	"github.com/dalia-hpc/dalia/internal/synth"
+)
+
+var errStopped = errors.New("serve: model unregistered while request was queued")
+
+// Options configures a Server.
+type Options struct {
+	// BatchWindow is how long the per-model batcher holds the first query
+	// of a batch open for concurrent arrivals. 0 flushes as soon as the
+	// queue momentarily drains (lowest latency, still coalescing bursts).
+	BatchWindow time.Duration
+}
+
+// Server is the dalia-serve HTTP application state.
+type Server struct {
+	opts  Options
+	start time.Time
+	mux   *http.ServeMux
+
+	mu      sync.RWMutex
+	models  map[string]*servedModel
+	fitting map[string]struct{} // names reserved by in-flight fits
+
+	// counters surfaced by /stats
+	fits        atomic.Int64
+	predictReqs atomic.Int64
+	queries     atomic.Int64
+	// batch counters of deleted models, folded in so /stats never moves
+	// backwards when a model is unregistered
+	retiredBatches   atomic.Int64
+	retiredBatchedQs atomic.Int64
+	retiredMaxBatch  atomic.Int64
+}
+
+// servedModel couples one fitted model with its prediction engine and
+// request batcher.
+type servedModel struct {
+	name       string
+	spec       string
+	dims       coreg.Dims
+	width      float64 // spatial domain extent [0,width]×[0,height] (km)
+	height     float64
+	theta      []float64
+	fitSeconds float64
+	createdAt  time.Time
+	pr         *predict.Predictor
+	batcher    *batcher
+}
+
+// New builds a server with an empty registry.
+func New(opts Options) *Server {
+	s := &Server{opts: opts, start: time.Now(), models: map[string]*servedModel{}, fitting: map[string]struct{}{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /v1/models", s.handleListModels)
+	mux.HandleFunc("POST /v1/models", s.handleFitModel)
+	mux.HandleFunc("GET /v1/models/{name}", s.handleGetModel)
+	mux.HandleFunc("DELETE /v1/models/{name}", s.handleDeleteModel)
+	mux.HandleFunc("POST /v1/models/{name}/predict", s.handlePredict)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP handler tree (also used by httptest servers and
+// the serving benchmark).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// --- request/response schemas ---
+
+// GenSpec is the JSON shape of a custom synthetic dataset configuration
+// (mirrors synth.GenConfig; Gaussian likelihood only — the serving API
+// predicts on the response scale).
+type GenSpec struct {
+	Nv         int     `json:"nv"`
+	Nt         int     `json:"nt"`
+	Nr         int     `json:"nr"`
+	MeshNx     int     `json:"mesh_nx"`
+	MeshNy     int     `json:"mesh_ny"`
+	Width      float64 `json:"width,omitempty"`
+	Height     float64 `json:"height,omitempty"`
+	ObsPerStep int     `json:"obs_per_step"`
+	Seed       int64   `json:"seed"`
+}
+
+// FitRequest registers a new model. Exactly one of Spec (a Table IV dataset
+// ID such as "MB1") or Gen must be given.
+type FitRequest struct {
+	Name string   `json:"name"`
+	Spec string   `json:"spec,omitempty"`
+	Gen  *GenSpec `json:"gen,omitempty"`
+	// MaxIter caps the BFGS mode search (default 25).
+	MaxIter int `json:"max_iter,omitempty"`
+	// IncludeNoise folds Gaussian observation noise into every predictive
+	// variance served by this model.
+	IncludeNoise bool `json:"include_noise,omitempty"`
+	// MaxBatch overrides the multi-RHS coalescing width (default 64).
+	MaxBatch int `json:"max_batch,omitempty"`
+}
+
+// QueryJSON is one prediction query.
+type QueryJSON struct {
+	X          float64   `json:"x"`
+	Y          float64   `json:"y"`
+	T          int       `json:"t"`
+	Response   int       `json:"response"`
+	Covariates []float64 `json:"covariates,omitempty"`
+}
+
+// PredictRequest asks for posterior predictive laws at a set of locations.
+type PredictRequest struct {
+	Queries []QueryJSON `json:"queries"`
+}
+
+// PredictResponse returns the predictive means, variances and standard
+// deviations in query order.
+type PredictResponse struct {
+	Mean     []float64 `json:"mean"`
+	Variance []float64 `json:"variance"`
+	SD       []float64 `json:"sd"`
+}
+
+// ModelInfo is the model card returned by the registry endpoints.
+type ModelInfo struct {
+	Name       string    `json:"name"`
+	Spec       string    `json:"spec,omitempty"`
+	Nv         int       `json:"nv"`
+	Ns         int       `json:"ns"`
+	Nt         int       `json:"nt"`
+	Nr         int       `json:"nr"`
+	LatentDim  int       `json:"latent_dim"`
+	Width      float64   `json:"width"`
+	Height     float64   `json:"height"`
+	Theta      []float64 `json:"theta"`
+	FitSeconds float64   `json:"fit_seconds"`
+	CreatedAt  time.Time `json:"created_at"`
+	MaxBatch   int       `json:"max_batch"`
+}
+
+// Stats is the /stats payload.
+type Stats struct {
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	Models          int     `json:"models"`
+	Fits            int64   `json:"fits"`
+	PredictRequests int64   `json:"predict_requests"`
+	Queries         int64   `json:"queries"`
+	Batches         int64   `json:"batches"`
+	AvgBatchSize    float64 `json:"avg_batch_size"`
+	MaxBatchSize    int64   `json:"max_batch_size"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	// Marshal before touching the response so an encoding failure can still
+	// surface as a 500 instead of a 200 with an empty body.
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(append(data, '\n'))
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	// Read the retired totals under the same lock deletion folds them
+	// under, so a model is always counted on exactly one side.
+	batches := s.retiredBatches.Load()
+	batchedQs := s.retiredBatchedQs.Load()
+	maxBatch := s.retiredMaxBatch.Load()
+	nModels := len(s.models)
+	for _, m := range s.models {
+		batches += m.batcher.batches.Load()
+		batchedQs += m.batcher.batchedQs.Load()
+		if mb := m.batcher.maxBatchSeen.Load(); mb > maxBatch {
+			maxBatch = mb
+		}
+	}
+	s.mu.RUnlock()
+	st := Stats{
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Models:          nModels,
+		Fits:            s.fits.Load(),
+		PredictRequests: s.predictReqs.Load(),
+		Queries:         s.queries.Load(),
+		Batches:         batches,
+		MaxBatchSize:    maxBatch,
+	}
+	if batches > 0 {
+		st.AvgBatchSize = float64(batchedQs) / float64(batches)
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	infos := make([]ModelInfo, 0, len(s.models))
+	for _, m := range s.models {
+		infos = append(infos, m.info())
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"models": infos})
+}
+
+func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookup(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no model %q", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, m.info())
+}
+
+func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	m, ok := s.models[name]
+	s.mu.RUnlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no model %q", name)
+		return
+	}
+	// Join the worker first so its final flush is counted, then fold the
+	// dead batcher's counters and remove the model in one critical section
+	// — /stats (which reads under the same lock) never sees the counters
+	// move backwards. Requests arriving while the batcher winds down fail
+	// with errStopped and are answered 404.
+	m.batcher.shutdown()
+	s.mu.Lock()
+	if _, still := s.models[name]; !still {
+		// A concurrent DELETE won the fold.
+		s.mu.Unlock()
+		writeErr(w, http.StatusNotFound, "no model %q", name)
+		return
+	}
+	delete(s.models, name)
+	s.retiredBatches.Add(m.batcher.batches.Load())
+	s.retiredBatchedQs.Add(m.batcher.batchedQs.Load())
+	for {
+		cur := s.retiredMaxBatch.Load()
+		mb := m.batcher.maxBatchSeen.Load()
+		if mb <= cur || s.retiredMaxBatch.CompareAndSwap(cur, mb) {
+			break
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (s *Server) handleFitModel(w http.ResponseWriter, r *http.Request) {
+	var req FitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, http.StatusBadRequest, "missing model name")
+		return
+	}
+	// Reserve the name before the (potentially multi-second) fit so a
+	// concurrent duplicate request conflicts immediately instead of both
+	// running the full INLA fit and one result being discarded.
+	s.mu.Lock()
+	_, exists := s.models[req.Name]
+	_, inFlight := s.fitting[req.Name]
+	if exists || inFlight {
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, "model %q already registered", req.Name)
+		return
+	}
+	s.fitting[req.Name] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.fitting, req.Name)
+		s.mu.Unlock()
+	}()
+	m, err := s.FitModel(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.Register(m); err != nil {
+		m.batcher.shutdown()
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, m.info())
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookup(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no model %q", r.PathValue("name"))
+		return
+	}
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, "no queries")
+		return
+	}
+	qs := make([]predict.Query, len(req.Queries))
+	for i, q := range req.Queries {
+		// Validate here so one malformed query cannot fail an entire
+		// coalesced batch of unrelated requests.
+		// The domain check below is false for NaN, and a NaN coordinate
+		// reaching mesh location would take down the whole coalesced batch
+		// — reject non-finite numbers explicitly.
+		if !isFinite(q.X) || !isFinite(q.Y) {
+			writeErr(w, http.StatusBadRequest, "query %d: non-finite coordinates (%g,%g)", i, q.X, q.Y)
+			return
+		}
+		if q.X < 0 || q.X > m.width || q.Y < 0 || q.Y > m.height {
+			writeErr(w, http.StatusBadRequest, "query %d: point (%g,%g) outside the model domain [0,%g]×[0,%g]",
+				i, q.X, q.Y, m.width, m.height)
+			return
+		}
+		for _, c := range q.Covariates {
+			if !isFinite(c) {
+				writeErr(w, http.StatusBadRequest, "query %d: non-finite covariate %g", i, c)
+				return
+			}
+		}
+		if q.T < 0 || q.T >= m.dims.Nt {
+			writeErr(w, http.StatusBadRequest, "query %d: time index %d outside [0,%d)", i, q.T, m.dims.Nt)
+			return
+		}
+		if q.Response < 0 || q.Response >= m.dims.Nv {
+			writeErr(w, http.StatusBadRequest, "query %d: response %d outside [0,%d)", i, q.Response, m.dims.Nv)
+			return
+		}
+		if q.Covariates != nil && len(q.Covariates) != m.dims.Nr {
+			writeErr(w, http.StatusBadRequest, "query %d: %d covariates, want %d", i, len(q.Covariates), m.dims.Nr)
+			return
+		}
+		qs[i] = predict.Query{
+			Point:      mesh.Point{X: q.X, Y: q.Y},
+			T:          q.T,
+			Response:   q.Response,
+			Covariates: q.Covariates,
+		}
+	}
+	means, vars, err := m.batcher.do(qs)
+	if errors.Is(err, errStopped) {
+		// The model was deleted while this request was queued: a client
+		// condition, not a server fault.
+		writeErr(w, http.StatusNotFound, "model %q was unregistered", r.PathValue("name"))
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.predictReqs.Add(1)
+	s.queries.Add(int64(len(qs)))
+	resp := PredictResponse{Mean: means, Variance: vars, SD: make([]float64, len(vars))}
+	for i, v := range vars {
+		resp.SD[i] = sqrt(v)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) lookup(name string) (*servedModel, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.models[name]
+	return m, ok
+}
+
+// FitModel generates the dataset, runs the INLA fit and builds the
+// prediction engine — the fit-once step of the registry. Exported so the
+// serving benchmark and the dalia-serve preload path can register models
+// without going through HTTP.
+func (s *Server) FitModel(req FitRequest) (*servedModel, error) {
+	gen, specID, err := resolveGen(req)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := synth.Generate(gen)
+	if err != nil {
+		return nil, fmt.Errorf("dataset generation: %w", err)
+	}
+	maxIter := req.MaxIter
+	if maxIter <= 0 {
+		maxIter = 25
+	}
+	opts := inla.DefaultFitOptions()
+	opts.Opt.MaxIter = maxIter
+	// Serving needs the mode and the latent posterior; the θ-uncertainty
+	// Hessian stage is skipped to keep registration fast.
+	opts.SkipHyperUncertainty = true
+	t0 := time.Now()
+	prior := inla.WeakPrior(ds.Theta0, 5)
+	res, err := inla.Fit(ds.Model, prior, ds.Theta0, opts)
+	if err != nil {
+		return nil, fmt.Errorf("fit: %w", err)
+	}
+	fitSecs := time.Since(t0).Seconds()
+	popts := []predict.Option{}
+	if req.IncludeNoise {
+		popts = append(popts, predict.WithObservationNoise())
+	}
+	if req.MaxBatch > 0 {
+		popts = append(popts, predict.WithMaxBatch(req.MaxBatch))
+	}
+	pr, err := predict.New(ds.Model, res, popts...)
+	if err != nil {
+		return nil, fmt.Errorf("predictor: %w", err)
+	}
+	width, height := gen.Width, gen.Height
+	if width == 0 {
+		width = 400 // synth.Generate's domain defaults
+	}
+	if height == 0 {
+		height = 300
+	}
+	return &servedModel{
+		name:       req.Name,
+		spec:       specID,
+		dims:       ds.Model.Dims,
+		width:      width,
+		height:     height,
+		theta:      append([]float64(nil), res.Theta...),
+		fitSeconds: fitSecs,
+		createdAt:  time.Now(),
+		pr:         pr,
+		batcher:    newBatcher(pr, s.opts.BatchWindow),
+	}, nil
+}
+
+// Register inserts an externally fitted model into the registry (the
+// non-HTTP twin of POST /v1/models, used by preloading and benchmarks).
+func (s *Server) Register(m *servedModel) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.models[m.name]; ok {
+		return fmt.Errorf("serve: model %q already registered", m.name)
+	}
+	s.models[m.name] = m
+	s.fits.Add(1)
+	return nil
+}
+
+// resolveGen turns a FitRequest into a concrete generation config.
+func resolveGen(req FitRequest) (synth.GenConfig, string, error) {
+	switch {
+	case req.Spec != "" && req.Gen != nil:
+		return synth.GenConfig{}, "", fmt.Errorf("give either spec or gen, not both")
+	case req.Spec != "":
+		id := strings.ToUpper(req.Spec)
+		for _, sp := range synth.AllSpecs() {
+			if sp.ID == id {
+				return sp.Gen, sp.ID, nil
+			}
+		}
+		return synth.GenConfig{}, "", fmt.Errorf("unknown dataset spec %q", req.Spec)
+	case req.Gen != nil:
+		g := req.Gen
+		if g.Nv < 1 || g.Nt < 1 || g.MeshNx < 2 || g.MeshNy < 2 || g.ObsPerStep < 1 {
+			return synth.GenConfig{}, "", fmt.Errorf("invalid gen config: need nv≥1, nt≥1, mesh≥2×2, obs_per_step≥1")
+		}
+		if g.Width < 0 || g.Height < 0 {
+			return synth.GenConfig{}, "", fmt.Errorf("invalid gen config: negative domain extent %g×%g", g.Width, g.Height)
+		}
+		return synth.GenConfig{
+			Nv: g.Nv, Nt: g.Nt, Nr: g.Nr,
+			MeshNx: g.MeshNx, MeshNy: g.MeshNy,
+			Width: g.Width, Height: g.Height,
+			ObsPerStep: g.ObsPerStep,
+			Seed:       g.Seed,
+		}, "", nil
+	default:
+		return synth.GenConfig{}, "", fmt.Errorf("missing dataset spec: give spec or gen")
+	}
+}
+
+// Predictor exposes the model's prediction engine (used by the serving
+// benchmark to measure the raw engine path next to the HTTP path).
+func (m *servedModel) Predictor() *predict.Predictor { return m.pr }
+
+// Dims exposes the model's dimensions.
+func (m *servedModel) Dims() coreg.Dims { return m.dims }
+
+func (m *servedModel) info() ModelInfo {
+	return ModelInfo{
+		Name:       m.name,
+		Spec:       m.spec,
+		Nv:         m.dims.Nv,
+		Ns:         m.dims.Ns,
+		Nt:         m.dims.Nt,
+		Nr:         m.dims.Nr,
+		LatentDim:  m.dims.Total(),
+		Width:      m.width,
+		Height:     m.height,
+		Theta:      m.theta,
+		FitSeconds: m.fitSeconds,
+		CreatedAt:  m.createdAt,
+		MaxBatch:   m.pr.MaxBatch(),
+	}
+}
+
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// sqrt clamps tiny negative roundoff to zero before math.Sqrt.
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
