@@ -6,18 +6,21 @@
 #   make bench      — microbenchmarks (testing.B, 1 iteration, with allocs)
 #   make baseline   — write BENCH_$(PR).json: the perf baseline this PR
 #                     establishes (EXP selects the experiment; PR 1 wrote
-#                     the kernels baseline, PR 2 the serving baseline)
-#   make bench-smoke— regression gate: kernels GEMM rate vs the PR 1
-#                     baseline, fails beyond a 25% drop
+#                     the kernels baseline, PR 2 the serving baseline,
+#                     PR 3 the parallel-in-time baseline)
+#   make bench-smoke— regression gates: kernels GEMM rate vs BENCH_1.json
+#                     (25% floor), serving engine path vs BENCH_2.json and
+#                     pintime rates vs BENCH_3.json (40% floors — the
+#                     quick-mode runs are shorter and noisier)
 #   make all        — everything above
 
 GO ?= go
 # PR/BENCH parameterize the baseline artifact so successive PRs never
 # clobber earlier baselines (BENCH_1.json is the PR 1 kernels reference the
 # smoke compares against).
-PR ?= 2
+PR ?= 3
 BENCH ?= BENCH_$(PR).json
-EXP ?= serving
+EXP ?= pintime
 
 .PHONY: all test vet fmt-check race purego bench baseline bench-smoke ci
 
@@ -51,6 +54,8 @@ baseline:
 
 bench-smoke:
 	$(GO) run ./cmd/dalia-bench -exp=kernels -compare BENCH_1.json
+	$(GO) run ./cmd/dalia-bench -exp=serving -quick -compare BENCH_2.json -maxregress 0.4
+	$(GO) run ./cmd/dalia-bench -exp=pintime -quick -compare BENCH_3.json -maxregress 0.4
 
 ci: fmt-check test race purego
 	-$(MAKE) bench-smoke

@@ -13,7 +13,10 @@
 // kernels (dense BLAS-3 engine GFLOP/s; -out writes a JSON perf baseline,
 // -compare checks GEMM rates against a stored baseline and fails on
 // regression), serving (posterior-prediction throughput; -out writes the
-// serving baseline BENCH_2.json).
+// serving baseline BENCH_2.json, -compare gates the engine path against
+// one), pintime (parallel-in-time BTA engine: single-evaluation latency
+// and selected-inversion throughput vs partitions; -out writes
+// BENCH_3.json, -compare gates against one).
 package main
 
 import (
@@ -46,9 +49,9 @@ func figExp(name, desc string, f func(bool) (*bench.Figure, error)) experiment {
 func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiments or 'all'")
 	quick := flag.Bool("quick", false, "trim sweeps for fast runs")
-	out := flag.String("out", "", "write the kernels/serving experiment's JSON baseline to this path")
-	compare := flag.String("compare", "", "kernels: compare against this stored baseline and exit 1 on >-maxregress GEMM regression")
-	maxRegress := flag.Float64("maxregress", 0.25, "maximum tolerated fractional GEMM GFLOP/s regression in -compare mode")
+	out := flag.String("out", "", "write the kernels/serving/pintime experiment's JSON baseline to this path")
+	compare := flag.String("compare", "", "kernels/serving/pintime: compare against this stored baseline and exit 1 on a >-maxregress rate regression")
+	maxRegress := flag.Float64("maxregress", 0.25, "maximum tolerated fractional rate regression in -compare mode")
 	flag.Parse()
 
 	experiments := []experiment{
@@ -114,6 +117,53 @@ func main() {
 				}
 				fmt.Printf("    baseline written to %s\n", *out)
 			}
+			if *compare != "" {
+				stored, err := bench.LoadServingBaseline(*compare)
+				if err != nil {
+					return err
+				}
+				regs := bench.CompareServing(base, stored, *maxRegress)
+				if len(regs) > 0 {
+					for _, r := range regs {
+						fmt.Fprintf(os.Stderr, "    REGRESSION %s\n", r)
+					}
+					return fmt.Errorf("%d serving regression(s) beyond %.0f%% vs %s", len(regs), *maxRegress*100, *compare)
+				}
+				fmt.Printf("    no engine-path regression beyond %.0f%% vs %s\n", *maxRegress*100, *compare)
+			}
+			return nil
+		}},
+		{"pintime", "parallel-in-time BTA engine (single-eval latency, selected-inversion throughput)", func(quick bool) error {
+			base, err := bench.Pintime(quick)
+			if err != nil {
+				return err
+			}
+			bench.PrintPintime(base, os.Stdout)
+			if *out != "" {
+				if err := bench.WritePintimeBaseline(base, *out); err != nil {
+					return err
+				}
+				fmt.Printf("    baseline written to %s\n", *out)
+			}
+			if *compare != "" {
+				stored, err := bench.LoadPintimeBaseline(*compare)
+				if err != nil {
+					return err
+				}
+				if !bench.PintimeComparable(base, stored) {
+					fmt.Printf("    gate skipped: GOMAXPROCS %d here vs %d in %s (latencies not comparable)\n",
+						base.GoMaxProcs, stored.GoMaxProcs, *compare)
+					return nil
+				}
+				regs := bench.ComparePintime(base, stored, *maxRegress)
+				if len(regs) > 0 {
+					for _, r := range regs {
+						fmt.Fprintf(os.Stderr, "    REGRESSION %s\n", r)
+					}
+					return fmt.Errorf("%d pintime regression(s) beyond %.0f%% vs %s", len(regs), *maxRegress*100, *compare)
+				}
+				fmt.Printf("    no pintime regression beyond %.0f%% vs %s\n", *maxRegress*100, *compare)
+			}
 			return nil
 		}},
 	}
@@ -124,10 +174,16 @@ func main() {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
 	}
 
-	// -out is honored by both the kernels and serving experiments; refuse a
-	// selection where the second would silently overwrite the first's file.
-	if *out != "" && (runAll || (want["kernels"] && want["serving"])) {
-		fmt.Fprintln(os.Stderr, "-out with both kernels and serving selected would write two baselines to one path; pick one experiment")
+	// -out is honored by several experiments; refuse a selection where a
+	// later one would silently overwrite an earlier one's file.
+	nOut := 0
+	for _, name := range []string{"kernels", "serving", "pintime"} {
+		if runAll || want[name] {
+			nOut++
+		}
+	}
+	if *out != "" && nOut > 1 {
+		fmt.Fprintln(os.Stderr, "-out with several baseline-writing experiments selected would write them to one path; pick one of kernels/serving/pintime")
 		os.Exit(2)
 	}
 

@@ -89,12 +89,22 @@ type (
 type (
 	// BTAMatrix is a block-tridiagonal-arrowhead matrix with dense blocks.
 	BTAMatrix = bta.Matrix
-	// BTAFactor is its Cholesky factorization.
+	// BTAFactor is its sequential Cholesky factorization.
 	BTAFactor = bta.Factor
+	// BTASolver is the common solver surface of the sequential and
+	// parallel-in-time backends (Refactorize, Solve, multi-RHS solves,
+	// LogDet, selected inversion).
+	BTASolver = bta.Solver
+	// ParallelBTAFactor is the shared-memory parallel-in-time factorization
+	// (PPOBTAF/PPOBTAS/PPOBTASI over goroutine partitions).
+	ParallelBTAFactor = bta.ParallelFactor
 )
 
 // Simulated distributed-machine types.
 type (
+	// SharedPlan is the shared-memory scheduling plan of one evaluation
+	// batch (point workers × S2 pipelines × parallel-in-time partitions).
+	SharedPlan = inla.SharedPlan
 	// ClusterConfig configures a simulated distributed INLA run.
 	ClusterConfig = inla.DistConfig
 	// ClusterReport carries the virtual-time statistics of a run.
@@ -247,6 +257,29 @@ func Exceedance(m *Model, theta []float64, samples [][]float64,
 // FactorizeBTA computes the block Cholesky factorization of a BTA matrix
 // (the sequential POBTAF routine).
 func FactorizeBTA(m *BTAMatrix) (*BTAFactor, error) { return bta.Factorize(m) }
+
+// NewBTASolver builds a structured solver for the BTA shape at the given
+// parallel-in-time width: partitions ≤ 1 yields the sequential Factor,
+// larger widths the shared-memory ParallelFactor (clamped to what the time
+// dimension supports). The solver is reusable across Refactorize calls and
+// allocation-free after warmup.
+func NewBTASolver(n, b, a, partitions int) (BTASolver, error) {
+	return bta.NewSolver(n, b, a, partitions)
+}
+
+// NewParallelBTAFactor allocates a parallel-in-time BTA factorization over
+// the given number of partitions of the time dimension.
+func NewParallelBTAFactor(n, b, a, partitions int) (*ParallelBTAFactor, error) {
+	return bta.NewParallelFactor(n, b, a, partitions)
+}
+
+// PlanEvalBatch computes the shared-memory layer assignment for a batch of
+// the given width on a core budget (0 = GOMAXPROCS): point-level
+// parallelism first, spare cores as parallel-in-time partitions inside
+// each factorization.
+func PlanEvalBatch(width, cores, ntBlocks int, s2 bool) inla.SharedPlan {
+	return inla.PlanBatch(width, cores, ntBlocks, s2)
+}
 
 // NewBTAMatrix allocates a zeroed BTA matrix with n diagonal blocks of size
 // b and arrow width a.

@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/dalia-hpc/dalia/internal/bta"
+	"github.com/dalia-hpc/dalia/internal/inla"
+	"github.com/dalia-hpc/dalia/internal/synth"
+)
+
+// PintimeResult is one measured point of the parallel-in-time experiment.
+type PintimeResult struct {
+	// Kind is "evalbatch1" (a full width-1 EvalBatch: assembly + S2
+	// pipelines + factorization + solve), "factor" (Refactorize + Solve +
+	// LogDet on Q_c), or "selinv" (SelectedInversionInto on the factor).
+	Kind string `json:"kind"`
+	// Partitions is the parallel-in-time width the point ran at.
+	Partitions int     `json:"partitions"`
+	Seconds    float64 `json:"seconds"` // latency per operation
+	PerSec     float64 `json:"per_sec"`
+	// Speedup is relative to the same kind's partitions=1 row.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// PintimeBaseline is the serialized parallel-in-time baseline
+// (BENCH_3.json): single-evaluation latency and selected-inversion
+// throughput of the shared-memory PPOBTAF engine versus the sequential
+// chain. NumCPU records the hardware parallelism the numbers were taken
+// at — speedups are only meaningful when it matches or exceeds the
+// partition width (a 1-core host measures scheduling overhead, not
+// parallel speedup).
+type PintimeBaseline struct {
+	GoMaxProcs int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"num_cpu"`
+	Nt         int             `json:"nt"`
+	BlockSize  int             `json:"block_size"`
+	ArrowSize  int             `json:"arrow_size"`
+	Results    []PintimeResult `json:"results"`
+}
+
+// pintimeParts is the fixed partition sweep of the factor-level rows.
+var pintimeParts = []int{1, 2, 4}
+
+// Pintime measures the parallel-in-time BTA engine on a time-deep
+// trivariate model (nt = 64, b = 90): width-1 EvalBatch latency on the
+// sequential path versus the width-1 scheduling plan, then the raw
+// factorization and selected-inversion rates across partition counts.
+// quick trims repetitions, not the grid.
+func Pintime(quick bool) (*PintimeBaseline, error) {
+	ds, err := synth.Generate(synth.GenConfig{
+		Nv: 3, Nt: 64, Nr: 2,
+		MeshNx: 6, MeshNy: 5,
+		ObsPerStep: 40,
+		Seed:       23,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := ds.Model
+	n, b, a := m.Dims.BTAShape()
+	out := &PintimeBaseline{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Nt:         n, BlockSize: b, ArrowSize: a,
+	}
+	reps := 5
+	if quick {
+		reps = 2
+	}
+	prior := inla.WeakPrior(ds.Theta0, 5)
+	point := [][]float64{ds.Theta0}
+
+	// Width-1 EvalBatch: the line-search / posterior latency wall. The
+	// sequential row pins Partitions=1; the planned row lets the width-1
+	// scheduling plan spend the spare cores inside the factorization.
+	plan := inla.PlanBatch(1, 0, n, true)
+	var seqEval float64
+	for _, partitions := range []int{1, plan.Partitions} {
+		e := &inla.BTAEvaluator{Model: m, Prior: prior, S2: true, Partitions: partitions}
+		e.EvalBatch(point) // warm the scratch pool
+		secs := timeIt(reps, func() { e.EvalBatch(point) })
+		r := PintimeResult{Kind: "evalbatch1", Partitions: partitions,
+			Seconds: secs, PerSec: 1 / secs}
+		if partitions == 1 {
+			seqEval = secs
+		} else if seqEval > 0 {
+			r.Speedup = seqEval / secs
+		}
+		out.Results = append(out.Results, r)
+		if partitions == 1 && plan.Partitions == 1 {
+			// Single-core plan: the rows coincide; keep one.
+			break
+		}
+	}
+
+	// Factor-level rows: Refactorize + Solve + LogDet, and the selected
+	// inversion, across the partition sweep on Q_c(θ0).
+	th, err := m.DecodeTheta(ds.Theta0)
+	if err != nil {
+		return nil, err
+	}
+	qc, err := m.Qc(th)
+	if err != nil {
+		return nil, err
+	}
+	rhs0 := make([]float64, qc.Dim())
+	for i := range rhs0 {
+		rhs0[i] = float64(i%7) - 3
+	}
+	rhs := make([]float64, len(rhs0))
+	sig := bta.NewMatrix(n, b, a)
+	var seqFactor, seqSelinv float64
+	for _, p := range pintimeParts {
+		// Mirror NewSolver's clamp: a width it would silently reduce must
+		// not be reported (and baseline-gated) under the requested label.
+		if p > bta.MaxUsefulPartitions(n) {
+			continue
+		}
+		s, err := bta.NewSolver(n, b, a, p)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Refactorize(qc); err != nil {
+			return nil, err
+		}
+		if err := s.SelectedInversionInto(sig); err != nil {
+			return nil, err
+		}
+		secs := timeIt(reps, func() {
+			if err := s.Refactorize(qc); err != nil {
+				panic(err)
+			}
+			copy(rhs, rhs0)
+			s.Solve(rhs)
+			_ = s.LogDet()
+		})
+		r := PintimeResult{Kind: "factor", Partitions: p, Seconds: secs, PerSec: 1 / secs}
+		if p == 1 {
+			seqFactor = secs
+		} else {
+			r.Speedup = seqFactor / secs
+		}
+		out.Results = append(out.Results, r)
+
+		secs = timeIt(reps, func() {
+			if err := s.SelectedInversionInto(sig); err != nil {
+				panic(err)
+			}
+		})
+		r = PintimeResult{Kind: "selinv", Partitions: p, Seconds: secs, PerSec: 1 / secs}
+		if p == 1 {
+			seqSelinv = secs
+		} else {
+			r.Speedup = seqSelinv / secs
+		}
+		out.Results = append(out.Results, r)
+	}
+	return out, nil
+}
+
+// WritePintimeBaseline serializes the parallel-in-time baseline.
+func WritePintimeBaseline(b *PintimeBaseline, path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadPintimeBaseline reads a stored parallel-in-time baseline back in.
+func LoadPintimeBaseline(path string) (*PintimeBaseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b PintimeBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("bench: parse pintime baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// PintimeComparable reports whether two pintime runs can be gated against
+// each other: these are latency measurements whose goroutine fan-out
+// scales with the scheduler width, so a GOMAXPROCS mismatch would flag the
+// host configuration rather than a code regression. Callers should check
+// it (and tell the user the gate was skipped) before ComparePintime.
+func PintimeComparable(cur, base *PintimeBaseline) bool {
+	return cur.GoMaxProcs == base.GoMaxProcs
+}
+
+// ComparePintime checks the current measurements against a stored baseline
+// and returns one description per regression: a (kind, partitions) point
+// whose rate fell below (1−maxRegress) of the baseline. Points present in
+// only one set are skipped, as are points too short to time reliably.
+// Incomparable runs (PintimeComparable false) yield no regressions.
+func ComparePintime(cur, base *PintimeBaseline, maxRegress float64) []string {
+	if !PintimeComparable(cur, base) {
+		return nil
+	}
+	key := func(r PintimeResult) string { return fmt.Sprintf("%s/p=%d", r.Kind, r.Partitions) }
+	baseRate := map[string]float64{}
+	for _, r := range base.Results {
+		if r.PerSec > 0 && r.Seconds >= minCompareSeconds {
+			baseRate[key(r)] = r.PerSec
+		}
+	}
+	var regressions []string
+	for _, r := range cur.Results {
+		if r.PerSec <= 0 || r.Seconds < minCompareSeconds {
+			continue
+		}
+		want, ok := baseRate[key(r)]
+		if !ok {
+			continue
+		}
+		floor := want * (1 - maxRegress)
+		if r.PerSec < floor {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.2f ops/s vs baseline %.2f (floor %.2f, −%.0f%%)",
+					key(r), r.PerSec, want, floor, 100*(1-r.PerSec/want)))
+		}
+	}
+	return regressions
+}
+
+// PrintPintime renders the parallel-in-time table.
+func PrintPintime(b *PintimeBaseline, w *os.File) {
+	fmt.Fprintf(w, "  parallel-in-time BTA engine (nt=%d, b=%d, a=%d, GOMAXPROCS=%d, %d hardware CPUs)\n",
+		b.Nt, b.BlockSize, b.ArrowSize, b.GoMaxProcs, b.NumCPU)
+	if b.NumCPU < 2 {
+		fmt.Fprintf(w, "  note: single hardware CPU — partition rows measure scheduling overhead, not speedup\n")
+	}
+	fmt.Fprintf(w, "  %-12s %10s %12s %10s %8s\n", "kind", "partitions", "latency", "ops/s", "speedup")
+	for _, r := range b.Results {
+		sp := "-"
+		if r.Speedup > 0 {
+			sp = fmt.Sprintf("%.2fx", r.Speedup)
+		}
+		fmt.Fprintf(w, "  %-12s %10d %12s %10.1f %8s\n",
+			r.Kind, r.Partitions, fmtDuration(r.Seconds), r.PerSec, sp)
+	}
+}
+
+// fmtDuration renders a latency in adaptive units.
+func fmtDuration(secs float64) string {
+	return time.Duration(float64(time.Second) * secs).Round(time.Microsecond).String()
+}

@@ -320,96 +320,43 @@ func ppobtafSingle(c *comm.Comm, local *LocalBTA, f *DistFactor) (*DistFactor, e
 	return f, nil
 }
 
-// eliminateInteriors runs the rank-local phase of PPOBTAF.
+// eliminateInteriors runs the rank-local phase of PPOBTAF by delegating to
+// the shared per-partition elimination core (partitionElim), which the
+// shared-memory ParallelFactor drives as well.
 func (f *DistFactor) eliminateInteriors(local *LocalBTA) error {
 	lo := local.Part.Lo
 	hasArrow := f.a > 0
-	twoSided := f.rank != 0
 
-	// Working fill coupling M(lo, k): starts as the transpose of the
-	// partition's first sub-diagonal block.
-	var tCur *dense.Matrix
-	if twoSided && len(local.Lower) > 0 {
-		tCur = f.newBB()
-		local.Lower[0].TransposeInto(tCur)
+	pe := &partitionElim{
+		Diag:      local.Diag,
+		Lower:     local.Lower,
+		Arrow:     local.Arrow,
+		Interiors: f.interior,
+		Base:      lo,
+		TwoSided:  f.rank != 0,
+		NewBB:     f.newBB,
+		Kind:      "rank",
+		ID:        f.rank,
 	}
 	if hasArrow {
 		f.tipDelta = f.newTipDelta()
+		pe.TipDelta = f.tipDelta
 	}
-
-	for _, k := range f.interior {
-		rel := k - lo
-		lk := local.Diag[rel]
-		if err := dense.Potrf(lk); err != nil {
-			// Park the in-flight fill block where Reclaim looks for it, so
-			// a failed (infeasible-θ) factorization returns every recycled
-			// block to the scratch.
-			f.fill = tCur
-			return fmt.Errorf("bta: rank %d interior block %d: %w", f.rank, k, err)
-		}
-		lk.ZeroUpper()
-		f.l = append(f.l, lk)
-
-		var gNext, gTop, gArr *dense.Matrix
-		if rel < len(local.Lower) { // a next block exists within the partition
-			gNext = local.Lower[rel]
-			dense.Trsm(dense.Right, dense.Trans, lk, gNext)
-		}
-		if twoSided {
-			gTop = tCur
-			dense.Trsm(dense.Right, dense.Trans, lk, gTop)
-		}
-		if hasArrow {
-			gArr = local.Arrow[rel]
-			dense.Trsm(dense.Right, dense.Trans, lk, gArr)
-		}
-		f.gNext = append(f.gNext, gNext)
-		f.gTop = append(f.gTop, gTop)
-		f.gArr = append(f.gArr, gArr)
-
-		// Schur updates onto the remaining neighbours {k+1, lo, arrow}.
-		if gNext != nil {
-			dense.Syrk(dense.NoTrans, -1, gNext, 1, local.Diag[rel+1])
-			local.Diag[rel+1].MirrorLowerToUpper()
-		}
-		if twoSided && gTop != nil {
-			dense.Syrk(dense.NoTrans, -1, gTop, 1, local.Diag[0])
-			local.Diag[0].MirrorLowerToUpper()
-			if gNext != nil {
-				tNext := f.newBB()
-				dense.Gemm(dense.NoTrans, dense.Trans, -1, gTop, gNext, 0, tNext)
-				tCur = tNext
-			} else {
-				tCur = nil
-			}
-		}
-		if hasArrow {
-			if gNext != nil {
-				dense.Gemm(dense.NoTrans, dense.Trans, -1, gArr, gNext, 1, local.Arrow[rel+1])
-			}
-			if twoSided && gTop != nil {
-				dense.Gemm(dense.NoTrans, dense.Trans, -1, gArr, gTop, 1, local.Arrow[0])
-			}
-			dense.Syrk(dense.NoTrans, -1, gArr, 1, f.tipDelta)
-			f.tipDelta.MirrorLowerToUpper()
-		}
+	err := pe.run()
+	// Transfer the sweep outputs even on failure: partially appended fill
+	// blocks must stay reachable for DistScratch.Reclaim.
+	f.l, f.gNext, f.gTop, f.gArr = pe.L, pe.GNext, pe.GTop, pe.GArr
+	f.fill = pe.Fill
+	if err != nil {
+		return err
 	}
 
 	// Record boundary state.
 	for _, gbl := range boundaries(local.Part, f.rank, f.p) {
-		rel := gbl - lo
-		f.bndDiag = append(f.bndDiag, local.Diag[rel])
+		f.bndDiag = append(f.bndDiag, local.Diag[gbl-lo])
 		if hasArrow {
-			f.bndArrow = append(f.bndArrow, local.Arrow[rel])
+			f.bndArrow = append(f.bndArrow, local.Arrow[gbl-lo])
 		}
-	}
-	if f.rank != 0 && f.rank != f.p-1 {
-		// Middle partition: remaining coupling between its two boundaries.
-		// With no interiors (size-2 partition) tCur still holds the
-		// untouched Lower[0]ᵀ prepared before the loop; with interiors it is
-		// the final, unconsumed fill coupling. Either way it is the
-		// remaining boundary-boundary block.
-		f.fill = tCur
 	}
 	f.localTopCoupling = local.TopCoupling
 	f.localTip = local.Tip

@@ -1,0 +1,128 @@
+package bta
+
+import (
+	"fmt"
+
+	"github.com/dalia-hpc/dalia/internal/dense"
+)
+
+// partitionElim is the single shared implementation of one partition's
+// interior elimination phase of PPOBTAF — the two-sided (or, for the first
+// partition, one-sided) block Cholesky sweep of §IV-C. Both distributed
+// backends drive it: the comm-based DistFactor feeds it rank-local slices,
+// the shared-memory ParallelFactor feeds it sub-slices of the global block
+// storage. All indices are partition-relative.
+//
+// The sweep consumes Diag/Lower/Arrow as workspace: on return Diag[k] of an
+// eliminated block holds L_kk, Lower[k] holds the scaled next-coupling
+// L_{k+1,k}, Arrow[k] the scaled arrow coupling L_{a,k}, the partition's
+// boundary Diag/Arrow blocks hold their accumulated Schur updates, and the
+// fill-coupling chain M(lo,·) lives in blocks drawn from NewBB.
+type partitionElim struct {
+	Diag  []*dense.Matrix // the partition's diagonal blocks
+	Lower []*dense.Matrix // within-partition sub-diagonal couplings (len size−1)
+	Arrow []*dense.Matrix // arrow couplings (nil when no arrowhead)
+
+	Interiors []int // global block indices, elimination order
+	Base      int   // global index of the partition's first block
+	TwoSided  bool  // non-first partitions also update their top boundary
+
+	// Kind and ID identify the partition in error messages ("rank" for the
+	// comm backend, "partition" for the shared-memory one) — static values,
+	// so the success path never formats a label.
+	Kind string
+	ID   int
+
+	// NewBB supplies b×b fill-chain blocks (recycled scratch or fresh).
+	NewBB func() *dense.Matrix
+	// TipDelta is the zeroed a×a Schur accumulator for the arrow tip
+	// (nil when no arrowhead).
+	TipDelta *dense.Matrix
+
+	// Outputs, appended in elimination order (callers pass reusable
+	// backings via slice[:0] to stay allocation-free). GNext/GTop/GArr
+	// entries are nil where the corresponding coupling does not exist.
+	L, GNext, GTop, GArr []*dense.Matrix
+	// Fill is the remaining boundary-boundary coupling M(lo, hi) of middle
+	// partitions (nil otherwise). On a failed elimination it parks the
+	// in-flight fill block so recycled scratch is never leaked.
+	Fill *dense.Matrix
+}
+
+// run executes the sweep.
+func (pe *partitionElim) run() error {
+	hasArrow := pe.TipDelta != nil
+
+	// Working fill coupling M(lo, k): starts as the transpose of the
+	// partition's first sub-diagonal block.
+	var tCur *dense.Matrix
+	if pe.TwoSided && len(pe.Lower) > 0 {
+		tCur = pe.NewBB()
+		pe.Lower[0].TransposeInto(tCur)
+	}
+
+	for _, k := range pe.Interiors {
+		rel := k - pe.Base
+		lk := pe.Diag[rel]
+		if err := dense.Potrf(lk); err != nil {
+			// Park the in-flight fill block where reclamation looks for it,
+			// so a failed (infeasible-θ) factorization returns every
+			// recycled block to the scratch.
+			pe.Fill = tCur
+			return fmt.Errorf("bta: %s %d interior block %d: %w", pe.Kind, pe.ID, k, err)
+		}
+		lk.ZeroUpper()
+		pe.L = append(pe.L, lk)
+
+		var gNext, gTop, gArr *dense.Matrix
+		if rel < len(pe.Lower) { // a next block exists within the partition
+			gNext = pe.Lower[rel]
+			dense.Trsm(dense.Right, dense.Trans, lk, gNext)
+		}
+		if pe.TwoSided {
+			gTop = tCur
+			dense.Trsm(dense.Right, dense.Trans, lk, gTop)
+		}
+		if hasArrow {
+			gArr = pe.Arrow[rel]
+			dense.Trsm(dense.Right, dense.Trans, lk, gArr)
+		}
+		pe.GNext = append(pe.GNext, gNext)
+		pe.GTop = append(pe.GTop, gTop)
+		pe.GArr = append(pe.GArr, gArr)
+
+		// Schur updates onto the remaining neighbours {k+1, lo, arrow}.
+		if gNext != nil {
+			dense.Syrk(dense.NoTrans, -1, gNext, 1, pe.Diag[rel+1])
+			pe.Diag[rel+1].MirrorLowerToUpper()
+		}
+		if pe.TwoSided && gTop != nil {
+			dense.Syrk(dense.NoTrans, -1, gTop, 1, pe.Diag[0])
+			pe.Diag[0].MirrorLowerToUpper()
+			if gNext != nil {
+				tNext := pe.NewBB()
+				dense.Gemm(dense.NoTrans, dense.Trans, -1, gTop, gNext, 0, tNext)
+				tCur = tNext
+			} else {
+				tCur = nil
+			}
+		}
+		if hasArrow {
+			if gNext != nil {
+				dense.Gemm(dense.NoTrans, dense.Trans, -1, gArr, gNext, 1, pe.Arrow[rel+1])
+			}
+			if pe.TwoSided && gTop != nil {
+				dense.Gemm(dense.NoTrans, dense.Trans, -1, gArr, gTop, 1, pe.Arrow[0])
+			}
+			dense.Syrk(dense.NoTrans, -1, gArr, 1, pe.TipDelta)
+			pe.TipDelta.MirrorLowerToUpper()
+		}
+	}
+
+	// The remaining coupling between the partition's two boundaries. With
+	// no interiors (size-2 middle partition) tCur still holds the untouched
+	// Lower[0]ᵀ prepared before the loop; with interiors it is the final,
+	// unconsumed fill coupling; for first/last partitions it is nil.
+	pe.Fill = tCur
+	return nil
+}

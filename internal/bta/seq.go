@@ -3,6 +3,7 @@ package bta
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/dalia-hpc/dalia/internal/dense"
 )
@@ -17,6 +18,32 @@ type Factor struct {
 	Lower   []*dense.Matrix
 	Arrow   []*dense.Matrix
 	Tip     *dense.Matrix
+
+	// selinvMu guards the lazily allocated selected-inversion scratch:
+	// SelectedInversion used to build all temporaries fresh and was safe to
+	// call concurrently on a shared factor (the mode-factor usage pattern);
+	// the scratch reuse keeps that contract by serializing the sweep.
+	selinvMu sync.Mutex
+	selinv   *selinvScratch
+}
+
+// selinvScratch is the reusable workspace of the alloc-free selected
+// inversion: the scaled couplings G = L_{i+1,i}·L_ii⁻¹ and H = L_{a,i}·L_ii⁻¹
+// of the current block, plus the triangular-inverse temporaries.
+type selinvScratch struct {
+	g    *dense.Matrix // b×b
+	h    *dense.Matrix // a×b (nil when A == 0)
+	tmpB *dense.Matrix // b×b Trtri workspace
+	tmpA *dense.Matrix // a×a Trtri workspace (nil when A == 0)
+}
+
+func newSelinvScratch(b, a int) *selinvScratch {
+	s := &selinvScratch{g: dense.New(b, b), tmpB: dense.New(b, b)}
+	if a > 0 {
+		s.h = dense.New(a, b)
+		s.tmpA = dense.New(a, a)
+	}
+	return s
 }
 
 // Factorize computes the block Cholesky factorization A = L·Lᵀ of a BTA
@@ -249,27 +276,45 @@ func solveLowerTransVec(l *dense.Matrix, x []float64) {
 //	Σ_{a,i}   = −Σ_{a,i+1}·G − Σ_aa·H
 //	Σ_ii      = (L_ii·L_iiᵀ)⁻¹ − Σ_{i+1,i}ᵀ·G − Σ_{a,i}ᵀ·H
 func (f *Factor) SelectedInversion() (*Matrix, error) {
+	sig := NewMatrix(f.N, f.B, f.A)
+	if err := f.SelectedInversionInto(sig); err != nil {
+		return nil, err
+	}
+	return sig, nil
+}
+
+// SelectedInversionInto computes the selected inverse into caller-owned
+// storage, drawing all temporaries from a scratch arena allocated on first
+// use — the alloc-free counterpart of SelectedInversion for the per-θ
+// posterior extraction loop. Concurrent calls on the same factor serialize
+// on the shared scratch (each still needs its own sig).
+func (f *Factor) SelectedInversionInto(sig *Matrix) error {
 	n, b, a := f.N, f.B, f.A
-	sig := NewMatrix(n, b, a)
+	if sig.N != n || sig.B != b || sig.A != a {
+		return fmt.Errorf("bta: selinv output BTA(n=%d,b=%d,a=%d), factor (n=%d,b=%d,a=%d)",
+			sig.N, sig.B, sig.A, n, b, a)
+	}
+	f.selinvMu.Lock()
+	defer f.selinvMu.Unlock()
+	if f.selinv == nil {
+		f.selinv = newSelinvScratch(b, a)
+	}
+	ws := f.selinv
 	if a > 0 {
-		tipInv, err := dense.Potri(f.Tip)
-		if err != nil {
-			return nil, fmt.Errorf("bta: selinv tip: %w", err)
+		if err := dense.PotriInto(sig.Tip, ws.tmpA, f.Tip); err != nil {
+			return fmt.Errorf("bta: selinv tip: %w", err)
 		}
-		sig.Tip.CopyFrom(tipInv)
 	}
 	for i := n - 1; i >= 0; i-- {
-		dii, err := dense.Potri(f.Diag[i])
-		if err != nil {
-			return nil, fmt.Errorf("bta: selinv block %d: %w", i, err)
-		}
 		var g, h *dense.Matrix
 		if i < n-1 {
-			g = f.Lower[i].Clone()
+			g = ws.g
+			g.CopyFrom(f.Lower[i])
 			dense.Trsm(dense.Right, dense.NoTrans, f.Diag[i], g) // G = L_{i+1,i}·L_ii⁻¹
 		}
 		if a > 0 {
-			h = f.Arrow[i].Clone()
+			h = ws.h
+			h.CopyFrom(f.Arrow[i])
 			dense.Trsm(dense.Right, dense.NoTrans, f.Diag[i], h) // H = L_{a,i}·L_ii⁻¹
 		}
 		if i < n-1 {
@@ -288,8 +333,10 @@ func (f *Factor) SelectedInversion() (*Matrix, error) {
 				dense.Gemm(dense.NoTrans, dense.NoTrans, -1, sig.Tip, h, 0, sig.Arrow[i])
 			}
 		}
-		// Σ_ii
-		sig.Diag[i].CopyFrom(dii)
+		// Σ_ii = (L_ii·L_iiᵀ)⁻¹ − Σ_{i+1,i}ᵀ·G − Σ_{a,i}ᵀ·H
+		if err := dense.PotriInto(sig.Diag[i], ws.tmpB, f.Diag[i]); err != nil {
+			return fmt.Errorf("bta: selinv block %d: %w", i, err)
+		}
 		if i < n-1 {
 			dense.Gemm(dense.Trans, dense.NoTrans, -1, sig.Lower[i], g, 1, sig.Diag[i])
 		}
@@ -298,7 +345,7 @@ func (f *Factor) SelectedInversion() (*Matrix, error) {
 		}
 		sig.Diag[i].Symmetrize()
 	}
-	return sig, nil
+	return nil
 }
 
 // DiagVec extracts the full main diagonal of the BTA matrix as a vector of

@@ -1,0 +1,68 @@
+package bta
+
+// Solver is the common surface of the structured BTA solver backends: the
+// strictly sequential Factor (POBTAF/POBTAS/POBTASI over all n time blocks)
+// and the shared-memory parallel-in-time ParallelFactor (PPOBTAF/PPOBTAS/
+// PPOBTASI over a time-domain partitioning run on goroutines). Everything
+// the INLA pipeline needs from a factorization — refilling it per
+// θ-evaluation, triangular solves (vector and multi-RHS), log-determinant,
+// and selected inversion — goes through this interface, so the evaluation
+// scheduler can pick the backend per batch shape without the callers
+// knowing which one they got.
+//
+// All implementations are alloc-free after warmup on the Refactorize /
+// Solve / SolveMultiInto / LogDet / SelectedInversionInto cycle, and none
+// is safe for concurrent use of the *same* instance (use one Solver per
+// worker, exactly like Factor).
+type Solver interface {
+	// Refactorize recomputes the factorization of m in the solver's
+	// existing storage. On error (non-SPD input) the factor contents are
+	// undefined until the next successful Refactorize; the solver itself
+	// stays reusable.
+	Refactorize(m *Matrix) error
+	// Dim returns the full system dimension n·b + a.
+	Dim() int
+	// LogDet returns log|A| of the last successfully factorized matrix.
+	LogDet() float64
+	// Solve solves A·x = rhs in place of rhs.
+	Solve(rhs []float64)
+	// SolveLT solves L̃ᵀ·x = x in place for the backend's own Cholesky
+	// factor L̃ (GMRF sampling: x = L̃⁻ᵀz has covariance A⁻¹ for z ~ N(0,I),
+	// whichever elimination ordering the backend uses).
+	SolveLT(x []float64)
+	// SolveMultiInto solves A·X = B in place of the workspace RHS for all
+	// columns.
+	SolveMultiInto(w *MultiSolve)
+	// ForwardSolveMultiInto computes the half solve Y = L̃⁻¹·B in place of
+	// the workspace RHS. Column squared norms equal φᵀA⁻¹φ for every
+	// backend (the quantity batched prediction variances need), though the
+	// entries themselves depend on the backend's elimination ordering.
+	ForwardSolveMultiInto(w *MultiSolve)
+	// SelectedInversionInto computes the blocks of Σ = A⁻¹ on the BTA
+	// pattern into caller-owned storage, without allocating after warmup.
+	SelectedInversionInto(sig *Matrix) error
+	// SelectedInversion is the allocating convenience wrapper.
+	SelectedInversion() (*Matrix, error)
+}
+
+var (
+	_ Solver = (*Factor)(nil)
+	_ Solver = (*ParallelFactor)(nil)
+)
+
+// NewSolver builds a solver backend for the BTA shape: the sequential
+// Factor for partitions ≤ 1, the shared-memory parallel-in-time
+// ParallelFactor otherwise. partitions is clamped to
+// MaxUsefulPartitions(n) rather than rejected, so callers can pass a core
+// budget directly — a budget the time dimension cannot absorb degrades to
+// fewer partitions, ultimately to the sequential chain, never to a
+// partitioning slower than it.
+func NewSolver(n, b, a, partitions int) (Solver, error) {
+	if mx := MaxUsefulPartitions(n); partitions > mx {
+		partitions = mx
+	}
+	if partitions <= 1 {
+		return NewFactor(n, b, a), nil
+	}
+	return NewParallelFactor(n, b, a, partitions)
+}

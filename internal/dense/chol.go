@@ -152,6 +152,21 @@ func Potri(l *Matrix) (*Matrix, error) {
 	return inv, nil
 }
 
+// PotriInto computes A⁻¹ = L⁻ᵀ·L⁻¹ into dst without allocating, using tmp
+// as triangular-inverse workspace. dst and tmp must both be n×n and distinct
+// from each other and from l. This is the hot-path twin of Potri for the
+// selected-inversion sweeps that run once per INLA θ-evaluation.
+func PotriInto(dst, tmp, l *Matrix) error {
+	tmp.CopyFrom(l)
+	tmp.ZeroUpper()
+	if err := Trtri(tmp); err != nil {
+		return err
+	}
+	Gemm(Trans, NoTrans, 1, tmp, tmp, 0, dst)
+	dst.Symmetrize()
+	return nil
+}
+
 // Inverse returns A⁻¹ of a symmetric positive definite matrix.
 func Inverse(a *Matrix) (*Matrix, error) {
 	l, err := Chol(a)

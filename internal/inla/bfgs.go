@@ -54,39 +54,130 @@ func finiteVec(v []float64) bool {
 // difference scheme (the S1 batch): the center followed by θ ± h·e_i.
 func gradientPoints(theta []float64, h float64) [][]float64 {
 	d := len(theta)
-	pts := make([][]float64, 0, 2*d+1)
-	pts = append(pts, append([]float64(nil), theta...))
-	for i := 0; i < d; i++ {
-		p := append([]float64(nil), theta...)
-		p[i] += h
-		pts = append(pts, p)
-		m := append([]float64(nil), theta...)
-		m[i] -= h
-		pts = append(pts, m)
+	pts := make([][]float64, 2*d+1)
+	for i := range pts {
+		pts[i] = make([]float64, d)
 	}
+	fillGradientPoints(pts, theta, h)
 	return pts
+}
+
+// fillGradientPoints refills a preallocated 2d+1-point stencil in place —
+// the allocation-free twin of gradientPoints the BFGS loop uses.
+func fillGradientPoints(pts [][]float64, theta []float64, h float64) {
+	copy(pts[0], theta)
+	for i := range theta {
+		copy(pts[1+2*i], theta)
+		pts[1+2*i][i] += h
+		copy(pts[2+2*i], theta)
+		pts[2+2*i][i] -= h
+	}
 }
 
 // gradientFromBatch extracts (F(θ), ∇F(θ)) from batched values in
 // gradientPoints order.
 func gradientFromBatch(vals []float64, h float64) (float64, []float64) {
-	d := (len(vals) - 1) / 2
-	g := make([]float64, d)
-	for i := 0; i < d; i++ {
+	g := make([]float64, (len(vals)-1)/2)
+	return gradientFromBatchInto(g, vals, h), g
+}
+
+// gradientFromBatchInto is gradientFromBatch into a caller-owned gradient
+// buffer, returning the center value.
+func gradientFromBatchInto(g, vals []float64, h float64) float64 {
+	for i := range g {
 		g[i] = (vals[1+2*i] - vals[2+2*i]) / (2 * h)
 	}
-	return vals[0], g
+	return vals[0]
+}
+
+// bfgsState holds every per-iteration buffer of the mode search. The BFGS
+// loop ran hot enough that rebuilding the direction, trial point and
+// curvature vectors on each line-search step showed up next to the solver
+// work itself; with the state allocated once, an iteration's bookkeeping
+// (everything but the Evaluator calls and the trace append) is
+// allocation-free (pinned by TestBFGSIterationAllocFree).
+type bfgsState struct {
+	x, p, xNew, s, yv, hy, g, gNew []float64
+	pts                            [][]float64 // 2d+1 gradient stencil
+	probe                          [][]float64 // 1-point line-search batch
+}
+
+func newBFGSState(theta0 []float64) *bfgsState {
+	d := len(theta0)
+	st := &bfgsState{
+		x:    append([]float64(nil), theta0...),
+		p:    make([]float64, d),
+		xNew: make([]float64, d),
+		s:    make([]float64, d),
+		yv:   make([]float64, d),
+		hy:   make([]float64, d),
+		g:    make([]float64, d),
+		gNew: make([]float64, d),
+		pts:  make([][]float64, 2*d+1),
+	}
+	for i := range st.pts {
+		st.pts[i] = make([]float64, d)
+	}
+	st.probe = [][]float64{st.xNew}
+	return st
+}
+
+// searchPoint fills xNew = x + step·p.
+func searchPoint(xNew, x, p []float64, step float64) {
+	for i := range xNew {
+		xNew[i] = x[i] + step*p[i]
+	}
+}
+
+// setEye resets a square matrix to the identity in place.
+func setEye(m *dense.Matrix) {
+	m.Zero()
+	for i := 0; i < m.Rows; i++ {
+		m.Set(i, i, 1)
+	}
+}
+
+// bfgsUpdate applies the inverse BFGS update (Nocedal & Wright Eq. 6.17)
+// for the displacement s and gradient change yv, using hy as workspace.
+// Degenerate curvature (sᵀy ≤ 0, up to roundoff) skips the update.
+func bfgsUpdate(hInv *dense.Matrix, s, yv, hy []float64) {
+	sy := dense.Dot(s, yv)
+	if sy <= 1e-12 {
+		return
+	}
+	rho := 1 / sy
+	dense.Gemv(dense.NoTrans, 1, hInv, yv, 0, hy)
+	yhy := dense.Dot(yv, hy)
+	// H ← H − ρ(s·hyᵀ + hy·sᵀ) + ρ²(yᵀHy)s·sᵀ + ρ·s·sᵀ
+	d := len(s)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			v := hInv.At(i, j)
+			v -= rho * (s[i]*hy[j] + hy[i]*s[j])
+			v += rho * (rho*yhy + 1) * s[i] * s[j]
+			hInv.Set(i, j, v)
+		}
+	}
 }
 
 // Minimize runs BFGS on F(θ) = −fobj(θ) with gradients from parallel
-// central differences evaluated through the Evaluator.
+// central differences evaluated through the Evaluator. All iteration state
+// lives in buffers allocated once up front; the per-iteration cost is the
+// Evaluator batches.
 func Minimize(e Evaluator, theta0 []float64, opt OptOptions) (*OptResult, error) {
 	d := len(theta0)
-	x := append([]float64(nil), theta0...)
+	st := newBFGSState(theta0)
 	hInv := dense.Eye(d) // inverse Hessian approximation
 
-	vals := e.EvalBatch(gradientPoints(x, opt.GradStep))
-	f, g := gradientFromBatch(vals, opt.GradStep)
+	finish := func(res *OptResult, f float64) *OptResult {
+		res.Theta = append([]float64(nil), st.x...)
+		res.F = f
+		return res
+	}
+
+	fillGradientPoints(st.pts, st.x, opt.GradStep)
+	vals := e.EvalBatch(st.pts)
+	f := gradientFromBatchInto(st.g, vals, opt.GradStep)
 	if math.IsInf(f, 1) {
 		return nil, fmt.Errorf("inla: objective is infeasible at the initial point")
 	}
@@ -94,84 +185,61 @@ func Minimize(e Evaluator, theta0 []float64, opt OptOptions) (*OptResult, error)
 
 	for iter := 0; iter < opt.MaxIter; iter++ {
 		res.Iterations = iter + 1
-		if !finiteVec(g) {
-			res.Theta = x
-			res.F = f
-			return res, ErrGradientUndefined
+		if !finiteVec(st.g) {
+			return finish(res, f), ErrGradientUndefined
 		}
-		if infNorm(g) < opt.GradTol {
+		if infNorm(st.g) < opt.GradTol {
 			res.Converged = true
 			break
 		}
 		// Search direction p = −H⁻¹·g.
-		p := make([]float64, d)
-		dense.Gemv(dense.NoTrans, -1, hInv, g, 0, p)
-		if dense.Dot(p, g) >= 0 {
+		dense.Gemv(dense.NoTrans, -1, hInv, st.g, 0, st.p)
+		if dense.Dot(st.p, st.g) >= 0 {
 			// Not a descent direction (degenerate curvature update): reset.
-			hInv = dense.Eye(d)
-			for i := range p {
-				p[i] = -g[i]
+			setEye(hInv)
+			for i := range st.p {
+				st.p[i] = -st.g[i]
 			}
 		}
-		// Backtracking Armijo line search.
+		// Backtracking Armijo line search (st.probe aliases st.xNew, so the
+		// width-1 batch needs no per-step slice construction).
 		step := 1.0
-		var xNew []float64
 		var fNew float64
 		accepted := false
 		for step >= opt.StepTol {
-			xNew = make([]float64, d)
-			for i := range xNew {
-				xNew[i] = x[i] + step*p[i]
-			}
-			fNew = e.EvalBatch([][]float64{xNew})[0]
+			searchPoint(st.xNew, st.x, st.p, step)
+			fNew = e.EvalBatch(st.probe)[0]
 			res.FEvals++
-			if fNew < f+1e-4*step*dense.Dot(g, p) {
+			if fNew < f+1e-4*step*dense.Dot(st.g, st.p) {
 				accepted = true
 				break
 			}
 			step *= 0.5
 		}
 		if !accepted {
-			res.Theta = x
-			res.F = f
-			return res, ErrLineSearchFailed
+			return finish(res, f), ErrLineSearchFailed
 		}
-		// New gradient (parallel batch).
-		vals = e.EvalBatch(gradientPoints(xNew, opt.GradStep))
+		// New gradient (parallel batch). Prefer the batched center value
+		// (identical point) for consistency.
+		fillGradientPoints(st.pts, st.xNew, opt.GradStep)
+		vals = e.EvalBatch(st.pts)
 		res.FEvals += len(vals)
-		fCheck, gNew := gradientFromBatch(vals, opt.GradStep)
-		// Prefer the batched center value (identical point) for consistency.
-		fNew = fCheck
+		fNew = gradientFromBatchInto(st.gNew, vals, opt.GradStep)
 
-		// BFGS inverse update (Nocedal & Wright Eq. 6.17).
-		s := make([]float64, d)
-		yv := make([]float64, d)
-		for i := range s {
-			s[i] = xNew[i] - x[i]
-			yv[i] = gNew[i] - g[i]
+		for i := range st.s {
+			st.s[i] = st.xNew[i] - st.x[i]
+			st.yv[i] = st.gNew[i] - st.g[i]
 		}
-		sy := dense.Dot(s, yv)
-		if sy > 1e-12 {
-			rho := 1 / sy
-			hy := make([]float64, d)
-			dense.Gemv(dense.NoTrans, 1, hInv, yv, 0, hy)
-			yhy := dense.Dot(yv, hy)
-			// H ← H − ρ(s·hyᵀ + hy·sᵀ) + ρ²(yᵀHy)s·sᵀ + ρ·s·sᵀ
-			for i := 0; i < d; i++ {
-				for j := 0; j < d; j++ {
-					v := hInv.At(i, j)
-					v -= rho * (s[i]*hy[j] + hy[i]*s[j])
-					v += rho * (rho*yhy + 1) * s[i] * s[j]
-					hInv.Set(i, j, v)
-				}
-			}
-		}
-		x, f, g = xNew, fNew, gNew
+		bfgsUpdate(hInv, st.s, st.yv, st.hy)
+		// Roll the iterate by swapping buffers; the probe batch must keep
+		// aliasing the trial-point buffer.
+		st.x, st.xNew = st.xNew, st.x
+		st.g, st.gNew = st.gNew, st.g
+		st.probe[0] = st.xNew
+		f = fNew
 		res.Trace = append(res.Trace, f)
 	}
-	res.Theta = x
-	res.F = f
-	return res, nil
+	return finish(res, f), nil
 }
 
 func infNorm(v []float64) float64 {

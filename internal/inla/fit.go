@@ -15,10 +15,18 @@ type FitOptions struct {
 	HessStep float64
 	// SkipHyperUncertainty disables the Hessian stage (scaling benches).
 	SkipHyperUncertainty bool
-	// Workers caps S1 concurrency; 0 = unlimited.
+	// Workers is the core budget the per-batch scheduling plan distributes
+	// across point-level parallelism and parallel-in-time factorization
+	// partitions; 0 = GOMAXPROCS.
 	Workers int
 	// DisableS2 turns off the concurrent Q_p/Q_c pipelines.
 	DisableS2 bool
+	// SolverPartitions pins the parallel-in-time solver width: 0 schedules
+	// it per batch (wide gradient/Hessian batches stay on point-level
+	// parallelism, narrow line-search and posterior evaluations spend the
+	// spare cores inside the factorization), 1 forces the sequential
+	// solver everywhere, ≥ 2 forces that partition count.
+	SolverPartitions int
 	// IntegrateHyperGrid additionally integrates the latent posterior over
 	// the eigenvector grid of the mode Hessian (§III-4) instead of the
 	// plug-in at θ* only; requires the Hessian stage.
@@ -50,7 +58,8 @@ type Result struct {
 // mode), and latent posterior extraction (conditional mean and selected
 // inversion of Q_c at the mode).
 func Fit(m *model.Model, prior Prior, theta0 []float64, opts FitOptions) (*Result, error) {
-	e := &BTAEvaluator{Model: m, Prior: prior, Workers: opts.Workers, S2: !opts.DisableS2}
+	e := &BTAEvaluator{Model: m, Prior: prior, Workers: opts.Workers,
+		S2: !opts.DisableS2, Partitions: opts.SolverPartitions}
 	return fitWith(e, theta0, opts)
 }
 

@@ -10,7 +10,9 @@ package inla
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/dalia-hpc/dalia/internal/bta"
 	"github.com/dalia-hpc/dalia/internal/dense"
@@ -65,18 +67,28 @@ func (p FobjParts) F() float64 {
 }
 
 // solverScratch is the reusable arena of one fobj evaluation pipeline pair:
-// the two BTA workspaces and factors (prior and conditional precision), the
-// conditional-mean vector, and the assembly/permutation scratch vectors.
-// After warm-up, repeated Refactorize+Solve cycles on the same scratch
-// perform zero heap allocations — the fixed-memory-footprint property the
-// INLA mode search needs across its hundreds of θ-evaluations.
+// the two BTA workspaces and solver backends (prior and conditional
+// precision), the conditional-mean vector, and the assembly/permutation
+// scratch vectors. After warm-up, repeated Refactorize+Solve cycles on the
+// same scratch perform zero heap allocations — the fixed-memory-footprint
+// property the INLA mode search needs across its hundreds of θ-evaluations.
+//
+// The arena holds the sequential factors always and builds the
+// parallel-in-time pair lazily the first time a batch plan asks for
+// within-factorization partitions, so purely wide workloads never pay for
+// the second set of factor storage.
 type solverScratch struct {
 	qp, qc *bta.Matrix
-	fp, fc *bta.Factor
-	mu     []float64 // conditional mean (solution of Q_c·μ = rhs)
-	tmp    []float64 // Q_p·μ product for the quadratic form
-	pm     []float64 // process-major rhs before permutation
-	obs    []float64 // weighted response combination
+	fp, fc *bta.Factor // sequential backends (partitions = 1)
+
+	pfp, pfc cachedParallel // parallel-in-time backends, built on demand
+
+	sigC *bta.Matrix // selected-inversion output (posterior extraction)
+
+	mu  []float64 // conditional mean (solution of Q_c·μ = rhs)
+	tmp []float64 // Q_p·μ product for the quadratic form
+	pm  []float64 // process-major rhs before permutation
+	obs []float64 // weighted response combination
 }
 
 func newSolverScratch(m *model.Model) *solverScratch {
@@ -94,19 +106,72 @@ func newSolverScratch(m *model.Model) *solverScratch {
 	}
 }
 
+// cachedParallel lazily builds and caches one parallel-in-time factor per
+// width, so the Q_p and Q_c pipelines share a single caching policy while
+// staying independent (a posterior-only workload never builds the Q_p
+// one).
+type cachedParallel struct {
+	pf    *bta.ParallelFactor
+	parts int
+}
+
+// solver returns seq for widths the clamp reduces to 1, otherwise the
+// cached parallel factor for the width (rebuilding only when it changes).
+func (c *cachedParallel) solver(seq *bta.Factor, n, b, a, partitions int) (bta.Solver, error) {
+	if mx := bta.MaxUsefulPartitions(n); partitions > mx {
+		partitions = mx
+	}
+	if partitions <= 1 {
+		return seq, nil
+	}
+	if c.pf == nil || c.parts != partitions {
+		pf, err := bta.NewParallelFactor(n, b, a, partitions)
+		if err != nil {
+			return nil, err
+		}
+		c.pf, c.parts = pf, partitions
+	}
+	return c.pf, nil
+}
+
+// priorSolver returns the Q_p solver for the requested parallel-in-time
+// width; condSolver the Q_c one.
+func (ws *solverScratch) priorSolver(m *model.Model, partitions int) (bta.Solver, error) {
+	n, b, a := m.Dims.BTAShape()
+	return ws.pfp.solver(ws.fp, n, b, a, partitions)
+}
+
+func (ws *solverScratch) condSolver(m *model.Model, partitions int) (bta.Solver, error) {
+	n, b, a := m.Dims.BTAShape()
+	return ws.pfc.solver(ws.fc, n, b, a, partitions)
+}
+
+// solvers returns the (Q_p, Q_c) solver pair for the requested width.
+func (ws *solverScratch) solvers(m *model.Model, partitions int) (sp, sc bta.Solver, err error) {
+	if sp, err = ws.priorSolver(m, partitions); err != nil {
+		return nil, nil, err
+	}
+	if sc, err = ws.condSolver(m, partitions); err != nil {
+		return nil, nil, err
+	}
+	return sp, sc, nil
+}
+
 // EvalFobj evaluates the objective at theta using the sequential BTA solver
 // (the single-device DALIA path). The two factorizations of Q_p and Q_c are
 // independent (§III-A); runS2 runs them concurrently when true — the S2
 // layer in shared-memory form. Non-Gaussian likelihoods route through the
 // inner Newton loop for the conditional mode.
 func EvalFobj(m *model.Model, prior Prior, theta []float64, runS2 bool) (FobjParts, error) {
-	return evalFobjScratch(m, prior, theta, runS2, nil)
+	return evalFobjScratch(m, prior, theta, runS2, 1, nil)
 }
 
 // evalFobjScratch is EvalFobj against a caller-owned arena (nil allocates a
-// fresh one). The returned FobjParts.Mu aliases the arena's μ buffer and is
-// only valid until the arena's next evaluation.
-func evalFobjScratch(m *model.Model, prior Prior, theta []float64, runS2 bool, ws *solverScratch) (FobjParts, error) {
+// fresh one), with the factorizations run at the given parallel-in-time
+// width (1 = sequential POBTAF, >1 = bta.ParallelFactor over that many
+// partitions). The returned FobjParts.Mu aliases the arena's μ buffer and
+// is only valid until the arena's next evaluation.
+func evalFobjScratch(m *model.Model, prior Prior, theta []float64, runS2 bool, partitions int, ws *solverScratch) (FobjParts, error) {
 	t, err := m.DecodeTheta(theta)
 	if err != nil {
 		return FobjParts{}, err
@@ -117,6 +182,10 @@ func evalFobjScratch(m *model.Model, prior Prior, theta []float64, runS2 bool, w
 	if ws == nil {
 		ws = newSolverScratch(m)
 	}
+	fp, fc, err := ws.solvers(m, partitions)
+	if err != nil {
+		return FobjParts{}, err
+	}
 	parts := FobjParts{LogPrior: prior.LogDensity(theta)}
 
 	var qpErr, qcErr error
@@ -125,23 +194,23 @@ func evalFobjScratch(m *model.Model, prior Prior, theta []float64, runS2 bool, w
 		if qpErr = m.QpInto(t, ws.qp); qpErr != nil {
 			return
 		}
-		if qpErr = ws.fp.Refactorize(ws.qp); qpErr != nil {
+		if qpErr = fp.Refactorize(ws.qp); qpErr != nil {
 			qpErr = fmt.Errorf("inla: Q_p factorization: %w", qpErr)
 			return
 		}
-		ldQp = ws.fp.LogDet()
+		ldQp = fp.LogDet()
 	}
 	qcPipeline := func() {
 		if qcErr = m.QcInto(t, ws.qc); qcErr != nil {
 			return
 		}
-		if qcErr = ws.fc.Refactorize(ws.qc); qcErr != nil {
+		if qcErr = fc.Refactorize(ws.qc); qcErr != nil {
 			qcErr = fmt.Errorf("inla: Q_c factorization: %w", qcErr)
 			return
 		}
 		m.CondRHSInto(t, ws.mu, ws.pm, ws.obs)
-		ws.fc.Solve(ws.mu)
-		ldQc = ws.fc.LogDet()
+		fc.Solve(ws.mu)
+		ldQc = fc.LogDet()
 	}
 	if runS2 {
 		var wg sync.WaitGroup
@@ -185,18 +254,26 @@ type Evaluator interface {
 	Posterior(theta []float64) (mu, variance []float64, err error)
 }
 
-// BTAEvaluator runs fobj on the sequential BTA solver with goroutine
-// parallelism across points (S1) and across the two pipelines (S2). Every
-// worker draws a solverScratch arena from an internal pool, so steady-state
-// batches re-use precision workspaces, factors and vectors instead of
-// re-allocating them at each of the 2·dim(θ)+1 evaluations per iteration.
+// BTAEvaluator runs fobj on the structured BTA solvers with goroutine
+// parallelism across points (S1), across the two pipelines (S2), and —
+// when the batch is too narrow to fill the cores — across parallel-in-time
+// partitions inside each factorization (S3, bta.ParallelFactor), following
+// the per-batch SharedPlan. Every worker draws a solverScratch arena from
+// an internal pool, so steady-state batches re-use precision workspaces,
+// factors and vectors instead of re-allocating them at each of the
+// 2·dim(θ)+1 evaluations per iteration.
 type BTAEvaluator struct {
 	Model *model.Model
 	Prior Prior
-	// Workers bounds concurrent point evaluations; 0 = all points at once.
+	// Workers is the core budget the batch plan distributes across the
+	// layers (and the bound on concurrent point evaluations); 0 = GOMAXPROCS.
 	Workers int
 	// S2 toggles the concurrent Q_p/Q_c pipelines.
 	S2 bool
+	// Partitions pins the parallel-in-time width: 0 schedules it per batch
+	// (PlanBatch: wide batches sequential, narrow batches partitioned),
+	// 1 forces the sequential factorization chain, ≥ 2 forces that width.
+	Partitions int
 
 	scratch sync.Pool // *solverScratch, shape-bound to Model
 }
@@ -208,37 +285,87 @@ func (e *BTAEvaluator) getScratch() *solverScratch {
 	return newSolverScratch(e.Model)
 }
 
-// EvalBatch evaluates −fobj at every point, +Inf for infeasible ones.
+// cores resolves the evaluator's core budget.
+func (e *BTAEvaluator) cores() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// partitionsFor resolves the parallel-in-time width for a batch of the
+// given width. s2 tells the plan whether the evaluation actually runs two
+// concurrent pipelines (Posterior runs only the Q_c one, so its full spare
+// budget flows into that single factorization).
+func (e *BTAEvaluator) partitionsFor(width int, s2 bool) int {
+	if e.Partitions > 0 {
+		return e.Partitions
+	}
+	return PlanBatch(width, e.cores(), e.Model.Dims.Nt, s2).Partitions
+}
+
+// EvalBatch evaluates −fobj at every point, +Inf for infeasible ones. The
+// batch runs on a bounded worker pool — min(width, core budget) workers
+// pulling points off a shared counter — rather than one goroutine per
+// point, and narrow batches route their spare cores into parallel-in-time
+// factorization partitions per the batch plan.
 func (e *BTAEvaluator) EvalBatch(points [][]float64) []float64 {
 	out := make([]float64, len(points))
-	w := e.Workers
-	if w <= 0 || w > len(points) {
+	w := e.cores()
+	if w > len(points) {
 		w = len(points)
 	}
-	sem := make(chan struct{}, w)
-	done := make(chan struct{})
-	for i := range points {
-		go func(i int) {
-			sem <- struct{}{}
-			defer func() { <-sem; done <- struct{}{} }()
-			ws := e.getScratch()
-			parts, err := evalFobjScratch(e.Model, e.Prior, points[i], e.S2, ws)
-			if err != nil {
-				out[i] = math.Inf(1)
-			} else {
-				out[i] = -parts.F()
-			}
-			e.scratch.Put(ws) // parts.Mu is dead past this point
-		}(i)
-	}
-	for range points {
-		<-done
-	}
+	partitions := e.partitionsFor(len(points), e.S2)
+	runBounded(len(points), w, func(i int) {
+		ws := e.getScratch()
+		parts, err := evalFobjScratch(e.Model, e.Prior, points[i], e.S2, partitions, ws)
+		if err != nil {
+			out[i] = math.Inf(1)
+		} else {
+			out[i] = -parts.F()
+		}
+		e.scratch.Put(ws) // parts.Mu is dead past this point
+	})
 	return out
 }
 
-// Posterior computes μ(θ) and the latent marginal variances via the
-// sequential selected inversion (POBTASI). Poisson models center the
+// runBounded executes body(i) for i in [0, n) on at most workers
+// goroutines pulling indices from a shared atomic counter (dynamic load
+// balance: line-search-adjacent batches mix cheap and infeasible points).
+func runBounded(n, workers int, body func(i int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Posterior computes μ(θ) and the latent marginal variances via selected
+// inversion at the width-1 plan — the spare cores run inside the single
+// factorization and the PPOBTASI sweeps. Poisson models center the
 // Gaussian approximation at the conditional mode.
 func (e *BTAEvaluator) Posterior(theta []float64) ([]float64, []float64, error) {
 	if e.Model.Lik == model.LikPoisson {
@@ -250,18 +377,27 @@ func (e *BTAEvaluator) Posterior(theta []float64) ([]float64, []float64, error) 
 	}
 	ws := e.getScratch()
 	defer e.scratch.Put(ws)
-	if err := e.Model.QcInto(t, ws.qc); err != nil {
-		return nil, nil, err
-	}
-	if err := ws.fc.Refactorize(ws.qc); err != nil {
-		return nil, nil, err
-	}
-	e.Model.CondRHSInto(t, ws.mu, ws.pm, ws.obs)
-	ws.fc.Solve(ws.mu)
-	sig, err := ws.fc.SelectedInversion()
+	// Posterior runs the Q_c pipeline alone: no S2 split, so the whole
+	// width-1 spare budget goes into this one factorization.
+	fc, err := ws.condSolver(e.Model, e.partitionsFor(1, false))
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := e.Model.QcInto(t, ws.qc); err != nil {
+		return nil, nil, err
+	}
+	if err := fc.Refactorize(ws.qc); err != nil {
+		return nil, nil, err
+	}
+	e.Model.CondRHSInto(t, ws.mu, ws.pm, ws.obs)
+	fc.Solve(ws.mu)
+	if ws.sigC == nil {
+		n, b, a := e.Model.Dims.BTAShape()
+		ws.sigC = bta.NewMatrix(n, b, a)
+	}
+	if err := fc.SelectedInversionInto(ws.sigC); err != nil {
+		return nil, nil, err
+	}
 	mu := append([]float64(nil), ws.mu...) // detach from the pooled arena
-	return mu, sig.DiagVec(), nil
+	return mu, ws.sigC.DiagVec(), nil
 }

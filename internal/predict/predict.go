@@ -59,17 +59,47 @@ func WithMaxBatch(k int) Option { return func(p *Predictor) { p.maxBatch = k } }
 // predictive law of a new observation.
 func WithObservationNoise() Option { return func(p *Predictor) { p.includeNoise = true } }
 
-// Predictor is an immutable, goroutine-safe posterior prediction engine
-// bound to one fitted model. Construction factorizes Q_c at the mode once;
-// every subsequent batch reuses that factor.
+// WithSolverPartitions sets the parallel-in-time width of the mode
+// factorization and its solves: ≤ 0 schedules it from the machine's spare
+// cores (inla.PlanBatch at width 1 — what dalia-serve uses, see the
+// Predictor contract note), ≥ 1 forces that width. Without this option the
+// predictor stays on the sequential factor, preserving lock-free
+// concurrent PredictInto across caller-owned workers.
+func WithSolverPartitions(p int) Option {
+	return func(pr *Predictor) {
+		pr.partitions = p
+		pr.partitionsSet = true
+	}
+}
+
+// Predictor is a goroutine-safe posterior prediction engine bound to one
+// fitted model. Construction factorizes Q_c at the mode once; every
+// subsequent batch reuses that factor. By default the factor is the
+// sequential chain, whose solves are lock-free — callers may fan
+// PredictInto out across their own worker goroutines, the contract this
+// engine has always had.
+//
+// WithSolverPartitions switches to the parallel-in-time backend: the mode
+// factorization and every solve run across goroutine partitions, which is
+// what a single-flight caller wants for latency. The parallel backend
+// shares per-partition scratch across calls, so its solves serialize
+// through an internal mutex — the right trade for the serving stack
+// (dalia-serve's per-model batcher is one worker, so its one-at-a-time
+// solves simply run on more cores), the wrong one for multi-worker batch
+// parallelism, which is why it is opt-in.
 type Predictor struct {
 	m     *model.Model
 	theta *model.Theta
-	fc    *bta.Factor
+	fc    bta.Solver
 	mu    []float64 // latent posterior mean, BTA ordering
 
-	maxBatch     int
-	includeNoise bool
+	maxBatch      int
+	includeNoise  bool
+	partitions    int
+	partitionsSet bool
+
+	solveMu sync.Mutex // guards fc's solve scratch (parallel backend only)
+	seqFc   bool       // fc is the sequential Factor: no locking needed
 
 	scratch sync.Pool // *batchScratch
 }
@@ -81,21 +111,16 @@ type batchScratch struct {
 }
 
 // New builds a Predictor from a fitted result: the mode θ* is re-decoded,
-// Q_c(θ*) is assembled and factorized (inla.ModeFactor), and the latent
-// mean is copied out of the result so the predictor stays valid however the
+// Q_c(θ*) is assembled and factorized (inla.ModeSolver, parallel-in-time
+// when the width-1 scheduling plan finds spare cores), and the latent mean
+// is copied out of the result so the predictor stays valid however the
 // result is used afterwards.
 func New(m *model.Model, res *inla.Result, opts ...Option) (*Predictor, error) {
-	t, fc, err := inla.ModeFactor(m, res.Theta)
-	if err != nil {
-		return nil, err
-	}
 	if len(res.Mu) != m.Dims.Total() {
 		return nil, fmt.Errorf("predict: latent mean length %d, want %d", len(res.Mu), m.Dims.Total())
 	}
 	p := &Predictor{
 		m:        m,
-		theta:    t,
-		fc:       fc,
 		mu:       append([]float64(nil), res.Mu...),
 		maxBatch: 64,
 	}
@@ -108,6 +133,22 @@ func New(m *model.Model, res *inla.Result, opts ...Option) (*Predictor, error) {
 	if p.includeNoise && m.Lik != model.LikGaussian {
 		return nil, fmt.Errorf("predict: observation noise is only defined for Gaussian likelihoods")
 	}
+	partitions := 1 // default: sequential, lock-free concurrent solves
+	if p.partitionsSet {
+		partitions = p.partitions
+		if partitions <= 0 {
+			// A prediction solve is one evaluation wide: spend the spare
+			// cores inside the factorization, like the narrow INLA batches.
+			partitions = inla.PlanBatch(1, 0, m.Dims.Nt, false).Partitions
+		}
+	}
+	t, fc, err := inla.ModeSolver(m, res.Theta, partitions)
+	if err != nil {
+		return nil, err
+	}
+	p.theta = t
+	p.fc = fc
+	_, p.seqFc = fc.(*bta.Factor)
 	return p, nil
 }
 
@@ -219,10 +260,16 @@ func (p *Predictor) predictBatch(ws *batchScratch, qs []Query, means, vars []flo
 		means[col] = mean
 	}
 
-	// One BLAS-3 half solve for the whole batch: columns become L⁻¹φ, whose
+	// One BLAS-3 half solve for the whole batch: columns become L̃⁻¹φ, whose
 	// squared norms are the predictive variances (nonnegative by
-	// construction).
-	p.fc.ForwardSolveMultiInto(ms)
+	// construction, and invariant to the backend's elimination ordering).
+	if p.seqFc {
+		p.fc.ForwardSolveMultiInto(ms)
+	} else {
+		p.solveMu.Lock()
+		p.fc.ForwardSolveMultiInto(ms)
+		p.solveMu.Unlock()
+	}
 
 	for i := range qs {
 		vars[i] = 0

@@ -451,7 +451,10 @@ func (s *Server) FitModel(req FitRequest) (*servedModel, error) {
 		return nil, fmt.Errorf("fit: %w", err)
 	}
 	fitSecs := time.Since(t0).Seconds()
-	popts := []predict.Option{}
+	// The per-model batcher is a single worker, so solves are one-at-a-time
+	// by construction: opt into the parallel-in-time backend and let each
+	// solve (and the one-off mode factorization) use the spare cores.
+	popts := []predict.Option{predict.WithSolverPartitions(0)}
 	if req.IncludeNoise {
 		popts = append(popts, predict.WithObservationNoise())
 	}
