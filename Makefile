@@ -7,10 +7,12 @@
 #   make baseline   — write BENCH_$(PR).json: the perf baseline this PR
 #                     establishes (EXP selects the experiment; PR 1 wrote
 #                     the kernels baseline, PR 2 the serving baseline,
-#                     PR 3 the parallel-in-time baseline)
+#                     PR 3 the parallel-in-time baseline, PR 4 the hybrid
+#                     two-level scheduling baseline)
 #   make bench-smoke— regression gates: kernels GEMM rate vs BENCH_1.json
-#                     (25% floor), serving engine path vs BENCH_2.json and
-#                     pintime rates vs BENCH_3.json (40% floors — the
+#                     (25% floor), serving engine path vs BENCH_2.json,
+#                     pintime rates vs BENCH_3.json and hybrid solver
+#                     cycle rates vs BENCH_4.json (40% floors — the
 #                     quick-mode runs are shorter and noisier)
 #   make all        — everything above
 
@@ -18,9 +20,9 @@ GO ?= go
 # PR/BENCH parameterize the baseline artifact so successive PRs never
 # clobber earlier baselines (BENCH_1.json is the PR 1 kernels reference the
 # smoke compares against).
-PR ?= 3
+PR ?= 4
 BENCH ?= BENCH_$(PR).json
-EXP ?= pintime
+EXP ?= hybrid
 
 .PHONY: all test vet fmt-check race purego bench baseline bench-smoke ci
 
@@ -56,6 +58,7 @@ bench-smoke:
 	$(GO) run ./cmd/dalia-bench -exp=kernels -compare BENCH_1.json
 	$(GO) run ./cmd/dalia-bench -exp=serving -quick -compare BENCH_2.json -maxregress 0.4
 	$(GO) run ./cmd/dalia-bench -exp=pintime -quick -compare BENCH_3.json -maxregress 0.4
+	$(GO) run ./cmd/dalia-bench -exp=hybrid -quick -compare BENCH_4.json -maxregress 0.4
 
 ci: fmt-check test race purego
 	-$(MAKE) bench-smoke

@@ -16,7 +16,9 @@
 // serving baseline BENCH_2.json, -compare gates the engine path against
 // one), pintime (parallel-in-time BTA engine: single-evaluation latency
 // and selected-inversion throughput vs partitions; -out writes
-// BENCH_3.json, -compare gates against one).
+// BENCH_3.json, -compare gates against one), hybrid (two-level
+// ranks × partitions distributed BTA solver cycle times; -out writes
+// BENCH_4.json, -compare gates against one).
 package main
 
 import (
@@ -133,6 +135,39 @@ func main() {
 			}
 			return nil
 		}},
+		{"hybrid", "hybrid two-level (ranks × partitions) distributed BTA solver", func(quick bool) error {
+			base, err := bench.Hybrid(quick)
+			if err != nil {
+				return err
+			}
+			bench.PrintHybrid(base, os.Stdout)
+			if *out != "" {
+				if err := bench.WriteHybridBaseline(base, *out); err != nil {
+					return err
+				}
+				fmt.Printf("    baseline written to %s\n", *out)
+			}
+			if *compare != "" {
+				stored, err := bench.LoadHybridBaseline(*compare)
+				if err != nil {
+					return err
+				}
+				if !bench.HybridComparable(base, stored) {
+					fmt.Printf("    gate skipped: GOMAXPROCS %d here vs %d in %s (virtual times not comparable)\n",
+						base.GoMaxProcs, stored.GoMaxProcs, *compare)
+					return nil
+				}
+				regs := bench.CompareHybrid(base, stored, *maxRegress)
+				if len(regs) > 0 {
+					for _, r := range regs {
+						fmt.Fprintf(os.Stderr, "    REGRESSION %s\n", r)
+					}
+					return fmt.Errorf("%d hybrid regression(s) beyond %.0f%% vs %s", len(regs), *maxRegress*100, *compare)
+				}
+				fmt.Printf("    no hybrid regression beyond %.0f%% vs %s\n", *maxRegress*100, *compare)
+			}
+			return nil
+		}},
 		{"pintime", "parallel-in-time BTA engine (single-eval latency, selected-inversion throughput)", func(quick bool) error {
 			base, err := bench.Pintime(quick)
 			if err != nil {
@@ -177,13 +212,13 @@ func main() {
 	// -out is honored by several experiments; refuse a selection where a
 	// later one would silently overwrite an earlier one's file.
 	nOut := 0
-	for _, name := range []string{"kernels", "serving", "pintime"} {
+	for _, name := range []string{"kernels", "serving", "pintime", "hybrid"} {
 		if runAll || want[name] {
 			nOut++
 		}
 	}
 	if *out != "" && nOut > 1 {
-		fmt.Fprintln(os.Stderr, "-out with several baseline-writing experiments selected would write them to one path; pick one of kernels/serving/pintime")
+		fmt.Fprintln(os.Stderr, "-out with several baseline-writing experiments selected would write them to one path; pick one of kernels/serving/pintime/hybrid")
 		os.Exit(2)
 	}
 

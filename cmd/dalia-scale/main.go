@@ -6,6 +6,7 @@
 //
 //	dalia-scale -workers 1,4,16,31 -nv 3 -nt 8
 //	dalia-scale -workers 8 -memcap 3145728     # force S3 via memory cap
+//	dalia-scale -workers 4 -partitions 2       # hybrid ranks × partitions
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 	meshNy := flag.Int("mesh-ny", 4, "mesh vertices in y")
 	obs := flag.Int("obs", 15, "observations per time step")
 	lb := flag.Float64("lb", 1.6, "S3 load-balance factor")
+	partitions := flag.Int("partitions", 1, "S3 partitions per rank (hybrid two-level topology)")
 	memcap := flag.Int64("memcap", 0, "modeled device memory in bytes (0 = unlimited)")
 	iters := flag.Int("iters", 1, "quasi-Newton iterations to simulate")
 	seed := flag.Int64("seed", 31, "dataset seed")
@@ -60,11 +62,12 @@ func main() {
 	var t1 float64
 	for _, w := range workers {
 		rep, err := dalia.RunCluster(m, prior, ds.Theta0, dalia.ClusterConfig{
-			World:       w,
-			Machine:     dalia.DefaultMachine(),
-			Iterations:  *iters,
-			LB:          *lb,
-			MemCapBytes: *memcap,
+			World:             w,
+			Machine:           dalia.DefaultMachine(),
+			Iterations:        *iters,
+			LB:                *lb,
+			MemCapBytes:       *memcap,
+			PartitionsPerRank: *partitions,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -78,6 +81,9 @@ func main() {
 		}
 		if rep.Plan.P3Min > 1 {
 			plan += fmt.Sprintf("+S3(≥%d)", rep.Plan.P3Min)
+		}
+		if rep.Plan.PartitionsPerRank > 1 {
+			plan += fmt.Sprintf("×%dq", rep.Plan.PartitionsPerRank)
 		}
 		fmt.Printf("%8d  %10.4f  %8.1fx  %7.1f  %-22s %11.2fx\n",
 			w, rep.PerIter,

@@ -105,7 +105,10 @@ type (
 	// SharedPlan is the shared-memory scheduling plan of one evaluation
 	// batch (point workers × S2 pipelines × parallel-in-time partitions).
 	SharedPlan = inla.SharedPlan
-	// ClusterConfig configures a simulated distributed INLA run.
+	// ClusterConfig configures a simulated distributed INLA run. Its
+	// PartitionsPerRank field selects the hybrid two-level S3 topology:
+	// comm ranks across simulated nodes × shared-memory parallel-in-time
+	// partitions within each node (the paper's GPU-node layout).
 	ClusterConfig = inla.DistConfig
 	// ClusterReport carries the virtual-time statistics of a run.
 	ClusterReport = inla.DistReport
@@ -218,8 +221,11 @@ func HyperMarginals(m *Model, r *Result) []HyperMarginal {
 }
 
 // RunCluster executes INLA mode-search iterations SPMD on the simulated
-// distributed machine with the full three-layer parallel scheme, returning
-// virtual-time statistics (the scaling-experiment entry point).
+// distributed machine with the full three-layer parallel scheme — the S3
+// solver layer optionally two-level (ranks × partitions-per-rank, see
+// ClusterConfig) — returning virtual-time statistics (the
+// scaling-experiment entry point). At PartitionsPerRank ≤ 1 results are
+// bit-for-bit those of the flat one-partition-per-rank configuration.
 func RunCluster(m *Model, prior Prior, theta0 []float64, cfg ClusterConfig) (*ClusterReport, error) {
 	return inla.RunDistributed(m, prior, theta0, cfg)
 }

@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"github.com/dalia-hpc/dalia/internal/bta"
+	"github.com/dalia-hpc/dalia/internal/comm"
+	"github.com/dalia-hpc/dalia/internal/synth"
+)
+
+// HybridResult is one measured point of the two-level scheduling
+// experiment: a (ranks × partitions-per-rank) topology's virtual time for
+// one full distributed solver cycle (PPOBTAF + PPOBTAS + PPOBTASI).
+type HybridResult struct {
+	Ranks             int     `json:"ranks"`
+	PartitionsPerRank int     `json:"partitions_per_rank"`
+	Width             int     `json:"width"` // total partitions = ranks × per-rank
+	Seconds           float64 `json:"seconds"`
+	PerSec            float64 `json:"per_sec"`
+	// Speedup is relative to the 1×1 topology.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// HybridBaseline is the serialized two-level scheduling baseline
+// (BENCH_4.json): virtual cycle times of the hybrid (ranks × partitions)
+// distributed BTA solver across topologies of equal and growing total
+// width. Virtual times derive from measured kernel wall clocks, so — like
+// the pintime baseline — runs are only gate-comparable at matching
+// GOMAXPROCS.
+type HybridBaseline struct {
+	GoMaxProcs int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"num_cpu"`
+	Nt         int            `json:"nt"`
+	BlockSize  int            `json:"block_size"`
+	ArrowSize  int            `json:"arrow_size"`
+	Results    []HybridResult `json:"results"`
+}
+
+// hybridConfigs is the (ranks, partitions-per-rank) sweep: flat rank-only
+// rows, node-only rows, and the mixed two-level topologies the paper's
+// GPU-node layout corresponds to.
+var hybridConfigs = []struct{ ranks, perRank int }{
+	{1, 1}, {2, 1}, {1, 2}, {4, 1}, {2, 2}, {1, 4}, {4, 2}, {2, 4},
+}
+
+// Hybrid measures the two-level distributed BTA solver on a bivariate
+// spatio-temporal precision matrix: for each (ranks × partitions-per-rank)
+// topology, the virtual makespan of a factorize + solve + selected-invert
+// cycle on the simulated machine, with each rank running its owned
+// partitions as a concurrent node-local gang over the shared partition
+// cores. quick trims repetitions, not the topology grid.
+func Hybrid(quick bool) (*HybridBaseline, error) {
+	ds, err := synth.Generate(synth.GenConfig{
+		Nv: 2, Nt: 32, Nr: 1,
+		MeshNx: 5, MeshNy: 4,
+		ObsPerStep: 30,
+		Seed:       29,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := ds.Model
+	th, err := m.DecodeTheta(ds.Theta0)
+	if err != nil {
+		return nil, err
+	}
+	qc, err := m.Qc(th)
+	if err != nil {
+		return nil, err
+	}
+	rhs := make([]float64, qc.Dim())
+	for i := range rhs {
+		rhs[i] = float64(i%5) - 2
+	}
+	out := &HybridBaseline{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Nt:         qc.N, BlockSize: qc.B, ArrowSize: qc.A,
+	}
+	reps := 5
+	if quick {
+		reps = 2
+	}
+	var base float64
+	for _, cfg := range hybridConfigs {
+		secs, err := hybridCycleSeconds(qc, rhs, cfg.ranks, cfg.perRank, reps)
+		if err != nil {
+			return nil, fmt.Errorf("bench: hybrid %d×%d: %w", cfg.ranks, cfg.perRank, err)
+		}
+		r := HybridResult{
+			Ranks: cfg.ranks, PartitionsPerRank: cfg.perRank,
+			Width: cfg.ranks * cfg.perRank, Seconds: secs, PerSec: 1 / secs,
+		}
+		if cfg.ranks == 1 && cfg.perRank == 1 {
+			base = secs
+		} else if base > 0 {
+			r.Speedup = base / secs
+		}
+		out.Results = append(out.Results, r)
+	}
+	return out, nil
+}
+
+// hybridCycleSeconds runs reps scratch-backed factor/solve/selinv cycles
+// over the given topology and returns the virtual seconds per cycle.
+func hybridCycleSeconds(g *bta.Matrix, rhs []float64, ranks, perRank, reps int) (float64, error) {
+	parts, err := bta.PartitionBlocks(g.N, ranks*perRank, 1)
+	if err != nil {
+		return 0, err
+	}
+	var mu sync.Mutex
+	var runErr error
+	fail := func(err error) {
+		mu.Lock()
+		if runErr == nil {
+			runErr = err
+		}
+		mu.Unlock()
+	}
+	st := comm.Run(ranks, comm.DefaultMachine(), func(c *comm.Comm) {
+		local := bta.NewLocalBTANode(parts, c.Rank(), perRank, g.N, g.B, g.A)
+		scr := &bta.DistScratch{}
+		var prev *bta.DistFactor
+		span := local.Part
+		rhsLocal := make([]float64, span.Size()*g.B)
+		var rhsTip []float64
+		if g.A > 0 {
+			rhsTip = rhs[g.N*g.B:]
+		}
+		for rep := 0; rep < reps; rep++ {
+			local.FillFrom(g)
+			scr.Reclaim(prev)
+			prev = nil
+			f, err := bta.PPOBTAFScratch(c, local, scr)
+			if err != nil {
+				fail(err)
+				return
+			}
+			prev = f
+			copy(rhsLocal, rhs[span.Lo*g.B:(span.Hi+1)*g.B])
+			if _, _, err := bta.PPOBTAS(c, f, rhsLocal, rhsTip); err != nil {
+				fail(err)
+				return
+			}
+			if _, err := bta.PPOBTASI(c, f); err != nil {
+				fail(err)
+				return
+			}
+		}
+	})
+	if runErr != nil {
+		return 0, runErr
+	}
+	return st.Makespan() / float64(reps), nil
+}
+
+// WriteHybridBaseline serializes the two-level scheduling baseline.
+func WriteHybridBaseline(b *HybridBaseline, path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadHybridBaseline reads a stored two-level baseline back in.
+func LoadHybridBaseline(path string) (*HybridBaseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b HybridBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("bench: parse hybrid baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// HybridComparable reports whether two hybrid runs can be gated against
+// each other: virtual times derive from measured kernel wall clocks whose
+// node-gang concurrency scales with the scheduler width, so a GOMAXPROCS
+// mismatch would flag the host rather than a code regression.
+func HybridComparable(cur, base *HybridBaseline) bool {
+	return cur.GoMaxProcs == base.GoMaxProcs
+}
+
+// CompareHybrid checks the current measurements against a stored baseline
+// and returns one description per regression: a topology whose cycle rate
+// fell below (1−maxRegress) of the baseline. Incomparable runs yield no
+// regressions; points too short to time reliably are skipped.
+func CompareHybrid(cur, base *HybridBaseline, maxRegress float64) []string {
+	if !HybridComparable(cur, base) {
+		return nil
+	}
+	key := func(r HybridResult) string {
+		return fmt.Sprintf("%dx%d", r.Ranks, r.PartitionsPerRank)
+	}
+	baseRate := map[string]float64{}
+	for _, r := range base.Results {
+		if r.PerSec > 0 && r.Seconds >= minCompareSeconds {
+			baseRate[key(r)] = r.PerSec
+		}
+	}
+	var regressions []string
+	for _, r := range cur.Results {
+		if r.PerSec <= 0 || r.Seconds < minCompareSeconds {
+			continue
+		}
+		want, ok := baseRate[key(r)]
+		if !ok {
+			continue
+		}
+		floor := want * (1 - maxRegress)
+		if r.PerSec < floor {
+			regressions = append(regressions,
+				fmt.Sprintf("hybrid %s: %.2f cycles/s vs baseline %.2f (floor %.2f, −%.0f%%)",
+					key(r), r.PerSec, want, floor, 100*(1-r.PerSec/want)))
+		}
+	}
+	return regressions
+}
+
+// PrintHybrid renders the two-level scheduling table.
+func PrintHybrid(b *HybridBaseline, w *os.File) {
+	fmt.Fprintf(w, "  hybrid two-level distributed BTA solver (nt=%d, b=%d, a=%d, GOMAXPROCS=%d, %d hardware CPUs)\n",
+		b.Nt, b.BlockSize, b.ArrowSize, b.GoMaxProcs, b.NumCPU)
+	fmt.Fprintf(w, "  virtual seconds per factor+solve+selinv cycle; speedup vs the 1×1 topology\n")
+	if b.NumCPU < 2 {
+		fmt.Fprintf(w, "  note: single hardware CPU — node-gang rows measure scheduling overhead, not speedup\n")
+	}
+	fmt.Fprintf(w, "  %6s %11s %6s %12s %10s %8s\n", "ranks", "parts/rank", "width", "cycle", "cycles/s", "speedup")
+	for _, r := range b.Results {
+		sp := "-"
+		if r.Speedup > 0 {
+			sp = fmt.Sprintf("%.2fx", r.Speedup)
+		}
+		fmt.Fprintf(w, "  %6d %11d %6d %12s %10.1f %8s\n",
+			r.Ranks, r.PartitionsPerRank, r.Width, fmtDuration(r.Seconds), r.PerSec, sp)
+	}
+}

@@ -3,6 +3,7 @@ package bta
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/dalia-hpc/dalia/internal/comm"
 	"github.com/dalia-hpc/dalia/internal/dense"
@@ -12,6 +13,10 @@ func logOf(v float64) float64 { return math.Log(v) }
 
 // Message tags used by the distributed routines. Bases are spaced so the
 // tag+i arithmetic of multi-part transfers cannot collide across kinds.
+// A rank owning several partitions (the hybrid two-level topology) reuses
+// the same tags for each of them: both sides walk the owned partitions in
+// the same order and mailboxes deliver per-tag FIFO, so the pairing stays
+// deterministic without widening the tag space.
 const (
 	tagDiag     = 100 // +0, +1: boundary diagonal blocks
 	tagCoupling = 110 // +0: cross-partition coupling, +1: within-partition fill
@@ -24,11 +29,17 @@ const (
 
 // LocalBTA is one rank's slice of a global BTA matrix under the time-domain
 // partitioning: the diagonal, sub-diagonal, and arrow blocks of the owned
-// block range plus the coupling to the previous partition. The arrow tip is
+// block range plus the coupling to the previous rank. The arrow tip is
 // carried by rank 0 only (it is globally shared and enters the reduced
 // system exactly once).
+//
+// Under the hybrid two-level topology a rank models a multi-stream node and
+// owns several consecutive partitions of the global partition list; Sub
+// records them (global block ranges). A nil/single-entry Sub is the flat
+// one-partition-per-rank configuration.
 type LocalBTA struct {
-	Part    Partition
+	Part    Partition   // the rank's whole owned block range
+	Sub     []Partition // owned partitions; nil ⇒ flat (Sub = [Part])
 	NGlobal int
 	B, A    int
 
@@ -44,18 +55,44 @@ type LocalBTA struct {
 // assemble its slice directly).
 func LocalSlice(g *Matrix, parts []Partition, rank int) *LocalBTA {
 	l := NewLocalBTA(parts[rank], g.N, g.B, g.A, rank)
-	LocalSliceInto(l, g, parts, rank)
+	l.FillFrom(g)
+	return l
+}
+
+// LocalSliceNode is LocalSlice for the hybrid two-level topology: parts is
+// the global partition list of ranks·perRank entries, and the returned
+// slice covers rank's perRank consecutive partitions.
+func LocalSliceNode(g *Matrix, parts []Partition, rank, perRank int) *LocalBTA {
+	l := NewLocalBTANode(parts, rank, perRank, g.N, g.B, g.A)
+	l.FillFrom(g)
 	return l
 }
 
 // NewLocalBTA allocates a zeroed local slice workspace for one rank's
-// partition, refillable with LocalSliceInto. The factorization consumes the
+// partition, refillable with FillFrom. The factorization consumes the
 // slice blocks as workspace, so a slice refilled every INLA iteration gives
 // the distributed path the same fixed memory footprint as the sequential
 // Refactorize loop.
 func NewLocalBTA(part Partition, nGlobal, b, a, rank int) *LocalBTA {
-	l := &LocalBTA{Part: part, NGlobal: nGlobal, B: b, A: a}
-	size := part.Size()
+	return newLocalBTA(part, nil, nGlobal, b, a, rank)
+}
+
+// NewLocalBTANode allocates the local slice of a rank under the hybrid
+// two-level topology: the global partition list parts has ranks·perRank
+// entries and rank owns the perRank consecutive partitions starting at
+// rank·perRank.
+func NewLocalBTANode(parts []Partition, rank, perRank, nGlobal, b, a int) *LocalBTA {
+	if perRank < 1 {
+		perRank = 1
+	}
+	owned := append([]Partition(nil), parts[rank*perRank:(rank+1)*perRank]...)
+	span := Partition{Lo: owned[0].Lo, Hi: owned[len(owned)-1].Hi}
+	return newLocalBTA(span, owned, nGlobal, b, a, rank)
+}
+
+func newLocalBTA(span Partition, sub []Partition, nGlobal, b, a, rank int) *LocalBTA {
+	l := &LocalBTA{Part: span, Sub: sub, NGlobal: nGlobal, B: b, A: a}
+	size := span.Size()
 	l.Diag = make([]*dense.Matrix, size)
 	if size > 1 {
 		l.Lower = make([]*dense.Matrix, size-1)
@@ -66,7 +103,7 @@ func NewLocalBTA(part Partition, nGlobal, b, a, rank int) *LocalBTA {
 			l.Lower[i] = dense.New(b, b)
 		}
 	}
-	if part.Lo > 0 {
+	if span.Lo > 0 {
 		l.TopCoupling = dense.New(b, b)
 	}
 	if a > 0 {
@@ -81,67 +118,118 @@ func NewLocalBTA(part Partition, nGlobal, b, a, rank int) *LocalBTA {
 	return l
 }
 
-// LocalSliceInto refills an existing local slice from a globally assembled
-// matrix without allocating. The slice must have been built for the same
-// partition shape (NewLocalBTA or a previous LocalSlice).
-func LocalSliceInto(dst *LocalBTA, g *Matrix, parts []Partition, rank int) {
-	part := parts[rank]
-	for k := part.Lo; k <= part.Hi; k++ {
-		dst.Diag[k-part.Lo].CopyFrom(g.Diag[k])
-		if k < part.Hi {
-			dst.Lower[k-part.Lo].CopyFrom(g.Lower[k])
+// FillFrom refills the slice from a globally assembled matrix without
+// allocating — the per-θ workspace-reuse primitive of the distributed
+// evaluation loop.
+func (l *LocalBTA) FillFrom(g *Matrix) {
+	for k := l.Part.Lo; k <= l.Part.Hi; k++ {
+		l.Diag[k-l.Part.Lo].CopyFrom(g.Diag[k])
+		if k < l.Part.Hi {
+			l.Lower[k-l.Part.Lo].CopyFrom(g.Lower[k])
 		}
 		if g.A > 0 {
-			dst.Arrow[k-part.Lo].CopyFrom(g.Arrow[k])
+			l.Arrow[k-l.Part.Lo].CopyFrom(g.Arrow[k])
 		}
 	}
-	if part.Lo > 0 {
-		dst.TopCoupling.CopyFrom(g.Lower[part.Lo-1])
+	if l.Part.Lo > 0 {
+		l.TopCoupling.CopyFrom(g.Lower[l.Part.Lo-1])
 	}
-	if g.A > 0 && rank == 0 {
-		dst.Tip.CopyFrom(g.Tip)
+	if g.A > 0 && l.Tip != nil {
+		l.Tip.CopyFrom(g.Tip)
 	}
 }
 
-// DistFactor is the outcome of PPOBTAF: rank-local interior factor data plus
-// the factorized reduced system on rank 0. It supports the distributed
-// triangular solve (PPOBTAS), selected inversion (PPOBTASI), and the
-// collective log-determinant.
+// distPart is one owned partition's slice of the distributed factor state:
+// the partitionElim outputs, the fill-chain blocks handed to it, the
+// boundary blocks after elimination, and the partition's Schur tip
+// accumulator. Under the hybrid topology a rank holds several of these and
+// sweeps them concurrently (its simulated streams).
+type distPart struct {
+	part   Partition
+	global int // global partition index
+	off    int // block offset of part.Lo within the rank's local span
+
+	interior []int // global block indices, elimination order
+
+	l, gNext, gTop, gArr []*dense.Matrix
+	chain                []*dense.Matrix // fill blocks predrawn for partitionElim
+	fill                 *dense.Matrix
+	tipDelta             *dense.Matrix
+
+	bndDiag, bndArrow []*dense.Matrix
+	topCoupling       *dense.Matrix // original coupling (Lo, Lo−1); nil for partition 0
+
+	err error
+}
+
+// solveCore builds the shared partition-relative solve core over the
+// partition's elimination outputs.
+func (dp *distPart) solveCore(b int) partitionSolve {
+	return partitionSolve{
+		L: dp.l, GNext: dp.gNext, GTop: dp.gTop, GArr: dp.gArr,
+		Interiors: dp.interior, Base: dp.part.Lo, B: b,
+	}
+}
+
+// DistFactor is the outcome of PPOBTAF: rank-local interior factor data for
+// every owned partition plus the factorized reduced system on rank 0. It
+// supports the distributed triangular solve (PPOBTAS), selected inversion
+// (PPOBTASI), and the collective log-determinant.
 type DistFactor struct {
-	part     Partition
-	rank, p  int
-	nGlobal  int
-	b, a     int
-	interior []int // global indices, elimination order
+	span        Partition // the rank's whole owned block range
+	rank, ranks int
+	perRank     int // partitions per rank (the node's stream width)
+	p           int // total partitions = ranks·perRank
+	nGlobal     int
+	b, a        int
 
-	l     []*dense.Matrix // chol of eliminated interior diagonals
-	gNext []*dense.Matrix // (k+1, k) couplings, scaled; nil for final block of last partition
-	gTop  []*dense.Matrix // (lo, k) fill couplings, scaled; nil on rank 0
-	gArr  []*dense.Matrix // (a, k) couplings, scaled; nil when a == 0
+	parts []*distPart
 
-	// boundary state after local elimination (inputs to the reduced system)
-	bndDiag  []*dense.Matrix // updated boundary diagonal blocks
-	bndArrow []*dense.Matrix
-	fill     *dense.Matrix // M(lo, hi) for middle partitions
-	tipDelta *dense.Matrix
-
-	localTopCoupling *dense.Matrix // original coupling to previous partition
-	localTip         *dense.Matrix // original tip (rank 0)
+	localTip *dense.Matrix // original tip (rank 0)
 
 	reduced *Factor // rank 0 only
 	logDet  float64 // full log-determinant, replicated on all ranks
 
-	scr *DistScratch // optional recycled block storage (PPOBTAFScratch)
+	scr *DistScratch // optional recycled storage (PPOBTAFScratch)
 }
 
-// DistScratch recycles the per-factorization block allocations of PPOBTAF
-// (fill-coupling chain, tip delta, reduced system) across INLA iterations.
-// Usage: pass it to PPOBTAFScratch; when the factor is no longer needed —
-// before the next factorization — call Reclaim on it.
+// sweepScratch is one owned partition's preallocated selected-inversion
+// sweep workspace (the partitionSweep temporaries).
+type sweepScratch struct {
+	gN, gT, gA, tmpB *dense.Matrix
+	loBuf            [2]*dense.Matrix
+}
+
+// distSolveScratch recycles the PPOBTAS vector workspaces across INLA
+// iterations: the rank-local solution buffer, the per-partition forward tip
+// accumulators, and the reduced-system staging vectors on rank 0.
+type distSolveScratch struct {
+	y       []float64   // rank-local solution workspace
+	tips    [][]float64 // per owned partition forward tip accumulators
+	tipSum  []float64   // node-level tip contribution
+	payload []float64   // boundary-rhs staging
+	red     []float64   // rank 0: reduced right-hand side
+	sol     []float64   // rank 0: per-peer solution staging
+	xTip    []float64   // replicated tip solution
+	full    []float64   // p == 1 full-system workspace
+}
+
+// DistScratch recycles the per-factorization block allocations of the
+// distributed path (fill-coupling chains, tip deltas, reduced system) and
+// the solve/selected-inversion workspaces across INLA iterations, so the
+// rank-local compute between communication calls is allocation-free after
+// warmup — matching the shared-memory engines. Usage: pass it to
+// PPOBTAFScratch; when the factor is no longer needed — before the next
+// factorization — call Reclaim on it.
 type DistScratch struct {
 	bb  []*dense.Matrix // spare b×b blocks
-	aa  *dense.Matrix   // spare a×a tip delta
+	aa  []*dense.Matrix // spare a×a tip deltas
 	red *Matrix         // spare reduced system (rank 0)
+
+	solve  distSolveScratch
+	sweep  []*sweepScratch // per owned partition
+	sigma  *LocalSigma     // recycled Σ output storage (PPOBTASI)
+	redSig *Matrix         // rank 0: recycled reduced selected inverse
 }
 
 func (s *DistScratch) popBB() *dense.Matrix {
@@ -159,19 +247,16 @@ func (s *DistScratch) Reclaim(f *DistFactor) {
 	if f == nil {
 		return
 	}
-	for _, g := range f.gTop {
-		if g != nil {
-			s.bb = append(s.bb, g)
+	for _, dp := range f.parts {
+		// The predrawn chain covers every fill block the elimination handed
+		// out (gTop entries and the parked/unconsumed fill alike), so the
+		// chain returns wholesale — nothing can leak on failed sweeps.
+		s.bb = append(s.bb, dp.chain...)
+		dp.chain = nil
+		if dp.tipDelta != nil {
+			s.aa = append(s.aa, dp.tipDelta)
+			dp.tipDelta = nil
 		}
-	}
-	if f.fill != nil {
-		// The remaining boundary-boundary coupling block is never part of
-		// the gTop chain (it is the final, unconsumed tNext, or the fresh
-		// transpose of the size-2 middle-partition case).
-		s.bb = append(s.bb, f.fill)
-	}
-	if f.tipDelta != nil {
-		s.aa = f.tipDelta
 	}
 	if f.reduced != nil && f.p > 1 {
 		s.red = &Matrix{N: f.reduced.N, B: f.reduced.B, A: f.reduced.A,
@@ -191,11 +276,13 @@ func (f *DistFactor) newBB() *dense.Matrix {
 
 // newTipDelta returns a zeroed a×a accumulator block.
 func (f *DistFactor) newTipDelta() *dense.Matrix {
-	if f.scr != nil && f.scr.aa != nil {
-		m := f.scr.aa
-		f.scr.aa = nil
-		m.Zero()
-		return m
+	if f.scr != nil {
+		if n := len(f.scr.aa); n > 0 {
+			m := f.scr.aa[n-1]
+			f.scr.aa = f.scr.aa[:n-1]
+			m.Zero()
+			return m
+		}
 	}
 	return dense.New(f.a, f.a)
 }
@@ -222,37 +309,135 @@ func (f *DistFactor) newReduced(nr int) *Matrix {
 	return NewMatrix(nr, f.b, f.a)
 }
 
-// Part returns the factor's partition.
-func (f *DistFactor) Part() Partition { return f.part }
+// solveScratch returns the recycled solve arena, or a throwaway one when
+// the factor carries no scratch.
+func (f *DistFactor) solveScratch() *distSolveScratch {
+	if f.scr != nil {
+		return &f.scr.solve
+	}
+	return &distSolveScratch{}
+}
+
+// growF returns buf resized to n values, reusing its backing when possible.
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
+// sweepScratchFor returns owned partition j's selected-inversion sweep
+// workspace, allocating (into the recycled arena when attached) on first
+// use. Must be called outside the partition gang — growth is not
+// synchronized.
+func (f *DistFactor) sweepScratchFor(j int) *sweepScratch {
+	var ws *sweepScratch
+	if f.scr != nil {
+		for len(f.scr.sweep) <= j {
+			f.scr.sweep = append(f.scr.sweep, &sweepScratch{})
+		}
+		ws = f.scr.sweep[j]
+	} else {
+		ws = &sweepScratch{}
+	}
+	b, a := f.b, f.a
+	if ws.gN == nil || ws.gN.Rows != b {
+		ws.gN, ws.tmpB = dense.New(b, b), dense.New(b, b)
+		ws.gT, ws.gA = nil, nil
+		ws.loBuf = [2]*dense.Matrix{}
+	}
+	if f.parts[j].global != 0 && ws.gT == nil {
+		ws.gT = dense.New(b, b)
+		ws.loBuf[0], ws.loBuf[1] = dense.New(b, b), dense.New(b, b)
+	}
+	if a > 0 && (ws.gA == nil || ws.gA.Rows != a || ws.gA.Cols != b) {
+		ws.gA = dense.New(a, b)
+	}
+	return ws
+}
+
+// Part returns the factor's whole owned block range.
+func (f *DistFactor) Part() Partition { return f.span }
+
+// PerRank returns the node's stream width (owned partitions per rank).
+func (f *DistFactor) PerRank() int { return f.perRank }
 
 // LogDet returns log|A| (already replicated across ranks by PPOBTAF).
 func (f *DistFactor) LogDet() float64 { return f.logDet }
 
+// runOwned executes body for every owned partition — concurrently when the
+// rank models a multi-stream node (perRank > 1), inline otherwise. Callers
+// wrap it in comm.Compute, the simulator's timing hook: the measured wall
+// time of the whole gang is what gets charged to the rank's virtual clock,
+// i.e. one node-level makespan rather than a per-stream sum.
+func (f *DistFactor) runOwned(body func(j int)) {
+	if len(f.parts) == 1 {
+		body(0)
+		return
+	}
+	var wg sync.WaitGroup
+	for j := range f.parts {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			body(j)
+		}(j)
+	}
+	wg.Wait()
+}
+
+// tipSum folds the owned partitions' Schur tip accumulators into the
+// first one and returns it (the node-level arrow contribution).
+func (f *DistFactor) tipSum() *dense.Matrix {
+	t := f.parts[0].tipDelta
+	for _, dp := range f.parts[1:] {
+		t.Add(1, dp.tipDelta)
+	}
+	return t
+}
+
 // PPOBTAF performs the distributed BTA Cholesky factorization over the
 // time-domain partitioning (the Serinv-style nested-dissection scheme):
-// every rank eliminates its interior blocks concurrently — non-first
-// partitions run the costlier two-sided elimination that also updates their
-// top boundary — then rank 0 assembles and factorizes the reduced
-// block-tridiagonal-arrowhead system over the 2P−2 boundary blocks.
+// every rank eliminates the interiors of its owned partitions concurrently
+// — non-first partitions run the costlier two-sided elimination that also
+// updates their top boundary — then rank 0 assembles and factorizes the
+// reduced block-tridiagonal-arrowhead system over the 2P−2 boundary blocks,
+// where P = ranks·partitions-per-rank is the total partition count of the
+// two-level topology.
 //
 // Must be called collectively by all ranks of c with consistent local
-// slices. The local input is consumed (its blocks are used as workspace).
+// slices (including a consistent Sub width). The local input is consumed
+// (its blocks are used as workspace).
 func PPOBTAF(c *comm.Comm, local *LocalBTA) (*DistFactor, error) {
 	return PPOBTAFScratch(c, local, nil)
 }
 
-// PPOBTAFScratch is PPOBTAF with recycled block storage: the fill-coupling
-// chain, tip delta and reduced system are drawn from scr (which the caller
-// refills via DistScratch.Reclaim on the previous iteration's factor)
-// instead of freshly allocated. scr may be nil.
+// PPOBTAFScratch is PPOBTAF with recycled storage: the fill-coupling
+// chains, tip deltas and reduced system are drawn from scr (which the
+// caller refills via DistScratch.Reclaim on the previous iteration's
+// factor) instead of freshly allocated, and the factor's solve and
+// selected-inversion paths reuse scr's workspaces. scr may be nil.
 func PPOBTAFScratch(c *comm.Comm, local *LocalBTA, scr *DistScratch) (*DistFactor, error) {
-	p := c.Size()
+	ranks := c.Size()
 	rank := c.Rank()
+	sub := local.Sub
+	if len(sub) == 0 {
+		sub = []Partition{local.Part}
+	}
+	q := len(sub)
+	p := ranks * q
 	f := &DistFactor{
-		part: local.Part, rank: rank, p: p,
+		span: local.Part, rank: rank, ranks: ranks, perRank: q, p: p,
 		nGlobal: local.NGlobal, b: local.B, a: local.A,
-		interior: interiors(local.Part, rank, p),
-		scr:      scr,
+		scr: scr,
+	}
+	f.parts = make([]*distPart, q)
+	for j, part := range sub {
+		g := rank*q + j
+		f.parts[j] = &distPart{
+			part: part, global: g, off: part.Lo - f.span.Lo,
+			interior: interiors(part, g, p),
+		}
 	}
 	if p == 1 {
 		return ppobtafSingle(c, local, f)
@@ -267,7 +452,7 @@ func PPOBTAFScratch(c *comm.Comm, local *LocalBTA, scr *DistScratch) (*DistFacto
 	if anyFailed(c, elimErr) {
 		// The dead partial factor's recycled blocks must flow back to the
 		// scratch: infeasible θ points are routine in the INLA mode search,
-		// and dropping the chain on every failure would reintroduce
+		// and dropping the chains on every failure would reintroduce
 		// per-evaluation allocation churn.
 		if scr != nil {
 			scr.Reclaim(f)
@@ -315,104 +500,155 @@ func ppobtafSingle(c *comm.Comm, local *LocalBTA, f *DistFactor) (*DistFactor, e
 		return nil, err
 	}
 	f.reduced = seq
-	f.interior = nil
+	f.parts[0].interior = nil
 	f.logDet = seq.LogDet()
 	return f, nil
 }
 
-// eliminateInteriors runs the rank-local phase of PPOBTAF by delegating to
-// the shared per-partition elimination core (partitionElim), which the
-// shared-memory ParallelFactor drives as well.
+// eliminateInteriors runs the rank-local phase of PPOBTAF: every owned
+// partition's interior elimination through the shared partitionElim core —
+// the same core the shared-memory ParallelFactor drives — with the owned
+// partitions swept concurrently when the rank models a multi-stream node.
 func (f *DistFactor) eliminateInteriors(local *LocalBTA) error {
-	lo := local.Part.Lo
 	hasArrow := f.a > 0
-
-	pe := &partitionElim{
-		Diag:      local.Diag,
-		Lower:     local.Lower,
-		Arrow:     local.Arrow,
-		Interiors: f.interior,
-		Base:      lo,
-		TwoSided:  f.rank != 0,
-		NewBB:     f.newBB,
-		Kind:      "rank",
-		ID:        f.rank,
+	// Predraw every partition's fill chain and tip accumulator before the
+	// gang launches: the scratch pools are not synchronized.
+	for _, dp := range f.parts {
+		if dp.global > 0 {
+			need := len(dp.interior) + 1
+			dp.chain = make([]*dense.Matrix, need)
+			for i := range dp.chain {
+				dp.chain[i] = f.newBB()
+			}
+		}
+		if hasArrow {
+			dp.tipDelta = f.newTipDelta()
+		}
+		nInt := len(dp.interior)
+		dp.l = make([]*dense.Matrix, 0, nInt)
+		dp.gNext = make([]*dense.Matrix, 0, nInt)
+		dp.gTop = make([]*dense.Matrix, 0, nInt)
+		dp.gArr = make([]*dense.Matrix, 0, nInt)
 	}
-	if hasArrow {
-		f.tipDelta = f.newTipDelta()
-		pe.TipDelta = f.tipDelta
+	f.runOwned(func(j int) { f.parts[j].err = f.elimOwned(local, j) })
+	for _, dp := range f.parts {
+		if dp.err != nil {
+			return dp.err
+		}
+	}
+	f.localTip = local.Tip
+	return nil
+}
+
+// elimOwned eliminates one owned partition's interiors and records its
+// boundary state.
+func (f *DistFactor) elimOwned(local *LocalBTA, j int) error {
+	dp := f.parts[j]
+	off, size := dp.off, dp.part.Size()
+	used := 0
+	pe := partitionElim{
+		Diag:      local.Diag[off : off+size],
+		Lower:     local.Lower[off : off+size-1],
+		Interiors: dp.interior,
+		Base:      dp.part.Lo,
+		TwoSided:  dp.global != 0,
+		NewBB: func() *dense.Matrix {
+			m := dp.chain[used]
+			used++
+			return m
+		},
+		Kind: "rank", ID: f.rank,
+		L: dp.l, GNext: dp.gNext, GTop: dp.gTop, GArr: dp.gArr,
+	}
+	if f.a > 0 {
+		pe.Arrow = local.Arrow[off : off+size]
+		pe.TipDelta = dp.tipDelta
 	}
 	err := pe.run()
-	// Transfer the sweep outputs even on failure: partially appended fill
-	// blocks must stay reachable for DistScratch.Reclaim.
-	f.l, f.gNext, f.gTop, f.gArr = pe.L, pe.GNext, pe.GTop, pe.GArr
-	f.fill = pe.Fill
+	// Transfer the sweep outputs even on failure: the elimination state must
+	// stay reachable for DistScratch.Reclaim.
+	dp.l, dp.gNext, dp.gTop, dp.gArr, dp.fill = pe.L, pe.GNext, pe.GTop, pe.GArr, pe.Fill
 	if err != nil {
 		return err
 	}
 
 	// Record boundary state.
-	for _, gbl := range boundaries(local.Part, f.rank, f.p) {
-		f.bndDiag = append(f.bndDiag, local.Diag[gbl-lo])
-		if hasArrow {
-			f.bndArrow = append(f.bndArrow, local.Arrow[gbl-lo])
+	for _, gbl := range boundaries(dp.part, dp.global, f.p) {
+		dp.bndDiag = append(dp.bndDiag, local.Diag[gbl-f.span.Lo])
+		if f.a > 0 {
+			dp.bndArrow = append(dp.bndArrow, local.Arrow[gbl-f.span.Lo])
 		}
 	}
-	f.localTopCoupling = local.TopCoupling
-	f.localTip = local.Tip
+	if dp.global > 0 {
+		if off == 0 {
+			dp.topCoupling = local.TopCoupling // coupling to the previous rank
+		} else {
+			dp.topCoupling = local.Lower[off-1] // rank-internal partition border
+		}
+	}
 	return nil
 }
 
-// assembleAndFactorReduced gathers every rank's boundary contributions on
-// rank 0, assembles the 2P−2-block reduced BTA system, and factorizes it.
+// assembleAndFactorReduced gathers every partition's boundary contributions
+// on rank 0, assembles the 2P−2-block reduced BTA system, and factorizes it.
 func (f *DistFactor) assembleAndFactorReduced(c *comm.Comm, local *LocalBTA) error {
-	p, rank := f.p, f.rank
-	nr := reducedSize(p)
+	nr := reducedSize(f.p)
 	hasArrow := f.a > 0
 
-	if rank != 0 {
-		// Ship boundary contributions to rank 0.
-		for i, d := range f.bndDiag {
-			c.SendMatrix(0, tagDiag+i, d)
-		}
-		c.SendMatrix(0, tagCoupling, f.localTopCoupling)
-		if f.fill != nil {
-			c.SendMatrix(0, tagCoupling+1, f.fill)
+	if f.rank != 0 {
+		// Ship boundary contributions to rank 0, one partition at a time in
+		// owned order (the receiver walks the same order).
+		for _, dp := range f.parts {
+			for i, d := range dp.bndDiag {
+				c.SendMatrix(0, tagDiag+i, d)
+			}
+			c.SendMatrix(0, tagCoupling, dp.topCoupling)
+			if dp.fill != nil {
+				c.SendMatrix(0, tagCoupling+1, dp.fill)
+			}
+			if hasArrow {
+				for i, am := range dp.bndArrow {
+					c.SendMatrix(0, tagArrow+i, am)
+				}
+			}
 		}
 		if hasArrow {
-			for i, a := range f.bndArrow {
-				c.SendMatrix(0, tagArrow+i, a)
-			}
-			c.SendMatrix(0, tagTip, f.tipDelta)
+			c.SendMatrix(0, tagTip, f.tipSum())
 		}
-		f.recvReducedNothing()
 		return nil
 	}
 
 	red := f.newReduced(nr)
-	// Rank 0's own contribution: bottom boundary at reduced index 0.
-	red.Diag[0].CopyFrom(f.bndDiag[0])
+	// Rank 0's first partition: bottom boundary at reduced index 0.
+	dp0 := f.parts[0]
+	red.Diag[0].CopyFrom(dp0.bndDiag[0])
 	if hasArrow {
-		red.Arrow[0].CopyFrom(f.bndArrow[0])
+		red.Arrow[0].CopyFrom(dp0.bndArrow[0])
 		red.Tip.CopyFrom(f.localTip)
-		red.Tip.Add(1, f.tipDelta)
+		for _, dp := range f.parts {
+			red.Tip.Add(1, dp.tipDelta)
+		}
 	}
-	for r := 1; r < p; r++ {
-		top := reducedIndexTop(r)
-		topCoupling := c.RecvMatrix(r, tagCoupling)
-		red.Lower[top-1].CopyFrom(topCoupling) // (lo_r, hi_{r−1})
-		if r < p-1 {
+	// Rank 0's remaining partitions contribute locally.
+	for _, dp := range f.parts[1:] {
+		f.installReducedLocal(red, dp)
+	}
+	// Remote ranks: receive each rank's partitions in its send order.
+	for r := 1; r < f.ranks; r++ {
+		for jj := 0; jj < f.perRank; jj++ {
+			g := r*f.perRank + jj
+			top := reducedIndexTop(g)
+			red.Lower[top-1].CopyFrom(c.RecvMatrix(r, tagCoupling)) // (lo_g, hi_{g−1})
 			red.Diag[top].CopyFrom(c.RecvMatrix(r, tagDiag))
-			red.Diag[top+1].CopyFrom(c.RecvMatrix(r, tagDiag+1))
-			fill := c.RecvMatrix(r, tagCoupling+1)
-			red.Lower[top].CopyFrom(fill.T()) // (hi_r, lo_r) = fillᵀ
-			if hasArrow {
-				red.Arrow[top].CopyFrom(c.RecvMatrix(r, tagArrow))
-				red.Arrow[top+1].CopyFrom(c.RecvMatrix(r, tagArrow+1))
-			}
-		} else {
-			red.Diag[top].CopyFrom(c.RecvMatrix(r, tagDiag))
-			if hasArrow {
+			if g < f.p-1 {
+				red.Diag[top+1].CopyFrom(c.RecvMatrix(r, tagDiag+1))
+				fill := c.RecvMatrix(r, tagCoupling+1)
+				fill.TransposeInto(red.Lower[top]) // (hi_g, lo_g) = fillᵀ
+				if hasArrow {
+					red.Arrow[top].CopyFrom(c.RecvMatrix(r, tagArrow))
+					red.Arrow[top+1].CopyFrom(c.RecvMatrix(r, tagArrow+1))
+				}
+			} else if hasArrow {
 				red.Arrow[top].CopyFrom(c.RecvMatrix(r, tagArrow))
 			}
 		}
@@ -435,18 +671,34 @@ func (f *DistFactor) assembleAndFactorReduced(c *comm.Comm, local *LocalBTA) err
 	return err
 }
 
-// recvReducedNothing is a placeholder synchronization for non-root ranks —
-// the reduced factorization is sequential on rank 0 by design (mirroring
-// Serinv); other ranks simply proceed to the next collective.
-func (f *DistFactor) recvReducedNothing() {}
+// installReducedLocal copies one of rank 0's own non-first partitions'
+// boundary contributions into the reduced system (the message-free
+// counterpart of the remote receive path).
+func (f *DistFactor) installReducedLocal(red *Matrix, dp *distPart) {
+	top := reducedIndexTop(dp.global)
+	red.Lower[top-1].CopyFrom(dp.topCoupling)
+	red.Diag[top].CopyFrom(dp.bndDiag[0])
+	if dp.global < f.p-1 {
+		red.Diag[top+1].CopyFrom(dp.bndDiag[1])
+		dp.fill.TransposeInto(red.Lower[top])
+		if f.a > 0 {
+			red.Arrow[top].CopyFrom(dp.bndArrow[0])
+			red.Arrow[top+1].CopyFrom(dp.bndArrow[1])
+		}
+	} else if f.a > 0 {
+		red.Arrow[top].CopyFrom(dp.bndArrow[0])
+	}
+}
 
 // shareLogDet computes log|A| collectively: interior contributions from all
-// ranks plus the reduced factor's log-determinant from rank 0.
+// owned partitions plus the reduced factor's log-determinant from rank 0.
 func (f *DistFactor) shareLogDet(c *comm.Comm) {
 	var localSum float64
-	for _, lk := range f.l {
-		for i := 0; i < f.b; i++ {
-			localSum += logOf(lk.At(i, i))
+	for _, dp := range f.parts {
+		for _, lk := range dp.l {
+			for i := 0; i < f.b; i++ {
+				localSum += logOf(lk.At(i, i))
+			}
 		}
 	}
 	localSum *= 2

@@ -1,0 +1,310 @@
+package bta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dalia-hpc/dalia/internal/comm"
+	"github.com/dalia-hpc/dalia/internal/dense"
+)
+
+// hybridResult gathers one hybrid run's outputs on the caller side.
+type hybridResult struct {
+	logDet  float64
+	x       []float64
+	sigDiag []float64
+	sigLows []*dense.Matrix
+	sigTip  *dense.Matrix
+	err     error
+}
+
+// runHybrid factorizes, solves, and selected-inverts g over world ranks ×
+// perRank partitions each, optionally with per-rank recycled scratch.
+func runHybrid(t *testing.T, g *Matrix, world, perRank int, rhs []float64, scrs []*DistScratch) hybridResult {
+	t.Helper()
+	parts, err := PartitionBlocks(g.N, world*perRank, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, b, a := g.N, g.B, g.A
+	res := hybridResult{
+		x:       make([]float64, n*b+a),
+		sigDiag: make([]float64, n*b+a),
+		sigLows: make([]*dense.Matrix, n-1),
+	}
+	var mu chanMutex = make(chan struct{}, 1)
+	comm.Run(world, comm.DefaultMachine(), func(c *comm.Comm) {
+		local := LocalSliceNode(g, parts, c.Rank(), perRank)
+		var scr *DistScratch
+		if scrs != nil {
+			scr = scrs[c.Rank()]
+		}
+		f, err := PPOBTAFScratch(c, local, scr)
+		if err != nil {
+			mu.Lock()
+			res.err = err
+			mu.Unlock()
+			return
+		}
+		span := local.Part
+		rhsLocal := append([]float64(nil), rhs[span.Lo*b:(span.Hi+1)*b]...)
+		var rhsTip []float64
+		if a > 0 {
+			rhsTip = rhs[n*b:]
+		}
+		xLocal, xTip, err := PPOBTAS(c, f, rhsLocal, rhsTip)
+		if err != nil {
+			mu.Lock()
+			res.err = err
+			mu.Unlock()
+			return
+		}
+		sig, err := PPOBTASI(c, f)
+		if err != nil {
+			mu.Lock()
+			res.err = err
+			mu.Unlock()
+			return
+		}
+		mu.Lock()
+		res.logDet = f.LogDet()
+		copy(res.x[span.Lo*b:], xLocal)
+		if a > 0 && xTip != nil {
+			copy(res.x[n*b:], xTip)
+		}
+		copy(res.sigDiag[span.Lo*b:], sig.DiagVec())
+		if a > 0 && sig.Tip != nil {
+			res.sigTip = sig.Tip.Clone()
+			for k := 0; k < a; k++ {
+				res.sigDiag[n*b+k] = sig.Tip.At(k, k)
+			}
+		}
+		for i, l := range sig.Lower {
+			res.sigLows[span.Lo+i] = l.Clone()
+		}
+		if sig.TopCoupling != nil {
+			res.sigLows[span.Lo-1] = sig.TopCoupling.Clone()
+		}
+		mu.Unlock()
+	})
+	return res
+}
+
+// TestHybridEquivalenceGrid is the acceptance grid of the two-level
+// refactor: dist (hybrid ranks × partitions) vs sequential vs shared-memory
+// parallel selected-inversion diagonals, couplings and solves agree to
+// 1e-10 across world sizes {1,2,4} × partitions-per-rank {1,2,3} ×
+// arrowhead {0,1,4} at an odd time dimension.
+func TestHybridEquivalenceGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	const nt = 23 // odd, and ≥ 2·(4·3)−2 so every grid point partitions
+	for _, a := range []int{0, 1, 4} {
+		g := randBTA(rng, nt, 2, a)
+		rhs := randVec(rng, g.Dim())
+
+		seq, err := Factorize(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]float64(nil), rhs...)
+		seq.Solve(want)
+		wantLd := seq.LogDet()
+		wantSig, err := seq.SelectedInversion()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDiag := wantSig.DiagVec()
+
+		for _, world := range []int{1, 2, 4} {
+			for _, perRank := range []int{1, 2, 3} {
+				res := runHybrid(t, g, world, perRank, rhs, nil)
+				if res.err != nil {
+					t.Fatalf("a=%d world=%d q=%d: %v", a, world, perRank, res.err)
+				}
+				if d := math.Abs(res.logDet - wantLd); d > equivTol*(1+math.Abs(wantLd)) {
+					t.Fatalf("a=%d world=%d q=%d: logdet %v want %v", a, world, perRank, res.logDet, wantLd)
+				}
+				for i := range want {
+					if math.Abs(res.x[i]-want[i]) > equivTol {
+						t.Fatalf("a=%d world=%d q=%d: solve[%d] = %v want %v", a, world, perRank, i, res.x[i], want[i])
+					}
+				}
+				for i := range wantDiag {
+					if math.Abs(res.sigDiag[i]-wantDiag[i]) > equivTol*(1+math.Abs(wantDiag[i])) {
+						t.Fatalf("a=%d world=%d q=%d: selinv diag[%d] = %v want %v", a, world, perRank, i, res.sigDiag[i], wantDiag[i])
+					}
+				}
+				for k := 0; k < g.N-1; k++ {
+					if res.sigLows[k] == nil {
+						t.Fatalf("a=%d world=%d q=%d: missing Σ lower block %d", a, world, perRank, k)
+					}
+					if !res.sigLows[k].Equal(wantSig.Lower[k], equivTol) {
+						t.Fatalf("a=%d world=%d q=%d: Σ lower block %d mismatch", a, world, perRank, k)
+					}
+				}
+				if a > 0 && !res.sigTip.Equal(wantSig.Tip, equivTol) {
+					t.Fatalf("a=%d world=%d q=%d: Σ tip mismatch", a, world, perRank)
+				}
+
+				// The shared-memory parallel backend over the same total
+				// width must agree too — all three backends drive the same
+				// partition cores.
+				pf, err := NewParallelFactor(nt, 2, a, world*perRank)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := pf.Refactorize(g); err != nil {
+					t.Fatal(err)
+				}
+				got := append([]float64(nil), rhs...)
+				pf.Solve(got)
+				for i := range want {
+					if math.Abs(got[i]-want[i]) > equivTol {
+						t.Fatalf("a=%d P=%d: parallel solve[%d] mismatch", a, world*perRank, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHybridTopologyBitForBit: with no arrowhead the hybrid path performs
+// the identical floating-point operations for every (ranks, partitions)
+// split of the same total width — the per-partition elimination, solve and
+// sweep are the same partition-relative cores either way, and only message
+// boundaries move. 1 rank × 4 partitions, 2 × 2 and 4 × 1 must therefore
+// agree bit for bit.
+func TestHybridTopologyBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	g := randBTA(rng, 12, 3, 0)
+	rhs := randVec(rng, g.Dim())
+
+	ref := runHybrid(t, g, 4, 1, rhs, nil)
+	if ref.err != nil {
+		t.Fatal(ref.err)
+	}
+	for _, tc := range []struct{ world, q int }{{1, 4}, {2, 2}} {
+		res := runHybrid(t, g, tc.world, tc.q, rhs, nil)
+		if res.err != nil {
+			t.Fatalf("%+v: %v", tc, res.err)
+		}
+		// The log-determinant's collective reduction groups its partial sums
+		// by rank, so moving a partition boundary between ranks regroups the
+		// sum (ulp-level shift) — everything else is bitwise identical.
+		if d := math.Abs(res.logDet - ref.logDet); d > 1e-12*math.Abs(ref.logDet) {
+			t.Fatalf("%+v: logdet %v != flat %v", tc, res.logDet, ref.logDet)
+		}
+		for i := range ref.x {
+			if res.x[i] != ref.x[i] {
+				t.Fatalf("%+v: solve[%d] %v != flat %v", tc, i, res.x[i], ref.x[i])
+			}
+		}
+		for i := range ref.sigDiag {
+			if res.sigDiag[i] != ref.sigDiag[i] {
+				t.Fatalf("%+v: selinv diag[%d] %v != flat %v", tc, i, res.sigDiag[i], ref.sigDiag[i])
+			}
+		}
+	}
+}
+
+// TestHybridScratchReuseStable: repeated factorize/solve/selinv cycles on
+// the same recycled scratch must reproduce the first cycle's results
+// exactly — the recycled chains, solve buffers and Σ storage carry no state
+// between iterations.
+func TestHybridScratchReuseStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	g := randBTA(rng, 11, 3, 2)
+	rhs := randVec(rng, g.Dim())
+	scrs := []*DistScratch{{}, {}}
+
+	var first hybridResult
+	for cycle := 0; cycle < 4; cycle++ {
+		res := runHybrid(t, g, 2, 2, rhs, scrs)
+		if res.err != nil {
+			t.Fatalf("cycle %d: %v", cycle, res.err)
+		}
+		if cycle == 0 {
+			first = res
+			continue
+		}
+		for i := range first.x {
+			if res.x[i] != first.x[i] {
+				t.Fatalf("cycle %d: solve[%d] drifted", cycle, i)
+			}
+		}
+		for i := range first.sigDiag {
+			if res.sigDiag[i] != first.sigDiag[i] {
+				t.Fatalf("cycle %d: selinv diag[%d] drifted", cycle, i)
+			}
+		}
+	}
+}
+
+// distCycleAllocs measures the steady-state allocations of one full
+// scratch-backed distributed cycle (refill + PPOBTAF + PPOBTAS + PPOBTASI +
+// Reclaim) over 2 ranks.
+func distCycleAllocs(t *testing.T, nt int) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(74 + nt)))
+	g := randBTA(rng, nt, 3, 2)
+	parts, err := PartitionBlocks(nt, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := randVec(rng, g.Dim())
+	scrs := []*DistScratch{{}, {}}
+	locals := []*LocalBTA{
+		NewLocalBTA(parts[0], g.N, g.B, g.A, 0),
+		NewLocalBTA(parts[1], g.N, g.B, g.A, 1),
+	}
+	rhsLocals := make([][]float64, 2)
+	for r, p := range parts {
+		rhsLocals[r] = append([]float64(nil), rhs[p.Lo*g.B:(p.Hi+1)*g.B]...)
+	}
+	cycle := func() {
+		comm.Run(2, comm.DefaultMachine(), func(c *comm.Comm) {
+			r := c.Rank()
+			locals[r].FillFrom(g)
+			f, err := PPOBTAFScratch(c, locals[r], scrs[r])
+			if err != nil {
+				panic(err)
+			}
+			rl := rhsLocals[r]
+			copy(rl, rhs[parts[r].Lo*g.B:(parts[r].Hi+1)*g.B])
+			var rhsTip []float64
+			if g.A > 0 {
+				rhsTip = rhs[g.N*g.B:]
+			}
+			if _, _, err := PPOBTAS(c, f, rl, rhsTip); err != nil {
+				panic(err)
+			}
+			if _, err := PPOBTASI(c, f); err != nil {
+				panic(err)
+			}
+			scrs[r].Reclaim(f)
+		})
+	}
+	// Warm the scratch pools (chains, solve buffers, Σ storage).
+	cycle()
+	cycle()
+	return testing.AllocsPerRun(5, cycle)
+}
+
+// TestDistPerStepAllocFree pins the scratch-backed distributed path's
+// allocation behaviour: the remaining allocations per cycle belong to the
+// message layer and the simulator (O(ranks) per cycle), so the count must
+// not grow with the number of interior blocks — the per-step Clone /
+// dense.New churn of the solve and selected-inversion sweeps is gone.
+func TestDistPerStepAllocFree(t *testing.T) {
+	if dense.RaceEnabled {
+		t.Skip("race-mode alloc counts are meaningless")
+	}
+	small := distCycleAllocs(t, 10)
+	large := distCycleAllocs(t, 34)
+	// 24 extra interior blocks under the old code cost ≥ 4 allocations each
+	// (G clones and fresh Σ blocks per step); scratch-backed sweeps cost 0.
+	if large > small+6 {
+		t.Fatalf("allocations grow with nt: %.1f at nt=10 vs %.1f at nt=34", small, large)
+	}
+}

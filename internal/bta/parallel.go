@@ -58,8 +58,7 @@ const (
 // stay allocation-free.
 type partState struct {
 	part      Partition
-	label     string // "partition N", for sweep errors (built once)
-	interiors []int  // global block indices, elimination order
+	interiors []int // global block indices, elimination order
 
 	chain     []*dense.Matrix // fill-coupling blocks M(lo,·), b×b
 	chainUsed int
@@ -174,7 +173,7 @@ func NewParallelFactor(n, b, a, p int) (*ParallelFactor, error) {
 
 	f.ps = make([]*partState, p)
 	for r := 0; r < p; r++ {
-		ps := &partState{part: parts[r], label: fmt.Sprintf("partition %d", r)}
+		ps := &partState{part: parts[r]}
 		ps.interiors = interiors(parts[r], r, p)
 		nInt := len(ps.interiors)
 		if r > 0 {
@@ -458,55 +457,38 @@ func (f *ParallelFactor) scatterRhs(rhs []float64) {
 	}
 }
 
-// forwardPartition runs the interior forward elimination of one partition:
-// y_k = L_kk⁻¹·(…), pushing updates to the next block, the partition's own
-// top boundary, and its private tip accumulator.
+// solveCore builds the shared partition-relative solve core over partition
+// r's elimination outputs (valid after a successful Refactorize).
+func (f *ParallelFactor) solveCore(r int) partitionSolve {
+	ps := f.ps[r]
+	return partitionSolve{
+		L: ps.l, GNext: ps.gNext, GTop: ps.gTop, GArr: ps.gArr,
+		Interiors: ps.interiors, Base: ps.part.Lo, B: f.B,
+	}
+}
+
+// forwardPartition runs the interior forward elimination of one partition
+// through the shared partitionSolve core, accumulating arrow contributions
+// in the partition's private tip accumulator.
 func (f *ParallelFactor) forwardPartition(r int, rhs []float64) {
 	ps := f.ps[r]
-	b := f.B
-	lo, hi := ps.part.Lo, ps.part.Hi
 	for i := range ps.tipVec {
 		ps.tipVec[i] = 0
 	}
-	for idx, k := range ps.interiors {
-		yk := rhs[k*b : (k+1)*b]
-		solveLowerVec(f.store.Diag[k], yk)
-		if k < hi {
-			dense.Gemv(dense.NoTrans, -1, f.store.Lower[k], yk, 1, rhs[(k+1)*b:(k+2)*b])
-		}
-		if gt := ps.gTop[idx]; gt != nil {
-			dense.Gemv(dense.NoTrans, -1, gt, yk, 1, rhs[lo*b:(lo+1)*b])
-		}
-		if f.A > 0 {
-			dense.Gemv(dense.NoTrans, -1, f.store.Arrow[k], yk, 1, ps.tipVec)
-		}
-	}
+	pv := f.solveCore(r)
+	pv.forward(rhs[ps.part.Lo*f.B:(ps.part.Hi+1)*f.B], ps.tipVec)
 }
 
 // backwardPartition runs the interior backward substitution of one
 // partition against the already-final boundary and tip solutions.
 func (f *ParallelFactor) backwardPartition(r int, rhs []float64) {
 	ps := f.ps[r]
-	b := f.B
-	lo, hi := ps.part.Lo, ps.part.Hi
 	var xa []float64
 	if f.A > 0 {
-		xa = rhs[f.N*b : f.N*b+f.A]
+		xa = rhs[f.N*f.B : f.N*f.B+f.A]
 	}
-	for idx := len(ps.interiors) - 1; idx >= 0; idx-- {
-		k := ps.interiors[idx]
-		xk := rhs[k*b : (k+1)*b]
-		if k < hi {
-			dense.Gemv(dense.Trans, -1, f.store.Lower[k], rhs[(k+1)*b:(k+2)*b], 1, xk)
-		}
-		if gt := ps.gTop[idx]; gt != nil {
-			dense.Gemv(dense.Trans, -1, gt, rhs[lo*b:(lo+1)*b], 1, xk)
-		}
-		if f.A > 0 {
-			dense.Gemv(dense.Trans, -1, f.store.Arrow[k], xa, 1, xk)
-		}
-		solveLowerTransVec(f.store.Diag[k], xk)
-	}
+	pv := f.solveCore(r)
+	pv.backward(rhs[ps.part.Lo*f.B:(ps.part.Hi+1)*f.B], xa)
 }
 
 // reducedMS returns the reduced multi-RHS workspace narrowed to k columns,
@@ -612,47 +594,22 @@ func (f *ParallelFactor) SolveMultiInto(w *MultiSolve) {
 }
 
 // forwardPartitionMS is forwardPartition over all workspace columns at once
-// (BLAS-3 throughout).
+// (BLAS-3 throughout), via the shared core.
 func (f *ParallelFactor) forwardPartitionMS(r int, w *MultiSolve) {
 	ps := f.ps[r]
-	lo, hi := ps.part.Lo, ps.part.Hi
 	var acc *dense.Matrix
 	if f.A > 0 {
 		acc = f.tipAcc(r, w.K)
 	}
-	for idx, k := range ps.interiors {
-		yk := w.blocks[k]
-		dense.Trsm(dense.Left, dense.NoTrans, f.store.Diag[k], yk)
-		if k < hi {
-			dense.Gemm(dense.NoTrans, dense.NoTrans, -1, f.store.Lower[k], yk, 1, w.blocks[k+1])
-		}
-		if gt := ps.gTop[idx]; gt != nil {
-			dense.Gemm(dense.NoTrans, dense.NoTrans, -1, gt, yk, 1, w.blocks[lo])
-		}
-		if acc != nil {
-			dense.Gemm(dense.NoTrans, dense.NoTrans, -1, f.store.Arrow[k], yk, 1, acc)
-		}
-	}
+	pv := f.solveCore(r)
+	pv.forwardMS(w.blocks[ps.part.Lo:ps.part.Hi+1], acc)
 }
 
 // backwardPartitionMS is backwardPartition over all workspace columns.
 func (f *ParallelFactor) backwardPartitionMS(r int, w *MultiSolve) {
 	ps := f.ps[r]
-	lo, hi := ps.part.Lo, ps.part.Hi
-	for idx := len(ps.interiors) - 1; idx >= 0; idx-- {
-		k := ps.interiors[idx]
-		xk := w.blocks[k]
-		if k < hi {
-			dense.Gemm(dense.Trans, dense.NoTrans, -1, f.store.Lower[k], w.blocks[k+1], 1, xk)
-		}
-		if gt := ps.gTop[idx]; gt != nil {
-			dense.Gemm(dense.Trans, dense.NoTrans, -1, gt, w.blocks[lo], 1, xk)
-		}
-		if f.A > 0 {
-			dense.Gemm(dense.Trans, dense.NoTrans, -1, f.store.Arrow[k], w.arrow, 1, xk)
-		}
-		dense.Trsm(dense.Left, dense.Trans, f.store.Diag[k], xk)
-	}
+	pv := f.solveCore(r)
+	pv.backwardMS(w.blocks[ps.part.Lo:ps.part.Hi+1], w.arrow)
 }
 
 // SelectedInversion computes Σ = A⁻¹ on the BTA pattern into fresh storage.
@@ -719,118 +676,31 @@ func (f *ParallelFactor) SelectedInversionInto(sig *Matrix) error {
 }
 
 // sweepPartition runs one partition's backward selected-inversion recursion
-// over its interiors, rolling Σ across the elimination neighbours
-// {k+1, lo, tip} exactly like the distributed PPOBTASI interior sweep, but
-// writing straight into the shared output and drawing every temporary from
-// the partition's preallocated scratch.
+// over its interiors through the shared partitionSweep core, writing
+// straight into the shared output and drawing every temporary from the
+// partition's preallocated scratch.
 func (f *ParallelFactor) sweepPartition(r int, sig *Matrix) error {
 	ps := f.ps[r]
-	ints := ps.interiors
-	if len(ints) == 0 {
+	if len(ps.interiors) == 0 {
 		return nil
 	}
 	lo, hi := ps.part.Lo, ps.part.Hi
-	twoSided := r != 0
-	hasArrow := f.A > 0
-
-	// Rolling state: Σ_{k+1,k+1}, Σ_{lo,k+1}, Σ_{a,k+1}.
-	var sigNN, sigLoN, sigArrN *dense.Matrix
-	loCur, loNext := ps.loBuf[0], ps.loBuf[1]
-	last := len(ints) - 1
-	if ints[last] < hi { // the deepest interior couples to the bottom boundary
-		sigNN = sig.Diag[hi]
-		if twoSided {
-			// Σ(lo, hi) = Σ(hi, lo)ᵀ from the reduced selected inverse.
-			f.redSig.Lower[reducedIndexTop(r)].TransposeInto(loCur)
-			sigLoN = loCur
-		}
-		if hasArrow {
-			sigArrN = sig.Arrow[hi]
-		}
+	pw := partitionSweep{
+		L: ps.l, GNext: ps.gNext, GTop: ps.gTop, GArr: ps.gArr,
+		Interiors: ps.interiors, Base: lo, TwoSided: r != 0,
+		Diag:  sig.Diag[lo : hi+1],
+		Lower: sig.Lower[lo:hi],
+		GN:    ps.gN, GT: ps.gT, GA: ps.gA, TmpB: ps.tmpB,
+		LoBuf: ps.loBuf,
+		Kind:  "partition", ID: r,
 	}
-
-	for idx := last; idx >= 0; idx-- {
-		k := ints[idx]
-		// The factor stores L_{S,k} = A'_{S,k}·L_kk⁻ᵀ; the recursion needs
-		// G_{S,k} = L_{S,k}·L_kk⁻¹ (as in the sequential POBTASI).
-		var gN, gT, gA *dense.Matrix
-		if k < hi {
-			gN = ps.gN
-			gN.CopyFrom(f.store.Lower[k])
-			dense.Trsm(dense.Right, dense.NoTrans, f.store.Diag[k], gN)
-		}
-		if gt := ps.gTop[idx]; gt != nil {
-			gT = ps.gT
-			gT.CopyFrom(gt)
-			dense.Trsm(dense.Right, dense.NoTrans, f.store.Diag[k], gT)
-		}
-		if hasArrow {
-			gA = ps.gA
-			gA.CopyFrom(f.store.Arrow[k])
-			dense.Trsm(dense.Right, dense.NoTrans, f.store.Diag[k], gA)
-		}
-		// Σ_{k+1,k}
-		if gN != nil {
-			dense.Gemm(dense.NoTrans, dense.NoTrans, -1, sigNN, gN, 0, sig.Lower[k])
-			if gT != nil {
-				dense.Gemm(dense.Trans, dense.NoTrans, -1, sigLoN, gT, 1, sig.Lower[k])
-			}
-			if gA != nil {
-				dense.Gemm(dense.Trans, dense.NoTrans, -1, sigArrN, gA, 1, sig.Lower[k])
-			}
-		}
-		// Σ_{lo,k}
-		var sigLoK *dense.Matrix
-		if gT != nil {
-			sigLoK = loNext
-			dense.Gemm(dense.NoTrans, dense.NoTrans, -1, sig.Diag[lo], gT, 0, sigLoK)
-			if gN != nil {
-				dense.Gemm(dense.NoTrans, dense.NoTrans, -1, sigLoN, gN, 1, sigLoK)
-			}
-			if gA != nil {
-				dense.Gemm(dense.Trans, dense.NoTrans, -1, sig.Arrow[lo], gA, 1, sigLoK)
-			}
-		}
-		// Σ_{a,k}
-		if gA != nil {
-			dense.Gemm(dense.NoTrans, dense.NoTrans, -1, sig.Tip, gA, 0, sig.Arrow[k])
-			if gN != nil {
-				dense.Gemm(dense.NoTrans, dense.NoTrans, -1, sigArrN, gN, 1, sig.Arrow[k])
-			}
-			if gT != nil {
-				dense.Gemm(dense.NoTrans, dense.NoTrans, -1, sig.Arrow[lo], gT, 1, sig.Arrow[k])
-			}
-		}
-		// Σ_{k,k}
-		if err := dense.PotriInto(sig.Diag[k], ps.tmpB, f.store.Diag[k]); err != nil {
-			return fmt.Errorf("bta: selinv %s block %d: %w", ps.label, k, err)
-		}
-		if gN != nil {
-			dense.Gemm(dense.Trans, dense.NoTrans, -1, sig.Lower[k], gN, 1, sig.Diag[k])
-		}
-		if gT != nil {
-			dense.Gemm(dense.Trans, dense.NoTrans, -1, sigLoK, gT, 1, sig.Diag[k])
-		}
-		if gA != nil {
-			dense.Gemm(dense.Trans, dense.NoTrans, -1, sig.Arrow[k], gA, 1, sig.Diag[k])
-		}
-		sig.Diag[k].Symmetrize()
-
-		// Roll the state.
-		sigNN = sig.Diag[k]
-		if gT != nil {
-			sigLoN = sigLoK
-			loCur, loNext = loNext, loCur
-		}
-		if hasArrow {
-			sigArrN = sig.Arrow[k]
-		}
+	if f.A > 0 {
+		pw.Arrow = sig.Arrow[lo : hi+1]
+		pw.SigTip = sig.Tip
 	}
-
-	// The coupling between the first interior and the top boundary:
-	// Σ(lo+1, lo) = Σ(lo, lo+1)ᵀ.
-	if twoSided && sigLoN != nil {
-		sigLoN.TransposeInto(sig.Lower[lo])
+	if r > 0 && r < f.P-1 {
+		// Σ(hi_r, lo_r) of middle partitions seeds the rolling Σ(lo,·).
+		pw.SigBotTop = f.redSig.Lower[reducedIndexTop(r)]
 	}
-	return nil
+	return pw.run()
 }

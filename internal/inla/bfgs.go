@@ -252,9 +252,51 @@ func infNorm(v []float64) float64 {
 	return mx
 }
 
-// HessianAtMode estimates ∇²F(θ*) by second-order central differences
-// (§III-3); all 2d² + 2d + 1 evaluations form one parallel batch.
-func HessianAtMode(e Evaluator, theta []float64, h float64) (*dense.Matrix, error) {
+// StencilPlanner is implemented by evaluators whose EvalBatch schedules
+// against a core budget (BTAEvaluator): StencilPlan reports how a batch of
+// the given width would spend the machine. The Hessian stage uses it to
+// split its wide stencil at plan boundaries instead of leaving cores idle
+// in the batch's tail.
+type StencilPlanner interface {
+	StencilPlan(width int) SharedPlan
+}
+
+// evalStencil evaluates a wide stencil batch, splitting it into
+// plan-aligned sub-batches when the evaluator exposes its scheduling plan
+// and the trailing partial chunk would otherwise idle cores: the full
+// chunks keep every core on point-level parallelism, while the remainder
+// runs as its own narrow batch whose per-batch plan routes the spare cores
+// into parallel-in-time factorization partitions (bta.ParallelFactor).
+func evalStencil(e Evaluator, pts [][]float64) []float64 {
+	p, ok := e.(StencilPlanner)
+	if !ok {
+		return e.EvalBatch(pts)
+	}
+	width := len(pts)
+	plan := p.StencilPlan(width)
+	cores := plan.Cores
+	if cores <= 1 || width <= cores {
+		// Narrow batches already partition inside EvalBatch; nothing to split.
+		return e.EvalBatch(pts)
+	}
+	rem := width % cores
+	if rem == 0 {
+		return e.EvalBatch(pts)
+	}
+	if tail := p.StencilPlan(rem); tail.Partitions <= 1 || tail.Partitions == plan.Partitions {
+		// The tail gains nothing from its own batch: either it cannot absorb
+		// the spare cores (shallow time dimension), or a pinned width makes
+		// both chunks run identically — splitting would only serialize.
+		return e.EvalBatch(pts)
+	}
+	cut := width - rem
+	vals := e.EvalBatch(pts[:cut])
+	return append(vals, e.EvalBatch(pts[cut:])...)
+}
+
+// hessianStencil builds the 2d² + 2d + 1 evaluation points of the
+// second-order central-difference scheme at theta.
+func hessianStencil(theta []float64, h float64) (pts [][]float64, offIdx [][2]int) {
 	d := len(theta)
 	shift := func(i, j int, si, sj float64) []float64 {
 		p := append([]float64(nil), theta...)
@@ -264,22 +306,30 @@ func HessianAtMode(e Evaluator, theta []float64, h float64) (*dense.Matrix, erro
 		}
 		return p
 	}
-	var pts [][]float64
 	pts = append(pts, append([]float64(nil), theta...))
 	for i := 0; i < d; i++ {
 		pts = append(pts, shift(i, -1, 1, 0), shift(i, -1, -1, 0))
 	}
-	type od struct{ i, j int }
-	var offIdx []od
 	for i := 0; i < d; i++ {
 		for j := i + 1; j < d; j++ {
-			offIdx = append(offIdx, od{i, j})
+			offIdx = append(offIdx, [2]int{i, j})
 			pts = append(pts,
 				shift(i, j, 1, 1), shift(i, j, 1, -1),
 				shift(i, j, -1, 1), shift(i, j, -1, -1))
 		}
 	}
-	vals := e.EvalBatch(pts)
+	return pts, offIdx
+}
+
+// HessianAtMode estimates ∇²F(θ*) by second-order central differences
+// (§III-3). The 2d² + 2d + 1 evaluations form one parallel batch, split at
+// plan boundaries when the evaluator exposes its scheduling plan (so a
+// small-d stencil's trailing chunk spends idle cores inside the
+// factorizations instead of leaving them dark).
+func HessianAtMode(e Evaluator, theta []float64, h float64) (*dense.Matrix, error) {
+	d := len(theta)
+	pts, offIdx := hessianStencil(theta, h)
+	vals := evalStencil(e, pts)
 	for _, v := range vals {
 		if math.IsInf(v, 1) {
 			return nil, fmt.Errorf("inla: Hessian stencil hit an infeasible point")
@@ -293,8 +343,8 @@ func HessianAtMode(e Evaluator, theta []float64, h float64) (*dense.Matrix, erro
 	base := 1 + 2*d
 	for k, ij := range offIdx {
 		v := (vals[base+4*k] - vals[base+4*k+1] - vals[base+4*k+2] + vals[base+4*k+3]) / (4 * h * h)
-		hm.Set(ij.i, ij.j, v)
-		hm.Set(ij.j, ij.i, v)
+		hm.Set(ij[0], ij[1], v)
+		hm.Set(ij[1], ij[0], v)
 	}
 	return hm, nil
 }

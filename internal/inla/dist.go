@@ -14,6 +14,9 @@ import (
 // Plan is the resource assignment across the three nested parallelization
 // layers (§V-D policy: fill S1 first, then S2, then S3 — unless the
 // densified matrix exceeds device memory, which forces S3 width first).
+// The S3 layer is two-level: solver ranks across simulated nodes times
+// PartitionsPerRank shared-memory partitions within each node, matching the
+// paper's GPU-node topology (world size × partitions = total solver width).
 type Plan struct {
 	World  int
 	NFeval int
@@ -22,22 +25,34 @@ type Plan struct {
 	GroupSizes []int
 	// UseS2 splits each group into the Q_p and Q_c pipelines.
 	UseS2 bool
-	// P3Min is the S3 width forced by the device-memory cap (1 = no
-	// constraint).
+	// P3Min is the S3 rank width forced by the device-memory cap (1 = no
+	// constraint). The per-node stream width does not relax it: all of a
+	// node's partitions share that node's device memory.
 	P3Min int
+	// PartitionsPerRank is the second S3 level: the shared-memory
+	// parallel-in-time width each solver rank (node) runs at (1 = flat
+	// one-partition-per-rank configuration).
+	PartitionsPerRank int
 }
 
 // MakePlan computes the layer assignment for a world of the given size.
 // qcBytes is the densified Q_c footprint (bta.Matrix.BytesDense), memCap the
 // per-device memory model (0 = unlimited), ntBlocks the number of time-step
-// blocks (bounds the useful S3 width).
-func MakePlan(world, nfeval int, qcBytes, memCap int64, ntBlocks int) Plan {
+// blocks (bounds the useful S3 width), perRank the requested per-node
+// stream width (≤ 1 = flat).
+func MakePlan(world, nfeval int, qcBytes, memCap int64, ntBlocks, perRank int) Plan {
 	p3min := 1
 	if memCap > 0 && qcBytes > memCap {
 		p3min = int((qcBytes + memCap - 1) / memCap)
 	}
 	if mx := maxPartitions(ntBlocks); p3min > mx {
 		p3min = mx
+	}
+	if perRank < 1 {
+		perRank = 1
+	}
+	if mx := maxPartitions(ntBlocks); perRank > mx {
+		perRank = mx
 	}
 	maxGroups := world / p3min
 	if maxGroups < 1 {
@@ -50,7 +65,8 @@ func MakePlan(world, nfeval int, qcBytes, memCap int64, ntBlocks int) Plan {
 	sizes := spread(world, groups)
 	minSize := sizes[len(sizes)-1]
 	useS2 := minSize >= 2*p3min && minSize >= 2
-	return Plan{World: world, NFeval: nfeval, Groups: groups, GroupSizes: sizes, UseS2: useS2, P3Min: p3min}
+	return Plan{World: world, NFeval: nfeval, Groups: groups, GroupSizes: sizes,
+		UseS2: useS2, P3Min: p3min, PartitionsPerRank: perRank}
 }
 
 // maxPartitions is the largest useful S3 width for n time blocks
@@ -139,12 +155,14 @@ type groupScratch struct {
 	quadTmpA []float64
 }
 
-// slice refills (allocating only on first use) the rank-local slice of g.
-func (s *groupScratch) slice(g *bta.Matrix, parts []bta.Partition, rank int) *bta.LocalBTA {
+// slice refills (allocating only on first use) the rank-local slice of g
+// over the two-level topology: the rank owns perRank consecutive
+// partitions of the global list.
+func (s *groupScratch) slice(g *bta.Matrix, parts []bta.Partition, rank, perRank int) *bta.LocalBTA {
 	if s.local == nil {
-		s.local = bta.NewLocalBTA(parts[rank], g.N, g.B, g.A, rank)
+		s.local = bta.NewLocalBTANode(parts, rank, perRank, g.N, g.B, g.A)
 	}
-	bta.LocalSliceInto(s.local, g, parts, rank)
+	s.local.FillFrom(g)
 	return s.local
 }
 
@@ -166,6 +184,11 @@ type DistConfig struct {
 	Machine comm.Machine
 	// LB is the S3 load-balance factor (1 = even partitions).
 	LB float64
+	// PartitionsPerRank is the second S3 level: each solver rank models a
+	// multi-stream node running that many shared-memory parallel-in-time
+	// partitions (0/1 = the flat one-partition-per-rank configuration,
+	// which PartitionsPerRank = 1 reproduces bit-for-bit).
+	PartitionsPerRank int
 	// MemCapBytes models per-device memory (0 = unlimited).
 	MemCapBytes int64
 	// Iterations of the quasi-Newton loop to execute.
@@ -216,7 +239,7 @@ func RunDistributed(m *model.Model, prior Prior, theta0 []float64, cfg DistConfi
 	qcBytes := qcProbe.BytesDense()
 	nt := m.Dims.Nt
 
-	plan := MakePlan(cfg.World, nfeval, qcBytes, cfg.MemCapBytes, nt)
+	plan := MakePlan(cfg.World, nfeval, qcBytes, cfg.MemCapBytes, nt, cfg.PartitionsPerRank)
 	if cfg.DisableS2 {
 		plan.UseS2 = false
 	}
@@ -322,13 +345,26 @@ func evalFobjGroup(group *comm.Comm, state *sharedState, m *model.Model, prior P
 		pipe = group
 	}
 
-	// S3 width: bounded by partitionability and the DisableS3 switch.
+	// S3 width: solver ranks bounded by partitionability and the DisableS3
+	// switch, times the per-node stream width of the hybrid second level —
+	// clamped so the total ranks × partitions split stays partitionable.
 	p3 := pipe.Size()
+	qEff := plan.PartitionsPerRank
 	if cfg.DisableS3 {
 		p3 = 1
+		qEff = 1
 	}
 	if mx := maxPartitions(m.Dims.Nt); p3 > mx {
 		p3 = mx
+	}
+	if qEff < 1 {
+		qEff = 1
+	}
+	for qEff > 1 {
+		if _, err := bta.PartitionBlocks(m.Dims.Nt, p3*qEff, 1); err == nil {
+			break
+		}
+		qEff--
 	}
 	active := pipe.Rank() < p3
 	var solver *comm.Comm
@@ -393,18 +429,19 @@ func evalFobjGroup(group *comm.Comm, state *sharedState, m *model.Model, prior P
 			return nil
 		}
 		err := func() error {
-			solverRankCharge(solver, cell.dtQc, chargeP3(p3, cfg))
-			parts, err := bta.PartitionBlocks(m.Dims.Nt, solver.Size(), adjustLB(lb, m.Dims.Nt, solver.Size()))
+			solverRankCharge(solver, cell.dtQc, chargeP3(p3*qEff, cfg))
+			width := solver.Size() * qEff
+			parts, err := bta.PartitionBlocks(m.Dims.Nt, width, adjustLB(lb, m.Dims.Nt, width))
 			if err != nil {
 				return err
 			}
-			local := scr.slice(cell.qc, parts, solver.Rank())
+			local := scr.slice(cell.qc, parts, solver.Rank(), qEff)
 			f, err := scr.factorize(solver, local)
 			if err != nil {
 				return err
 			}
-			part := parts[solver.Rank()]
-			rhsLocal := append([]float64(nil), cell.rhs[part.Lo*b:(part.Hi+1)*b]...)
+			span := local.Part
+			rhsLocal := append([]float64(nil), cell.rhs[span.Lo*b:(span.Hi+1)*b]...)
 			var rhsTip []float64
 			if a > 0 {
 				rhsTip = cell.rhs[m.Dims.Nt*b:]
@@ -454,12 +491,13 @@ func evalFobjGroup(group *comm.Comm, state *sharedState, m *model.Model, prior P
 			return nil
 		}
 		err := func() error {
-			solverRankCharge(solver, cell.dtQp, chargeP3(p3, cfg))
-			parts, err := bta.PartitionBlocks(m.Dims.Nt, solver.Size(), adjustLB(lb, m.Dims.Nt, solver.Size()))
+			solverRankCharge(solver, cell.dtQp, chargeP3(p3*qEff, cfg))
+			width := solver.Size() * qEff
+			parts, err := bta.PartitionBlocks(m.Dims.Nt, width, adjustLB(lb, m.Dims.Nt, width))
 			if err != nil {
 				return err
 			}
-			local := scr.slice(cell.qp, parts, solver.Rank())
+			local := scr.slice(cell.qp, parts, solver.Rank(), qEff)
 			f, err := scr.factorize(solver, local)
 			if err != nil {
 				return err
@@ -481,7 +519,7 @@ func evalFobjGroup(group *comm.Comm, state *sharedState, m *model.Model, prior P
 			muFull = solver.Bcast(0, muFull)
 			var quadLocal float64
 			solver.Compute(func() {
-				quadLocal = localQuad(cell.qp, parts[solver.Rank()], solver.Rank(), muFull, scr)
+				quadLocal = localQuad(cell.qp, local.Part, solver.Rank(), muFull, scr)
 			})
 			total := solver.AllReduceSum([]float64{quadLocal})
 			if solver.Rank() == 0 {

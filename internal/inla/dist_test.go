@@ -10,7 +10,7 @@ import (
 
 func TestMakePlanFillsS1First(t *testing.T) {
 	// 31 evals (trivariate), 8 workers, no memory pressure: 8 S1 groups of 1.
-	p := MakePlan(8, 31, 1<<20, 0, 16)
+	p := MakePlan(8, 31, 1<<20, 0, 16, 1)
 	if p.Groups != 8 {
 		t.Fatalf("groups = %d, want 8", p.Groups)
 	}
@@ -18,12 +18,12 @@ func TestMakePlanFillsS1First(t *testing.T) {
 		t.Fatal("size-1 groups cannot use S2")
 	}
 	// 62 workers: 31 groups of 2 → S2 on.
-	p = MakePlan(62, 31, 1<<20, 0, 16)
+	p = MakePlan(62, 31, 1<<20, 0, 16, 1)
 	if p.Groups != 31 || !p.UseS2 {
 		t.Fatalf("plan %+v, want 31 groups with S2", p)
 	}
 	// 124 workers: 31 groups of 4 → S2 + S3 of width 2.
-	p = MakePlan(124, 31, 1<<20, 0, 16)
+	p = MakePlan(124, 31, 1<<20, 0, 16, 1)
 	if p.Groups != 31 || !p.UseS2 {
 		t.Fatalf("plan %+v", p)
 	}
@@ -31,7 +31,7 @@ func TestMakePlanFillsS1First(t *testing.T) {
 
 func TestMakePlanMemoryCapForcesS3(t *testing.T) {
 	// Matrix of 1 MiB with a 256 KiB cap: S3 width ≥ 4 before S1 widens.
-	p := MakePlan(8, 31, 1<<20, 1<<18, 64)
+	p := MakePlan(8, 31, 1<<20, 1<<18, 64, 1)
 	if p.P3Min != 4 {
 		t.Fatalf("P3Min = %d, want 4", p.P3Min)
 	}
@@ -42,7 +42,7 @@ func TestMakePlanMemoryCapForcesS3(t *testing.T) {
 
 func TestMakePlanClampsToPartitionability(t *testing.T) {
 	// nt = 4 supports at most 3 partitions; a huge memory demand must clamp.
-	p := MakePlan(16, 9, 1<<30, 1<<10, 4)
+	p := MakePlan(16, 9, 1<<30, 1<<10, 4, 1)
 	if p.P3Min > 3 {
 		t.Fatalf("P3Min = %d exceeds partitionability of nt=4", p.P3Min)
 	}
@@ -104,6 +104,103 @@ func distCase(t *testing.T, world int, disableS2, disableS3 bool) {
 }
 
 func TestRunDistributedSingleRank(t *testing.T) { distCase(t, 1, false, false) }
+
+// hybridCase runs RunDistributed with the two-level (ranks × partitions)
+// S3 topology and cross-checks the gradient-batch objective against the
+// sequential evaluator, exactly like distCase.
+func hybridCase(t *testing.T, world, perRank int) {
+	t.Helper()
+	ds, err := synth.Generate(synth.GenConfig{
+		Nv: 1, Nt: 8, Nr: 1,
+		MeshNx: 3, MeshNy: 3,
+		ObsPerStep: 10,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := WeakPrior(ds.Theta0, 5)
+	rep, err := RunDistributed(ds.Model, prior, ds.Theta0, DistConfig{
+		World:             world,
+		Machine:           comm.DefaultMachine(),
+		Iterations:        1,
+		PartitionsPerRank: perRank,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Plan.PartitionsPerRank != perRank {
+		t.Fatalf("plan per-rank width %d, want %d", rep.Plan.PartitionsPerRank, perRank)
+	}
+	e := &BTAEvaluator{Model: ds.Model, Prior: prior}
+	want := e.EvalBatch([][]float64{ds.Theta0})[0]
+	if math.Abs(rep.FTrace[0]-want) > 1e-6*(1+math.Abs(want)) {
+		t.Fatalf("world=%d q=%d: distributed F = %v, sequential F = %v", world, perRank, rep.FTrace[0], want)
+	}
+}
+
+func TestRunDistributedHybrid2x2(t *testing.T) { hybridCase(t, 2, 2) }
+
+func TestRunDistributedHybrid4x3(t *testing.T) { hybridCase(t, 4, 3) }
+
+func TestRunDistributedHybrid1x4(t *testing.T) { hybridCase(t, 1, 4) }
+
+// TestRunDistributedHybridFlatBitForBit pins the acceptance criterion: the
+// two-level driver at PartitionsPerRank = 1 must reproduce the flat
+// configuration (the zero-value DistConfig) bit for bit — same θ trace,
+// same objective values.
+func TestRunDistributedHybridFlatBitForBit(t *testing.T) {
+	ds, err := synth.Generate(synth.GenConfig{
+		Nv: 1, Nt: 6, Nr: 1,
+		MeshNx: 3, MeshNy: 3,
+		ObsPerStep: 10,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := WeakPrior(ds.Theta0, 5)
+	run := func(perRank int) *DistReport {
+		rep, err := RunDistributed(ds.Model, prior, ds.Theta0, DistConfig{
+			World: 4, Machine: comm.DefaultMachine(), Iterations: 2,
+			PartitionsPerRank: perRank,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	flat := run(0)
+	one := run(1)
+	for i := range flat.FTrace {
+		if one.FTrace[i] != flat.FTrace[i] {
+			t.Fatalf("iteration %d: F %v (partitions=1) != %v (flat)", i, one.FTrace[i], flat.FTrace[i])
+		}
+	}
+	for i := range flat.Theta {
+		if one.Theta[i] != flat.Theta[i] {
+			t.Fatalf("theta[%d]: %v (partitions=1) != %v (flat)", i, one.Theta[i], flat.Theta[i])
+		}
+	}
+}
+
+// TestMakePlanPerRank: the per-node stream width is recorded, defaulted,
+// and clamped to what the time dimension can absorb.
+func TestMakePlanPerRank(t *testing.T) {
+	p := MakePlan(8, 31, 1<<20, 0, 16, 0)
+	if p.PartitionsPerRank != 1 {
+		t.Fatalf("default per-rank width %d, want 1", p.PartitionsPerRank)
+	}
+	p = MakePlan(8, 31, 1<<20, 0, 64, 4)
+	if p.PartitionsPerRank != 4 {
+		t.Fatalf("per-rank width %d, want 4", p.PartitionsPerRank)
+	}
+	// nt = 4 supports at most 3 partitions in total.
+	p = MakePlan(8, 31, 1<<20, 0, 4, 16)
+	if p.PartitionsPerRank > 3 {
+		t.Fatalf("per-rank width %d exceeds partitionability of nt=4", p.PartitionsPerRank)
+	}
+}
 
 func TestRunDistributedS1Only(t *testing.T) { distCase(t, 3, true, true) }
 

@@ -304,6 +304,18 @@ func (e *BTAEvaluator) partitionsFor(width int, s2 bool) int {
 	return PlanBatch(width, e.cores(), e.Model.Dims.Nt, s2).Partitions
 }
 
+// StencilPlan reports how a batch of the given width would spend the
+// evaluator's core budget (the StencilPlanner hook of HessianAtMode): the
+// per-batch SharedPlan, with a pinned Partitions knob taking precedence
+// exactly as it does inside EvalBatch.
+func (e *BTAEvaluator) StencilPlan(width int) SharedPlan {
+	plan := PlanBatch(width, e.cores(), e.Model.Dims.Nt, e.S2)
+	if e.Partitions > 0 {
+		plan.Partitions = e.Partitions
+	}
+	return plan
+}
+
 // EvalBatch evaluates −fobj at every point, +Inf for infeasible ones. The
 // batch runs on a bounded worker pool — min(width, core budget) workers
 // pulling points off a shared counter — rather than one goroutine per
