@@ -8,21 +8,23 @@
 #                     establishes (EXP selects the experiment; PR 1 wrote
 #                     the kernels baseline, PR 2 the serving baseline,
 #                     PR 3 the parallel-in-time baseline, PR 4 the hybrid
-#                     two-level scheduling baseline)
+#                     two-level scheduling baseline, PR 5 the recursive
+#                     reduced-system engine baseline)
 #   make bench-smoke— regression gates: kernels GEMM rate vs BENCH_1.json
 #                     (25% floor), serving engine path vs BENCH_2.json,
-#                     pintime rates vs BENCH_3.json and hybrid solver
-#                     cycle rates vs BENCH_4.json (40% floors — the
-#                     quick-mode runs are shorter and noisier)
+#                     pintime rates vs BENCH_3.json, hybrid solver cycle
+#                     rates vs BENCH_4.json and reduced-engine cycle rates
+#                     vs BENCH_5.json (40% floors — the quick-mode runs
+#                     are shorter and noisier)
 #   make all        — everything above
 
 GO ?= go
 # PR/BENCH parameterize the baseline artifact so successive PRs never
 # clobber earlier baselines (BENCH_1.json is the PR 1 kernels reference the
 # smoke compares against).
-PR ?= 4
+PR ?= 5
 BENCH ?= BENCH_$(PR).json
-EXP ?= hybrid
+EXP ?= reduced
 
 .PHONY: all test vet fmt-check race purego bench baseline bench-smoke ci
 
@@ -59,6 +61,7 @@ bench-smoke:
 	$(GO) run ./cmd/dalia-bench -exp=serving -quick -compare BENCH_2.json -maxregress 0.4
 	$(GO) run ./cmd/dalia-bench -exp=pintime -quick -compare BENCH_3.json -maxregress 0.4
 	$(GO) run ./cmd/dalia-bench -exp=hybrid -quick -compare BENCH_4.json -maxregress 0.4
+	$(GO) run ./cmd/dalia-bench -exp=reduced -quick -compare BENCH_5.json -maxregress 0.4
 
 ci: fmt-check test race purego
 	-$(MAKE) bench-smoke

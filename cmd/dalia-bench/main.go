@@ -18,7 +18,10 @@
 // and selected-inversion throughput vs partitions; -out writes
 // BENCH_3.json, -compare gates against one), hybrid (two-level
 // ranks × partitions distributed BTA solver cycle times; -out writes
-// BENCH_4.json, -compare gates against one).
+// BENCH_4.json, -compare gates against one), reduced (parallel recursive
+// reduced-system engine: factorization latency and reduced-phase share
+// across partitions × recursion depth × pipelined handoff; -out writes
+// BENCH_5.json, -compare gates against one).
 package main
 
 import (
@@ -168,6 +171,39 @@ func main() {
 			}
 			return nil
 		}},
+		{"reduced", "parallel recursive reduced-system engine (P × depth × pipelined handoff)", func(quick bool) error {
+			base, err := bench.Reduced(quick)
+			if err != nil {
+				return err
+			}
+			bench.PrintReduced(base, os.Stdout)
+			if *out != "" {
+				if err := bench.WriteReducedBaseline(base, *out); err != nil {
+					return err
+				}
+				fmt.Printf("    baseline written to %s\n", *out)
+			}
+			if *compare != "" {
+				stored, err := bench.LoadReducedBaseline(*compare)
+				if err != nil {
+					return err
+				}
+				if !bench.ReducedComparable(base, stored) {
+					fmt.Printf("    gate skipped: GOMAXPROCS %d here vs %d in %s (latencies not comparable)\n",
+						base.GoMaxProcs, stored.GoMaxProcs, *compare)
+					return nil
+				}
+				regs := bench.CompareReduced(base, stored, *maxRegress)
+				if len(regs) > 0 {
+					for _, r := range regs {
+						fmt.Fprintf(os.Stderr, "    REGRESSION %s\n", r)
+					}
+					return fmt.Errorf("%d reduced regression(s) beyond %.0f%% vs %s", len(regs), *maxRegress*100, *compare)
+				}
+				fmt.Printf("    no reduced regression beyond %.0f%% vs %s\n", *maxRegress*100, *compare)
+			}
+			return nil
+		}},
 		{"pintime", "parallel-in-time BTA engine (single-eval latency, selected-inversion throughput)", func(quick bool) error {
 			base, err := bench.Pintime(quick)
 			if err != nil {
@@ -212,13 +248,13 @@ func main() {
 	// -out is honored by several experiments; refuse a selection where a
 	// later one would silently overwrite an earlier one's file.
 	nOut := 0
-	for _, name := range []string{"kernels", "serving", "pintime", "hybrid"} {
+	for _, name := range []string{"kernels", "serving", "pintime", "hybrid", "reduced"} {
 		if runAll || want[name] {
 			nOut++
 		}
 	}
 	if *out != "" && nOut > 1 {
-		fmt.Fprintln(os.Stderr, "-out with several baseline-writing experiments selected would write them to one path; pick one of kernels/serving/pintime/hybrid")
+		fmt.Fprintln(os.Stderr, "-out with several baseline-writing experiments selected would write them to one path; pick one of kernels/serving/pintime/hybrid/reduced")
 		os.Exit(2)
 	}
 

@@ -279,6 +279,27 @@ func NewParallelBTAFactor(n, b, a, partitions int) (*ParallelBTAFactor, error) {
 	return bta.NewParallelFactor(n, b, a, partitions)
 }
 
+// ParallelBTAOptions configures a parallel-in-time factor beyond the
+// partition count: the §V-C load-balance factor and the reduced-system
+// engine (recursive nesting depth/crossover, pipelined boundary handoff).
+type ParallelBTAOptions = bta.ParallelOptions
+
+// ReducedEngineOptions configures the 2P−2 reduced-boundary-system engine.
+type ReducedEngineOptions = bta.ReducedOptions
+
+// Reduced-system engine bounds: the default recursion crossover (smallest
+// reduced block count worth a nested gang) and the nesting-depth cap.
+const (
+	DefaultReducedCrossover  = bta.DefaultReducedCrossover
+	MaxReducedRecursionDepth = bta.MaxRecursionDepth
+)
+
+// NewParallelBTAFactorOpts is NewParallelBTAFactor with the reduced-system
+// engine configured.
+func NewParallelBTAFactorOpts(n, b, a int, o ParallelBTAOptions) (*ParallelBTAFactor, error) {
+	return bta.NewParallelFactorOpts(n, b, a, o)
+}
+
 // PlanEvalBatch computes the shared-memory layer assignment for a batch of
 // the given width on a core budget (0 = GOMAXPROCS): point-level
 // parallelism first, spare cores as parallel-in-time partitions inside

@@ -40,6 +40,7 @@ const (
 type LocalBTA struct {
 	Part    Partition   // the rank's whole owned block range
 	Sub     []Partition // owned partitions; nil ⇒ flat (Sub = [Part])
+	Streams []int       // global per-rank stream counts; nil ⇒ uniform len(Sub) everywhere
 	NGlobal int
 	B, A    int
 
@@ -88,6 +89,49 @@ func NewLocalBTANode(parts []Partition, rank, perRank, nGlobal, b, a int) *Local
 	owned := append([]Partition(nil), parts[rank*perRank:(rank+1)*perRank]...)
 	span := Partition{Lo: owned[0].Lo, Hi: owned[len(owned)-1].Hi}
 	return newLocalBTA(span, owned, nGlobal, b, a, rank)
+}
+
+// NewLocalBTAHybrid allocates the local slice of a rank under an arbitrary
+// per-rank stream layout: counts[r] is rank r's stream count and the global
+// partition list (e.g. from HybridPartition) assigns each rank its counts[r]
+// consecutive partitions. Unequal counts are allowed — the factorization
+// derives the global partition indexing from the recorded layout. The
+// layout is validated here (these are the entry points for externally
+// constructed layouts), so a mismatched parts/counts pair errors instead of
+// slicing out of range.
+func NewLocalBTAHybrid(parts []Partition, counts []int, rank, nGlobal, b, a int) (*LocalBTA, error) {
+	if rank < 0 || rank >= len(counts) {
+		return nil, fmt.Errorf("bta: rank %d outside the %d-entry stream layout", rank, len(counts))
+	}
+	total := 0
+	for r, q := range counts {
+		if q < 1 {
+			return nil, fmt.Errorf("bta: rank %d stream count %d < 1", r, q)
+		}
+		total += q
+	}
+	if total != len(parts) {
+		return nil, fmt.Errorf("bta: stream layout covers %d partitions, partition list has %d", total, len(parts))
+	}
+	base := 0
+	for r := 0; r < rank; r++ {
+		base += counts[r]
+	}
+	owned := append([]Partition(nil), parts[base:base+counts[rank]]...)
+	span := Partition{Lo: owned[0].Lo, Hi: owned[len(owned)-1].Hi}
+	l := newLocalBTA(span, owned, nGlobal, b, a, rank)
+	l.Streams = append([]int(nil), counts...)
+	return l, nil
+}
+
+// LocalSliceHybrid is LocalSlice for an arbitrary per-rank stream layout.
+func LocalSliceHybrid(g *Matrix, parts []Partition, counts []int, rank int) (*LocalBTA, error) {
+	l, err := NewLocalBTAHybrid(parts, counts, rank, g.N, g.B, g.A)
+	if err != nil {
+		return nil, err
+	}
+	l.FillFrom(g)
+	return l, nil
 }
 
 func newLocalBTA(span Partition, sub []Partition, nGlobal, b, a, rank int) *LocalBTA {
@@ -178,19 +222,35 @@ func (dp *distPart) solveCore(b int) partitionSolve {
 type DistFactor struct {
 	span        Partition // the rank's whole owned block range
 	rank, ranks int
-	perRank     int // partitions per rank (the node's stream width)
-	p           int // total partitions = ranks·perRank
+	perRank     int   // partitions owned by THIS rank (its stream width)
+	counts      []int // per-rank stream counts (len ranks)
+	base        []int // per-rank first global partition index (len ranks)
+	p           int   // total partitions = Σ counts
 	nGlobal     int
 	b, a        int
+	opts        DistOptions
 
 	parts []*distPart
 
 	localTip *dense.Matrix // original tip (rank 0)
 
-	reduced *Factor // rank 0 only
-	logDet  float64 // full log-determinant, replicated on all ranks
+	redM     *Matrix        // assembled reduced system storage (rank 0, p > 1)
+	red      *reducedEngine // rank 0 only (also the p == 1 full-system factor)
+	frontier redFrontier    // pipelined incremental reduced factorization (rank 0)
+	logDet   float64        // full log-determinant, replicated on all ranks
 
 	scr *DistScratch // optional recycled storage (PPOBTAFScratch)
+}
+
+// DistOptions configures the distributed factorization beyond the topology
+// carried by the local slice.
+type DistOptions struct {
+	// Reduced configures rank 0's reduced boundary system: recursive
+	// nesting (a nested shared-memory gang factorizes the 2P−2 system when
+	// it is wide enough) and the pipelined boundary handoff (rank 0
+	// interleaves reduced elimination with the arrival of later ranks'
+	// boundary contributions instead of idling until the last one lands).
+	Reduced ReducedOptions
 }
 
 // sweepScratch is one owned partition's preallocated selected-inversion
@@ -230,6 +290,7 @@ type DistScratch struct {
 	sweep  []*sweepScratch // per owned partition
 	sigma  *LocalSigma     // recycled Σ output storage (PPOBTASI)
 	redSig *Matrix         // rank 0: recycled reduced selected inverse
+	redEng *reducedEngine  // rank 0: recycled reduced engine (nested gang incl.)
 }
 
 func (s *DistScratch) popBB() *dense.Matrix {
@@ -258,9 +319,9 @@ func (s *DistScratch) Reclaim(f *DistFactor) {
 			dp.tipDelta = nil
 		}
 	}
-	if f.reduced != nil && f.p > 1 {
-		s.red = &Matrix{N: f.reduced.N, B: f.reduced.B, A: f.reduced.A,
-			Diag: f.reduced.Diag, Lower: f.reduced.Lower, Arrow: f.reduced.Arrow, Tip: f.reduced.Tip}
+	if f.redM != nil && f.p > 1 {
+		s.red = f.redM
+		f.redM = nil
 	}
 }
 
@@ -418,6 +479,14 @@ func PPOBTAF(c *comm.Comm, local *LocalBTA) (*DistFactor, error) {
 // factor) instead of freshly allocated, and the factor's solve and
 // selected-inversion paths reuse scr's workspaces. scr may be nil.
 func PPOBTAFScratch(c *comm.Comm, local *LocalBTA, scr *DistScratch) (*DistFactor, error) {
+	return PPOBTAFOpts(c, local, scr, DistOptions{})
+}
+
+// PPOBTAFOpts is PPOBTAFScratch with the reduced-system engine configured:
+// recursion depth/crossover for rank 0's reduced factorization and the
+// pipelined boundary handoff. All ranks must pass identical options.
+func PPOBTAFOpts(c *comm.Comm, local *LocalBTA, scr *DistScratch, opts DistOptions) (*DistFactor, error) {
+	opts.Reduced = opts.Reduced.normalize()
 	ranks := c.Size()
 	rank := c.Rank()
 	sub := local.Sub
@@ -425,15 +494,37 @@ func PPOBTAFScratch(c *comm.Comm, local *LocalBTA, scr *DistScratch) (*DistFacto
 		sub = []Partition{local.Part}
 	}
 	q := len(sub)
-	p := ranks * q
+	counts := local.Streams
+	if counts == nil {
+		// Uniform layout: every rank runs this rank's stream width. The two
+		// O(ranks) layout slices below are part of the tolerated per-cycle
+		// constant (like the message layer) — the alloc pins check growth
+		// with nt, not ranks.
+		counts = make([]int, ranks)
+		for r := range counts {
+			counts[r] = q
+		}
+	} else if len(counts) != ranks {
+		return nil, fmt.Errorf("bta: rank %d stream layout has %d entries for %d ranks", rank, len(counts), ranks)
+	} else if counts[rank] != q {
+		return nil, fmt.Errorf("bta: rank %d owns %d partitions but the stream layout records %d", rank, q, counts[rank])
+	}
+	base := make([]int, ranks)
+	p := 0
+	for r := 0; r < ranks; r++ {
+		base[r] = p
+		p += counts[r]
+	}
 	f := &DistFactor{
-		span: local.Part, rank: rank, ranks: ranks, perRank: q, p: p,
+		span: local.Part, rank: rank, ranks: ranks, perRank: q,
+		counts: counts, base: base, p: p,
 		nGlobal: local.NGlobal, b: local.B, a: local.A,
-		scr: scr,
+		opts: opts,
+		scr:  scr,
 	}
 	f.parts = make([]*distPart, q)
 	for j, part := range sub {
-		g := rank*q + j
+		g := base[rank] + j
 		f.parts[j] = &distPart{
 			part: part, global: g, off: part.Lo - f.span.Lo,
 			interior: interiors(part, g, p),
@@ -499,10 +590,28 @@ func ppobtafSingle(c *comm.Comm, local *LocalBTA, f *DistFactor) (*DistFactor, e
 	if err != nil {
 		return nil, err
 	}
-	f.reduced = seq
+	f.red = seqReducedEngine(seq)
 	f.parts[0].interior = nil
 	f.logDet = seq.LogDet()
 	return f, nil
+}
+
+// reducedEngineFor returns rank 0's reduced-system engine, recycled from
+// the scratch when it matches the topology and options (the nested gang of
+// a recursive engine is construction-time storage, exactly like the fill
+// chains).
+func (f *DistFactor) reducedEngineFor(red *Matrix, nr int) (*reducedEngine, error) {
+	if f.scr != nil && f.scr.redEng.matches(nr, f.b, f.a, f.opts.Reduced) {
+		return f.scr.redEng, nil
+	}
+	eng, err := newReducedEngine(red, f.opts.Reduced)
+	if err != nil {
+		return nil, err
+	}
+	if f.scr != nil {
+		f.scr.redEng = eng
+	}
+	return eng, nil
 }
 
 // eliminateInteriors runs the rank-local phase of PPOBTAF: every owned
@@ -590,14 +699,20 @@ func (f *DistFactor) elimOwned(local *LocalBTA, j int) error {
 }
 
 // assembleAndFactorReduced gathers every partition's boundary contributions
-// on rank 0, assembles the 2P−2-block reduced BTA system, and factorizes it.
+// on rank 0, assembles the 2P−2-block reduced BTA system, and hands it to
+// the reduced engine. With the pipelined handoff rank 0 interleaves reduced
+// elimination with the arrival of later ranks' contributions; otherwise it
+// assembles eagerly and factorizes once everything landed (the historical
+// path, bit for bit).
 func (f *DistFactor) assembleAndFactorReduced(c *comm.Comm, local *LocalBTA) error {
 	nr := reducedSize(f.p)
 	hasArrow := f.a > 0
 
 	if f.rank != 0 {
 		// Ship boundary contributions to rank 0, one partition at a time in
-		// owned order (the receiver walks the same order).
+		// owned order (the receiver walks the same order). The sends are
+		// eager, so each partition's contribution is in flight the moment
+		// the node gang produced it — the streaming half of the handoff.
 		for _, dp := range f.parts {
 			for i, d := range dp.bndDiag {
 				c.SendMatrix(0, tagDiag+i, d)
@@ -619,7 +734,21 @@ func (f *DistFactor) assembleAndFactorReduced(c *comm.Comm, local *LocalBTA) err
 	}
 
 	red := f.newReduced(nr)
-	// Rank 0's first partition: bottom boundary at reduced index 0.
+	eng, err := f.reducedEngineFor(red, nr)
+	if err != nil {
+		return err
+	}
+
+	pipeline := f.opts.Reduced.Pipeline && !eng.recursing()
+	var rf *redFrontier
+	if pipeline {
+		rf = &f.frontier
+		rf.reset(red, f.p, nil)
+	}
+
+	// Rank 0's own partitions. The tip deltas of ALL owned partitions fold
+	// here (eager path keeps its historical summation order; the frontier
+	// path folds before any elimination step, which is equally fixed).
 	dp0 := f.parts[0]
 	red.Diag[0].CopyFrom(dp0.bndDiag[0])
 	if hasArrow {
@@ -629,14 +758,21 @@ func (f *DistFactor) assembleAndFactorReduced(c *comm.Comm, local *LocalBTA) err
 			red.Tip.Add(1, dp.tipDelta)
 		}
 	}
-	// Rank 0's remaining partitions contribute locally.
 	for _, dp := range f.parts[1:] {
 		f.installReducedLocal(red, dp)
 	}
-	// Remote ranks: receive each rank's partitions in its send order.
+	if pipeline {
+		// Rank 0's own blocks are complete: start the reduced elimination
+		// while remote ranks are still eliminating/sending.
+		c.Compute(func() { rf.advance(f.base[0] + f.counts[0] - 1) })
+	}
+
+	// Remote ranks: receive each rank's partitions in its send order,
+	// advancing the elimination frontier past each rank's blocks as they
+	// land when pipelining.
 	for r := 1; r < f.ranks; r++ {
-		for jj := 0; jj < f.perRank; jj++ {
-			g := r*f.perRank + jj
+		for jj := 0; jj < f.counts[r]; jj++ {
+			g := f.base[r] + jj
 			top := reducedIndexTop(g)
 			red.Lower[top-1].CopyFrom(c.RecvMatrix(r, tagCoupling)) // (lo_g, hi_{g−1})
 			red.Diag[top].CopyFrom(c.RecvMatrix(r, tagDiag))
@@ -655,13 +791,20 @@ func (f *DistFactor) assembleAndFactorReduced(c *comm.Comm, local *LocalBTA) err
 		if hasArrow {
 			red.Tip.Add(1, c.RecvMatrix(r, tagTip))
 		}
+		if pipeline {
+			c.Compute(func() { rf.advance(f.base[r] + f.counts[r] - 1) })
+		}
 	}
-	var err error
 	c.Compute(func() {
-		err = factorizeInPlace(red)
+		if pipeline {
+			eng.rebind(red)
+			err = rf.finish()
+		} else {
+			err = eng.factorize(red)
+		}
 		if err == nil {
-			f.reduced = &Factor{N: red.N, B: red.B, A: red.A,
-				Diag: red.Diag, Lower: red.Lower, Arrow: red.Arrow, Tip: red.Tip}
+			f.redM = red
+			f.red = eng
 		} else if f.scr != nil {
 			// Failed reduced factorization: hand the (recycled) storage
 			// straight back rather than dropping it with the dead factor.
@@ -702,8 +845,8 @@ func (f *DistFactor) shareLogDet(c *comm.Comm) {
 		}
 	}
 	localSum *= 2
-	if f.rank == 0 && f.reduced != nil {
-		localSum += f.reduced.LogDet()
+	if f.rank == 0 && f.red != nil {
+		localSum += f.red.logDet()
 	}
 	total := c.AllReduceSum([]float64{localSum})
 	f.logDet = total[0]

@@ -32,7 +32,7 @@ func PPOBTAS(c *comm.Comm, f *DistFactor, rhsLocal, rhsTip []float64) ([]float64
 		ss.full = growF(ss.full, f.nGlobal*b+a)
 		copy(ss.full, rhsLocal)
 		copy(ss.full[f.nGlobal*b:], rhsTip)
-		c.Compute(func() { f.reduced.Solve(ss.full) })
+		c.Compute(func() { f.red.solve(ss.full) })
 		var xt []float64
 		if a > 0 {
 			ss.xTip = growF(ss.xTip, a)
@@ -132,8 +132,8 @@ func PPOBTAS(c *comm.Comm, f *DistFactor, rhsLocal, rhsTip []float64) ([]float64
 		for r := 1; r < f.ranks; r++ {
 			pl := c.Recv(r, tagRhs)
 			off := 0
-			for jj := 0; jj < f.perRank; jj++ {
-				g := r*f.perRank + jj
+			for jj := 0; jj < f.counts[r]; jj++ {
+				g := f.base[r] + jj
 				nb := 2
 				if g == f.p-1 {
 					nb = 1
@@ -149,7 +149,7 @@ func PPOBTAS(c *comm.Comm, f *DistFactor, rhsLocal, rhsTip []float64) ([]float64
 				dense.Axpy(1, pl[off:off+a], rhsRed[nr*b:])
 			}
 		}
-		c.Compute(func() { f.reduced.Solve(rhsRed) })
+		c.Compute(func() { f.red.solve(rhsRed) })
 		if a > 0 {
 			ss.xTip = growF(ss.xTip, a)
 			copy(ss.xTip, rhsRed[nr*b:])
@@ -157,16 +157,16 @@ func PPOBTAS(c *comm.Comm, f *DistFactor, rhsLocal, rhsTip []float64) ([]float64
 		}
 		for r := 1; r < f.ranks; r++ {
 			nb := 0
-			for jj := 0; jj < f.perRank; jj++ {
-				if r*f.perRank+jj == f.p-1 {
+			for jj := 0; jj < f.counts[r]; jj++ {
+				if f.base[r]+jj == f.p-1 {
 					nb++
 				} else {
 					nb += 2
 				}
 			}
 			sol := growF(ss.sol, nb*b+a)[:0]
-			for jj := 0; jj < f.perRank; jj++ {
-				g := r*f.perRank + jj
+			for jj := 0; jj < f.counts[r]; jj++ {
+				g := f.base[r] + jj
 				top := reducedIndexTop(g)
 				sol = append(sol, rhsRed[top*b:(top+1)*b]...)
 				if g < f.p-1 {
@@ -300,7 +300,7 @@ func PPOBTASI(c *comm.Comm, f *DistFactor) (*LocalSigma, error) {
 		sig := Matrix{N: f.nGlobal, B: f.b, A: a,
 			Diag: out.Diag, Lower: out.Lower, Arrow: out.Arrow, Tip: out.Tip}
 		var err error
-		c.Compute(func() { err = f.reduced.SelectedInversionInto(&sig) })
+		c.Compute(func() { err = f.red.selinvInto(&sig) })
 		if err != nil {
 			return nil, err
 		}
@@ -315,13 +315,13 @@ func PPOBTASI(c *comm.Comm, f *DistFactor) (*LocalSigma, error) {
 	if f.rank == 0 {
 		redSig := f.redSigStorage()
 		var err error
-		c.Compute(func() { err = f.reduced.SelectedInversionInto(redSig) })
+		c.Compute(func() { err = f.red.selinvInto(redSig) })
 		if err != nil {
 			return nil, err
 		}
 		for r := 1; r < f.ranks; r++ {
-			for jj := 0; jj < f.perRank; jj++ {
-				g := r*f.perRank + jj
+			for jj := 0; jj < f.counts[r]; jj++ {
+				g := f.base[r] + jj
 				top := reducedIndexTop(g)
 				c.SendMatrix(r, tagSig, redSig.Diag[top])
 				c.SendMatrix(r, tagSig+1, redSig.Lower[top-1]) // Σ(lo_g, hi_{g−1})

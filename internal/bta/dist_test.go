@@ -48,6 +48,90 @@ func TestPartitionBlocksLoadBalanced(t *testing.T) {
 	}
 }
 
+// TestHybridPartitionFlatBitForBit: the one-stream-per-node layout must
+// reproduce the flat splitter exactly — the hybrid code path defers to it.
+func TestHybridPartitionFlatBitForBit(t *testing.T) {
+	for _, tc := range []struct {
+		n, p int
+		lb   float64
+	}{{26, 4, 1.6}, {12, 4, 1}, {23, 3, 1.7}} {
+		flat, err := PartitionBlocks(tc.n, tc.p, tc.lb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hyb, err := HybridPartition(tc.n, UniformStreams(tc.p, 1), tc.lb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range flat {
+			if flat[i] != hyb[i] {
+				t.Fatalf("%+v: partition %d: flat %+v hybrid %+v", tc, i, flat[i], hyb[i])
+			}
+		}
+	}
+}
+
+// TestHybridPartitionLoadBalance: lb must be honored inside the node gangs
+// (the global-first partition enlarged) and per-node block shares must
+// follow the stream counts even when they are unequal — the node with more
+// streams owns proportionally more blocks, keeping per-stream (and hence
+// per-node-makespan) sizes near-equal.
+func TestHybridPartitionLoadBalance(t *testing.T) {
+	// Two nodes, 3 + 1 streams, lb = 1.6 over 50 blocks.
+	counts := []int{3, 1}
+	parts, err := HybridPartition(50, counts, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 4 {
+		t.Fatalf("got %d partitions", len(parts))
+	}
+	prevHi := -1
+	total := 0
+	for _, p := range parts {
+		if p.Lo != prevHi+1 {
+			t.Fatalf("not contiguous: %+v", parts)
+		}
+		prevHi = p.Hi
+		total += p.Size()
+	}
+	if total != 50 || parts[3].Hi != 49 {
+		t.Fatalf("coverage wrong: %+v", parts)
+	}
+	// lb honored inside node 0's gang: the one-sided first partition is
+	// strictly larger than its two-sided node-mates.
+	if parts[0].Size() <= parts[1].Size() {
+		t.Fatalf("lb must enlarge the global-first partition: %+v", parts)
+	}
+	// Per-node makespan ≈ the largest per-stream cost: every two-sided
+	// partition must be within one block of the others (shares follow the
+	// stream counts, not an even node split).
+	twoSided := []int{parts[1].Size(), parts[2].Size(), parts[3].Size()}
+	for _, s := range twoSided[1:] {
+		if d := s - twoSided[0]; d > 1 || d < -1 {
+			t.Fatalf("two-sided streams unbalanced: %+v", parts)
+		}
+	}
+	// The naive even node split would give node 1 half the blocks; the
+	// stream-weighted split must not.
+	node1 := parts[3].Size()
+	if node1 > 50/2 {
+		t.Fatalf("node 1 (1 stream) owns %d of 50 blocks — even node split, not stream-weighted", node1)
+	}
+}
+
+// TestSpreadStreams covers the unequal fallback layout.
+func TestSpreadStreams(t *testing.T) {
+	got := SpreadStreams(3, 7)
+	if got[0] != 3 || got[1] != 2 || got[2] != 2 {
+		t.Fatalf("SpreadStreams(3,7) = %v", got)
+	}
+	got = SpreadStreams(2, 1)
+	if got[0] != 1 || got[1] != 1 {
+		t.Fatalf("SpreadStreams(2,1) = %v (each rank needs a stream)", got)
+	}
+}
+
 func TestPartitionBlocksErrors(t *testing.T) {
 	if _, err := PartitionBlocks(10, 0, 1); err == nil {
 		t.Fatal("p=0 must error")

@@ -3,6 +3,7 @@ package bta
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/dalia-hpc/dalia/internal/dense"
 )
@@ -106,15 +107,16 @@ type ParallelFactor struct {
 	N, B, A int
 	P       int
 
+	opts  ParallelOptions
 	parts []Partition
 	store *Matrix // factor block storage, Matrix layout
 
 	seq *Factor // P == 1 delegate over store (nil otherwise)
 
 	ps        []*partState
-	red       *Matrix // reduced boundary system, 2P−2 blocks
-	redF      *Factor // factor view over red's storage
-	redSig    *Matrix // reduced selected inverse
+	red       *Matrix        // reduced boundary system, 2P−2 blocks
+	eng       *reducedEngine // sequential or recursively nested reduced solver
+	redSig    *Matrix        // reduced selected inverse
 	redRhs    []float64
 	redGlobal []int       // reduced block index → global block index
 	redMS     *MultiSolve // lazily sized multi-RHS reduced workspace
@@ -128,24 +130,68 @@ type ParallelFactor struct {
 	curRhs []float64
 	curMS  *MultiSolve
 	curSig *Matrix
+
+	// pipelined-handoff state: one prebuilt worker per partition signalling
+	// its elimination completion, the delivery bitmap, the incremental
+	// reduced-factorization frontier, and the per-partition tip deltas in
+	// the frontier's fold order.
+	workPipe  []func()
+	elimDone  chan int
+	delivered []bool
+	frontier  redFrontier
+	tipDeltas []*dense.Matrix
+
+	// wall-clock split of the last Refactorize (FactorPhaseSeconds).
+	elimSeconds  float64
+	totalSeconds float64
+}
+
+// ParallelOptions configures a shared-memory parallel-in-time factor beyond
+// the partition count.
+type ParallelOptions struct {
+	// Partitions is the parallel-in-time width P (< 1 is treated as 1).
+	Partitions int
+	// LoadBalance is the §V-C first-partition factor handed to
+	// PartitionBlocks (0 = DefaultLoadBalance).
+	LoadBalance float64
+	// Reduced configures the 2P−2 reduced boundary system: recursive
+	// nesting depth, recursion crossover, and the pipelined boundary
+	// handoff.
+	Reduced ReducedOptions
 }
 
 // NewParallelFactor allocates a parallel-in-time factor for the BTA shape
-// (n, b, a) over p partitions. p = 1 degenerates to the sequential POBTAF
-// chain behind the same interface. Partition counts the time dimension
-// cannot support (n < 2p−2) are an error; MaxPartitions gives the bound.
+// (n, b, a) over p partitions with the default options (sequential reduced
+// solve, no pipelining — the historical behaviour). p = 1 degenerates to
+// the sequential POBTAF chain behind the same interface. Partition counts
+// the time dimension cannot support (n < 2p−2) are an error; MaxPartitions
+// gives the bound.
 func NewParallelFactor(n, b, a, p int) (*ParallelFactor, error) {
+	return NewParallelFactorOpts(n, b, a, ParallelOptions{Partitions: p})
+}
+
+// NewParallelFactorOpts is NewParallelFactor with the reduced-system engine
+// configured: recursion depth/crossover for the nested reduced
+// factorization and the pipelined boundary handoff.
+func NewParallelFactorOpts(n, b, a int, o ParallelOptions) (*ParallelFactor, error) {
+	p := o.Partitions
 	if p < 1 {
 		p = 1
 	}
-	f := &ParallelFactor{N: n, B: b, A: a, P: p, store: NewMatrix(n, b, a)}
+	o.Partitions = p
+	o.Reduced = o.Reduced.normalize()
+	f := &ParallelFactor{N: n, B: b, A: a, P: p, opts: o, store: NewMatrix(n, b, a)}
 	if p == 1 {
 		f.parts = []Partition{{0, n - 1}}
 		f.seq = &Factor{N: n, B: b, A: a,
 			Diag: f.store.Diag, Lower: f.store.Lower, Arrow: f.store.Arrow, Tip: f.store.Tip}
 		return f, nil
 	}
-	parts, err := PartitionBlocks(n, p, DefaultLoadBalance)
+	lb := o.LoadBalance
+	if lb <= 0 {
+		lb = DefaultLoadBalance
+	}
+	parts, err := PartitionBlocks(n, p, lb)
 	if err != nil {
 		// The load-balanced split can fail on tiny block counts where the
 		// even split still fits.
@@ -158,8 +204,10 @@ func NewParallelFactor(n, b, a, p int) (*ParallelFactor, error) {
 
 	nr := reducedSize(p)
 	f.red = NewMatrix(nr, b, a)
-	f.redF = &Factor{N: nr, B: b, A: a,
-		Diag: f.red.Diag, Lower: f.red.Lower, Arrow: f.red.Arrow, Tip: f.red.Tip}
+	f.eng, err = newReducedEngine(f.red, o.Reduced)
+	if err != nil {
+		return nil, err
+	}
 	f.redSig = NewMatrix(nr, b, a)
 	f.redRhs = make([]float64, nr*b+a)
 	f.redGlobal = make([]int, nr)
@@ -221,7 +269,45 @@ func NewParallelFactor(n, b, a, p int) (*ParallelFactor, error) {
 			f.done <- struct{}{}
 		}
 	}
+	// Pipelined-handoff gang: every partition (0 included) runs on its own
+	// goroutine and signals its identity on completion, so the calling
+	// goroutine can stream boundary contributions into the reduced assembly
+	// while later partitions are still eliminating.
+	f.elimDone = make(chan int, p)
+	f.workPipe = make([]func(), p)
+	for r := 0; r < p; r++ {
+		r := r
+		f.workPipe[r] = func() {
+			f.partitionPhase(r)
+			f.elimDone <- r
+		}
+	}
+	f.delivered = make([]bool, p)
+	f.tipDeltas = make([]*dense.Matrix, p)
+	for r, ps := range f.ps {
+		f.tipDeltas[r] = ps.tipDelta
+	}
 	return f, nil
+}
+
+// Options returns the options the factor was built with (normalized).
+func (f *ParallelFactor) Options() ParallelOptions { return f.opts }
+
+// ReducedRecursing reports whether the reduced boundary system is
+// factorized by a recursively nested partition gang (depth and crossover
+// permitting) rather than the sequential kernel.
+func (f *ParallelFactor) ReducedRecursing() bool { return f.P > 1 && f.eng.recursing() }
+
+// FactorPhaseSeconds returns the wall-clock split of the last Refactorize:
+// elim is the time until the last partition finished its interior
+// elimination, tail the remainder — the reduced-system work that did not
+// overlap the interior sweeps. tail/(elim+tail) is the serial fraction the
+// reduced-system engine attacks; both are 0 for P = 1 (no reduced system).
+func (f *ParallelFactor) FactorPhaseSeconds() (elim, tail float64) {
+	if f.P == 1 {
+		return 0, 0
+	}
+	return f.elimSeconds, f.totalSeconds - f.elimSeconds
 }
 
 // Parts returns the time-domain partitioning.
@@ -273,18 +359,103 @@ func (f *ParallelFactor) Refactorize(m *Matrix) error {
 	if f.P == 1 {
 		return f.seq.Refactorize(m)
 	}
+	t0 := time.Now()
 	if f.A > 0 {
 		f.store.Tip.CopyFrom(m.Tip)
 	}
 	f.curM = m
-	f.runPhase(phaseElim)
+	var err error
+	if f.opts.Reduced.Pipeline {
+		err = f.refactorizePipelined(t0)
+	} else {
+		f.runPhase(phaseElim)
+		f.elimSeconds = time.Since(t0).Seconds()
+		err = nil
+		for _, ps := range f.ps {
+			if ps.err != nil {
+				err = ps.err
+				break
+			}
+		}
+		if err == nil {
+			err = f.factorReduced()
+		}
+	}
 	f.curM = nil
+	f.totalSeconds = time.Since(t0).Seconds()
+	return err
+}
+
+// refactorizePipelined is the pipelined-boundary-handoff elimination: every
+// partition runs on its own goroutine and reports completion, while this
+// (the calling) goroutine streams finished partitions' boundary blocks into
+// the reduced assembly in partition order. With the sequential reduced
+// engine the assembly feeds the incremental factorization frontier, so
+// reduced-phase work overlaps the tail of the interior sweeps; with a
+// nested (recursive) engine the streaming covers the assembly copies and
+// the nested gang launches once the last contribution lands.
+func (f *ParallelFactor) refactorizePipelined(t0 time.Time) error {
+	for i := range f.delivered {
+		f.delivered[i] = false
+	}
+	f.phase = phaseElim
+	for r := 0; r < f.P; r++ {
+		go f.workPipe[r]()
+	}
+	red := f.red
+	if f.A > 0 {
+		red.Tip.CopyFrom(f.store.Tip)
+	}
+	stream := !f.eng.recursing()
+	if stream {
+		f.frontier.reset(red, f.P, f.tipDeltas)
+	}
+	installed := -1
+	failed := false
+	for done := 0; done < f.P; done++ {
+		r := <-f.elimDone
+		if done == f.P-1 {
+			// The interior phase ends here — before the trailing installs
+			// and frontier steps below, which are exactly the reduced work
+			// that did NOT overlap the sweeps and must land in the tail.
+			f.elimSeconds = time.Since(t0).Seconds()
+		}
+		f.delivered[r] = true
+		if f.ps[r].err != nil {
+			failed = true
+		}
+		if failed {
+			continue
+		}
+		for installed+1 < f.P && f.delivered[installed+1] {
+			installed++
+			f.installReducedPart(installed)
+			if stream {
+				f.frontier.advance(installed)
+			}
+		}
+	}
+	// Surface elimination failures deterministically (partition order).
 	for _, ps := range f.ps {
 		if ps.err != nil {
 			return ps.err
 		}
 	}
-	return f.factorReduced()
+	if stream {
+		if err := f.frontier.finish(); err != nil {
+			return fmt.Errorf("bta: reduced boundary system: %w", err)
+		}
+		return nil
+	}
+	if f.A > 0 {
+		for _, ps := range f.ps {
+			red.Tip.Add(1, ps.tipDelta)
+		}
+	}
+	if err := f.eng.factorize(red); err != nil {
+		return fmt.Errorf("bta: reduced boundary system: %w", err)
+	}
+	return nil
 }
 
 // elimPartition copies the partition's slice of the input matrix into the
@@ -332,38 +503,56 @@ func (f *ParallelFactor) elimPartition(r int) error {
 }
 
 // factorReduced assembles the 2P−2-block reduced boundary system from the
-// post-elimination boundary blocks and factorizes it sequentially.
+// post-elimination boundary blocks and hands it to the reduced engine
+// (sequential in-place factorization, or the nested gang when recursing).
 func (f *ParallelFactor) factorReduced() error {
-	red, parts := f.red, f.parts
-	hasArrow := f.A > 0
-	red.Diag[0].CopyFrom(f.store.Diag[parts[0].Hi])
-	if hasArrow {
-		red.Arrow[0].CopyFrom(f.store.Arrow[parts[0].Hi])
+	red := f.red
+	if f.A > 0 {
 		red.Tip.CopyFrom(f.store.Tip)
 		for _, ps := range f.ps {
 			red.Tip.Add(1, ps.tipDelta)
 		}
 	}
-	for r := 1; r < f.P; r++ {
-		top := reducedIndexTop(r)
-		lo, hi := parts[r].Lo, parts[r].Hi
-		red.Lower[top-1].CopyFrom(f.store.Lower[lo-1]) // (lo_r, hi_{r−1}), untouched original
-		red.Diag[top].CopyFrom(f.store.Diag[lo])
-		if hasArrow {
-			red.Arrow[top].CopyFrom(f.store.Arrow[lo])
-		}
-		if r < f.P-1 {
-			red.Diag[top+1].CopyFrom(f.store.Diag[hi])
-			f.ps[r].fill.TransposeInto(red.Lower[top]) // (hi_r, lo_r) = M(lo_r, hi_r)ᵀ
-			if hasArrow {
-				red.Arrow[top+1].CopyFrom(f.store.Arrow[hi])
-			}
-		}
+	for r := 0; r < f.P; r++ {
+		f.installReducedPart(r)
 	}
-	if err := factorizeInPlace(red); err != nil {
+	if err := f.eng.factorize(red); err != nil {
 		return fmt.Errorf("bta: reduced boundary system: %w", err)
 	}
 	return nil
+}
+
+// installReducedPart copies partition r's boundary contribution into the
+// reduced system: its post-elimination boundary Diag/Arrow blocks, the
+// untouched coupling to the previous partition, and the remaining
+// boundary-boundary fill of middle partitions. Safe to call as soon as
+// partition r's elimination finished — every destination block belongs to r
+// alone. Tip deltas are deliberately excluded (the caller folds them at
+// fixed points of the operation sequence).
+func (f *ParallelFactor) installReducedPart(r int) {
+	red, parts := f.red, f.parts
+	hasArrow := f.A > 0
+	if r == 0 {
+		red.Diag[0].CopyFrom(f.store.Diag[parts[0].Hi])
+		if hasArrow {
+			red.Arrow[0].CopyFrom(f.store.Arrow[parts[0].Hi])
+		}
+		return
+	}
+	top := reducedIndexTop(r)
+	lo, hi := parts[r].Lo, parts[r].Hi
+	red.Lower[top-1].CopyFrom(f.store.Lower[lo-1]) // (lo_r, hi_{r−1}), untouched original
+	red.Diag[top].CopyFrom(f.store.Diag[lo])
+	if hasArrow {
+		red.Arrow[top].CopyFrom(f.store.Arrow[lo])
+	}
+	if r < f.P-1 {
+		red.Diag[top+1].CopyFrom(f.store.Diag[hi])
+		f.ps[r].fill.TransposeInto(red.Lower[top]) // (hi_r, lo_r) = M(lo_r, hi_r)ᵀ
+		if hasArrow {
+			red.Arrow[top+1].CopyFrom(f.store.Arrow[hi])
+		}
+	}
 }
 
 // LogDet returns log|A|: interior Cholesky diagonals plus the reduced
@@ -381,7 +570,7 @@ func (f *ParallelFactor) LogDet() float64 {
 			}
 		}
 	}
-	return 2*s + f.redF.LogDet()
+	return 2*s + f.eng.logDet()
 }
 
 // Solve solves A·x = rhs in place of rhs (the PPOBTAS sweeps in shared
@@ -399,7 +588,7 @@ func (f *ParallelFactor) Solve(rhs []float64) {
 	f.curRhs = rhs
 	f.runPhase(phaseFwd)
 	f.gatherRhs(rhs, true)
-	f.redF.Solve(f.redRhs)
+	f.eng.solve(f.redRhs)
 	f.scatterRhs(rhs)
 	f.runPhase(phaseBwd)
 	f.curRhs = nil
@@ -419,7 +608,7 @@ func (f *ParallelFactor) SolveLT(x []float64) {
 		return
 	}
 	f.gatherRhs(x, false)
-	f.redF.backward(f.redRhs)
+	f.eng.solveLT(f.redRhs)
 	f.scatterRhs(x)
 	f.curRhs = x
 	f.runPhase(phaseBwd)
@@ -561,7 +750,7 @@ func (f *ParallelFactor) ForwardSolveMultiInto(w *MultiSolve) {
 	f.runPhase(phaseFwdMS)
 	red := f.reducedMS(w.K)
 	f.gatherMS(w, red, true)
-	f.redF.ForwardSolveMultiInto(red)
+	f.eng.forwardMS(red)
 	f.scatterMS(w, red)
 	f.curMS = nil
 }
@@ -575,7 +764,7 @@ func (f *ParallelFactor) BackwardSolveMultiInto(w *MultiSolve) {
 	w.checkDims(f.N, f.B, f.A)
 	red := f.reducedMS(w.K)
 	f.gatherMS(w, red, false)
-	f.redF.BackwardSolveMultiInto(red)
+	f.eng.backwardMS(red)
 	f.scatterMS(w, red)
 	f.curMS = w
 	f.runPhase(phaseBwdMS)
@@ -633,7 +822,7 @@ func (f *ParallelFactor) SelectedInversionInto(sig *Matrix) error {
 		return fmt.Errorf("bta: selinv output BTA(n=%d,b=%d,a=%d), factor (n=%d,b=%d,a=%d)",
 			sig.N, sig.B, sig.A, f.N, f.B, f.A)
 	}
-	if err := f.redF.SelectedInversionInto(f.redSig); err != nil {
+	if err := f.eng.selinvInto(f.redSig); err != nil {
 		return err
 	}
 	// Install the boundary Σ blocks.

@@ -90,32 +90,50 @@ func (f *Factor) Refactorize(m *Matrix) error {
 
 // factorizeInPlace overwrites the blocks of w with the factor blocks.
 func factorizeInPlace(w *Matrix) error {
+	for i := 0; i < w.N; i++ {
+		if err := factorStep(w, i); err != nil {
+			return err
+		}
+	}
+	return factorFinishTip(w)
+}
+
+// factorStep eliminates diagonal block i of w in place: Cholesky of the
+// block, scaling of its couplings, and the Schur updates onto block i+1 and
+// the arrow tip. Blocks 0..i−1 must already be eliminated; blocks > i+1 are
+// untouched, which is what lets the reduced-system frontier interleave steps
+// with the arrival of later blocks (pipelined boundary handoff).
+func factorStep(w *Matrix, i int) error {
 	n := w.N
 	hasArrow := w.A > 0
-	for i := 0; i < n; i++ {
-		if err := dense.Potrf(w.Diag[i]); err != nil {
-			return fmt.Errorf("bta: diagonal block %d: %w", i, err)
-		}
-		w.Diag[i].ZeroUpper()
-		li := w.Diag[i]
-		if i < n-1 {
-			dense.Trsm(dense.Right, dense.Trans, li, w.Lower[i]) // L_{i+1,i} = A_{i+1,i}·L_ii⁻ᵀ
-		}
+	if err := dense.Potrf(w.Diag[i]); err != nil {
+		return fmt.Errorf("bta: diagonal block %d: %w", i, err)
+	}
+	w.Diag[i].ZeroUpper()
+	li := w.Diag[i]
+	if i < n-1 {
+		dense.Trsm(dense.Right, dense.Trans, li, w.Lower[i]) // L_{i+1,i} = A_{i+1,i}·L_ii⁻ᵀ
+	}
+	if hasArrow {
+		dense.Trsm(dense.Right, dense.Trans, li, w.Arrow[i]) // L_{a,i} = A_{a,i}·L_ii⁻ᵀ
+	}
+	if i < n-1 {
+		dense.Syrk(dense.NoTrans, -1, w.Lower[i], 1, w.Diag[i+1])
+		w.Diag[i+1].MirrorLowerToUpper()
 		if hasArrow {
-			dense.Trsm(dense.Right, dense.Trans, li, w.Arrow[i]) // L_{a,i} = A_{a,i}·L_ii⁻ᵀ
-		}
-		if i < n-1 {
-			dense.Syrk(dense.NoTrans, -1, w.Lower[i], 1, w.Diag[i+1])
-			w.Diag[i+1].MirrorLowerToUpper()
-			if hasArrow {
-				dense.Gemm(dense.NoTrans, dense.Trans, -1, w.Arrow[i], w.Lower[i], 1, w.Arrow[i+1])
-			}
-		}
-		if hasArrow {
-			dense.Syrk(dense.NoTrans, -1, w.Arrow[i], 1, w.Tip)
+			dense.Gemm(dense.NoTrans, dense.Trans, -1, w.Arrow[i], w.Lower[i], 1, w.Arrow[i+1])
 		}
 	}
 	if hasArrow {
+		dense.Syrk(dense.NoTrans, -1, w.Arrow[i], 1, w.Tip)
+	}
+	return nil
+}
+
+// factorFinishTip factorizes the fully-updated arrow tip, completing an
+// in-place factorization whose diagonal steps all ran through factorStep.
+func factorFinishTip(w *Matrix) error {
+	if w.A > 0 {
 		if err := dense.Potrf(w.Tip); err != nil {
 			return fmt.Errorf("bta: arrow tip: %w", err)
 		}

@@ -31,28 +31,113 @@ type Plan struct {
 	P3Min int
 	// PartitionsPerRank is the second S3 level: the shared-memory
 	// parallel-in-time width each solver rank (node) runs at (1 = flat
-	// one-partition-per-rank configuration).
+	// one-partition-per-rank configuration). Under a device-memory cap the
+	// planner may have reduced it below the requested width — all of a
+	// node's streams share that node's device memory, so streams trade
+	// against ranks.
 	PartitionsPerRank int
+	// ReduceDepth is the recursive-nesting budget of rank 0's reduced
+	// boundary system (bta.ReducedOptions.Depth), ReduceCrossover its
+	// recursion threshold (0 = bta.DefaultReducedCrossover);
+	// PipelineReduced streams boundary contributions into the reduced
+	// assembly as partitions finish. Copied from DistConfig for the record,
+	// so a run can be reproduced from its reported Plan.
+	ReduceDepth     int
+	ReduceCrossover int
+	PipelineReduced bool
 }
 
+// SolverWidthAt returns the total S3 solver width (ranks × streams) one
+// evaluation actually runs at for the plan's smallest S1 group — the width
+// that determines whether a reduced boundary system exists (≥ 2) and
+// whether recursion can engage (2·width−2 ≥ crossover). It applies the
+// same clamps as the evaluation: the rank count capped by ntBlocks'
+// partitionability, then whole streams shed until the ranks × streams
+// split is partitionable.
+func (p Plan) SolverWidthAt(ntBlocks int) int {
+	if len(p.GroupSizes) == 0 {
+		return 1
+	}
+	p3 := p.GroupSizes[len(p.GroupSizes)-1]
+	if p.UseS2 {
+		p3 /= 2
+	}
+	if p3 < 1 {
+		p3 = 1
+	}
+	if mx := maxPartitions(ntBlocks); p3 > mx {
+		p3 = mx
+	}
+	qEff := p.PartitionsPerRank
+	if qEff < 1 {
+		qEff = 1
+	}
+	for qEff > 1 {
+		if _, err := bta.PartitionBlocks(ntBlocks, p3*qEff, 1); err == nil {
+			break
+		}
+		qEff--
+	}
+	return p3 * qEff
+}
+
+// nodeWorkingSetBytes models the steady-state device bytes one node of the
+// hybrid topology holds: its 1/p3 slice of the densified blocks, the
+// fill-coupling chains of its two-sided partitions (one extra b×b block per
+// owned block — the per-node fill-chain working set, which is why streams
+// do not relax the cap), and the per-stream solve/sweep scratch.
+func nodeWorkingSetBytes(qcBytes int64, p3, q, b, a int) int64 {
+	slice := ceilDiv(qcBytes, int64(p3))
+	if b > 0 {
+		// fill chains ≈ the b×b-per-block share of the slice: b²/(2b²+ab).
+		slice += ceilDiv(qcBytes, int64(p3)) * int64(b) / int64(2*b+a)
+		// per-stream sweep + solve temporaries (7 b×b, 2 a×b, 1 a×a).
+		slice += int64(q) * 8 * int64(7*b*b+2*a*b+a*a)
+	}
+	return slice
+}
+
+func ceilDiv(n, d int64) int64 { return (n + d - 1) / d }
+
 // MakePlan computes the layer assignment for a world of the given size.
-// qcBytes is the densified Q_c footprint (bta.Matrix.BytesDense), memCap the
-// per-device memory model (0 = unlimited), ntBlocks the number of time-step
-// blocks (bounds the useful S3 width), perRank the requested per-node
-// stream width (≤ 1 = flat).
-func MakePlan(world, nfeval int, qcBytes, memCap int64, ntBlocks, perRank int) Plan {
-	p3min := 1
-	if memCap > 0 && qcBytes > memCap {
-		p3min = int((qcBytes + memCap - 1) / memCap)
-	}
-	if mx := maxPartitions(ntBlocks); p3min > mx {
-		p3min = mx
-	}
+// qcBytes is the densified Q_c footprint (bta.Matrix.BytesDense), memCap
+// the per-device memory model (0 = unlimited), ntBlocks/blockSize/arrowSize
+// the BTA shape (ntBlocks bounds the useful S3 width; blockSize 0 disables
+// the fill-chain term, reproducing the flat slice-only model), perRank the
+// requested per-node stream width (≤ 1 = flat).
+//
+// The memory policy is hybrid-aware: the per-node working set is the matrix
+// slice plus the fill-chain storage the partitioned elimination adds, so
+// P3Min grows accordingly, and when even the widest partitionable rank
+// count cannot fit the cap the planner sheds streams (PartitionsPerRank)
+// before giving up — trading ranks against streams under the cap.
+func MakePlan(world, nfeval int, qcBytes, memCap int64, ntBlocks, blockSize, arrowSize, perRank int) Plan {
 	if perRank < 1 {
 		perRank = 1
 	}
 	if mx := maxPartitions(ntBlocks); perRank > mx {
 		perRank = mx
+	}
+	mx := maxPartitions(ntBlocks)
+	p3min := 1
+	if memCap > 0 {
+		fits := func(p3, q int) bool {
+			return nodeWorkingSetBytes(qcBytes, p3, q, blockSize, arrowSize) <= memCap
+		}
+		// Trade streams for ranks: find the smallest rank width that holds
+		// the per-node working set at the requested stream count; if none
+		// does, shed streams (their scratch and boundary duplication) and
+		// search the rank widths again, down to the flat topology.
+		for {
+			p3min = 1
+			for !fits(p3min, perRank) && p3min < mx {
+				p3min++
+			}
+			if fits(p3min, perRank) || perRank == 1 {
+				break
+			}
+			perRank--
+		}
 	}
 	maxGroups := world / p3min
 	if maxGroups < 1 {
@@ -167,11 +252,12 @@ func (s *groupScratch) slice(g *bta.Matrix, parts []bta.Partition, rank, perRank
 }
 
 // factorize reclaims the previous factor's recycled blocks and runs the
-// distributed factorization against the scratch.
-func (s *groupScratch) factorize(solver *comm.Comm, local *bta.LocalBTA) (*bta.DistFactor, error) {
+// distributed factorization against the scratch with the configured
+// reduced-system engine.
+func (s *groupScratch) factorize(solver *comm.Comm, local *bta.LocalBTA, opts bta.DistOptions) (*bta.DistFactor, error) {
 	s.dist.Reclaim(s.prev)
 	s.prev = nil
-	f, err := bta.PPOBTAFScratch(solver, local, &s.dist)
+	f, err := bta.PPOBTAFOpts(solver, local, &s.dist, opts)
 	if err == nil {
 		s.prev = f
 	}
@@ -189,6 +275,17 @@ type DistConfig struct {
 	// partitions (0/1 = the flat one-partition-per-rank configuration,
 	// which PartitionsPerRank = 1 reproduces bit-for-bit).
 	PartitionsPerRank int
+	// ReduceDepth lets rank 0 factorize the 2P−2 reduced boundary system
+	// with a recursively nested partition gang when it is wide enough
+	// (bta.ReducedOptions.Depth; 0 = sequential reduced solve).
+	ReduceDepth int
+	// ReduceCrossover overrides the smallest reduced block count worth
+	// recursing on (0 = bta.DefaultReducedCrossover).
+	ReduceCrossover int
+	// PipelineReduced streams boundary contributions into rank 0's reduced
+	// assembly as they arrive, interleaving reduced elimination with later
+	// ranks' interior sweeps instead of idling until the last one lands.
+	PipelineReduced bool
 	// MemCapBytes models per-device memory (0 = unlimited).
 	MemCapBytes int64
 	// Iterations of the quasi-Newton loop to execute.
@@ -239,7 +336,11 @@ func RunDistributed(m *model.Model, prior Prior, theta0 []float64, cfg DistConfi
 	qcBytes := qcProbe.BytesDense()
 	nt := m.Dims.Nt
 
-	plan := MakePlan(cfg.World, nfeval, qcBytes, cfg.MemCapBytes, nt, cfg.PartitionsPerRank)
+	_, bBlk, aBlk := m.Dims.BTAShape()
+	plan := MakePlan(cfg.World, nfeval, qcBytes, cfg.MemCapBytes, nt, bBlk, aBlk, cfg.PartitionsPerRank)
+	plan.ReduceDepth = cfg.ReduceDepth
+	plan.ReduceCrossover = cfg.ReduceCrossover
+	plan.PipelineReduced = cfg.PipelineReduced
 	if cfg.DisableS2 {
 		plan.UseS2 = false
 	}
@@ -423,6 +524,11 @@ func evalFobjGroup(group *comm.Comm, state *sharedState, m *model.Model, prior P
 	// tagMu carries μ from the Q_c pipeline root to the Q_p pipeline root.
 	const tagMu = 700
 
+	// Reduced-system engine configuration shared by both pipelines.
+	dopts := bta.DistOptions{Reduced: bta.ReducedOptions{
+		Depth: cfg.ReduceDepth, Crossover: cfg.ReduceCrossover, Pipeline: cfg.PipelineReduced,
+	}}
+
 	runQc := func() error {
 		pipe.Barrier()
 		if !active {
@@ -430,13 +536,12 @@ func evalFobjGroup(group *comm.Comm, state *sharedState, m *model.Model, prior P
 		}
 		err := func() error {
 			solverRankCharge(solver, cell.dtQc, chargeP3(p3*qEff, cfg))
-			width := solver.Size() * qEff
-			parts, err := bta.PartitionBlocks(m.Dims.Nt, width, adjustLB(lb, m.Dims.Nt, width))
+			parts, err := bta.HybridPartition(m.Dims.Nt, bta.UniformStreams(solver.Size(), qEff), lb)
 			if err != nil {
 				return err
 			}
 			local := scr.slice(cell.qc, parts, solver.Rank(), qEff)
-			f, err := scr.factorize(solver, local)
+			f, err := scr.factorize(solver, local, dopts)
 			if err != nil {
 				return err
 			}
@@ -492,13 +597,12 @@ func evalFobjGroup(group *comm.Comm, state *sharedState, m *model.Model, prior P
 		}
 		err := func() error {
 			solverRankCharge(solver, cell.dtQp, chargeP3(p3*qEff, cfg))
-			width := solver.Size() * qEff
-			parts, err := bta.PartitionBlocks(m.Dims.Nt, width, adjustLB(lb, m.Dims.Nt, width))
+			parts, err := bta.HybridPartition(m.Dims.Nt, bta.UniformStreams(solver.Size(), qEff), lb)
 			if err != nil {
 				return err
 			}
 			local := scr.slice(cell.qp, parts, solver.Rank(), qEff)
-			f, err := scr.factorize(solver, local)
+			f, err := scr.factorize(solver, local, dopts)
 			if err != nil {
 				return err
 			}
@@ -594,18 +698,6 @@ func chargeP3(p3 int, cfg DistConfig) int {
 		return 1
 	}
 	return p3
-}
-
-// adjustLB disables load balancing when the partition arithmetic cannot
-// honor it (tiny block counts).
-func adjustLB(lb float64, nt, p int) float64 {
-	if p <= 1 {
-		return 1
-	}
-	if _, err := bta.PartitionBlocks(nt, p, lb); err != nil {
-		return 1
-	}
-	return lb
 }
 
 // localQuad computes this partition's contribution to μᵀ·Q·μ over the BTA

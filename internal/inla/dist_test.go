@@ -10,7 +10,7 @@ import (
 
 func TestMakePlanFillsS1First(t *testing.T) {
 	// 31 evals (trivariate), 8 workers, no memory pressure: 8 S1 groups of 1.
-	p := MakePlan(8, 31, 1<<20, 0, 16, 1)
+	p := MakePlan(8, 31, 1<<20, 0, 16, 0, 0, 1)
 	if p.Groups != 8 {
 		t.Fatalf("groups = %d, want 8", p.Groups)
 	}
@@ -18,12 +18,12 @@ func TestMakePlanFillsS1First(t *testing.T) {
 		t.Fatal("size-1 groups cannot use S2")
 	}
 	// 62 workers: 31 groups of 2 → S2 on.
-	p = MakePlan(62, 31, 1<<20, 0, 16, 1)
+	p = MakePlan(62, 31, 1<<20, 0, 16, 0, 0, 1)
 	if p.Groups != 31 || !p.UseS2 {
 		t.Fatalf("plan %+v, want 31 groups with S2", p)
 	}
 	// 124 workers: 31 groups of 4 → S2 + S3 of width 2.
-	p = MakePlan(124, 31, 1<<20, 0, 16, 1)
+	p = MakePlan(124, 31, 1<<20, 0, 16, 0, 0, 1)
 	if p.Groups != 31 || !p.UseS2 {
 		t.Fatalf("plan %+v", p)
 	}
@@ -31,7 +31,7 @@ func TestMakePlanFillsS1First(t *testing.T) {
 
 func TestMakePlanMemoryCapForcesS3(t *testing.T) {
 	// Matrix of 1 MiB with a 256 KiB cap: S3 width ≥ 4 before S1 widens.
-	p := MakePlan(8, 31, 1<<20, 1<<18, 64, 1)
+	p := MakePlan(8, 31, 1<<20, 1<<18, 64, 0, 0, 1)
 	if p.P3Min != 4 {
 		t.Fatalf("P3Min = %d, want 4", p.P3Min)
 	}
@@ -40,9 +40,41 @@ func TestMakePlanMemoryCapForcesS3(t *testing.T) {
 	}
 }
 
+// TestMakePlanHybridMemoryModel: with the BTA shape known the per-node
+// working set includes the fill-chain storage of the partitioned
+// elimination, so the memory-forced S3 width grows beyond the slice-only
+// model; and when even the widest rank count cannot fit the cap the planner
+// sheds streams before giving up (ranks traded against streams).
+func TestMakePlanHybridMemoryModel(t *testing.T) {
+	// Slice-only model: 1 MiB at a 256 KiB cap forces width 4.
+	flat := MakePlan(16, 31, 1<<20, 1<<18, 64, 0, 0, 1)
+	if flat.P3Min != 4 {
+		t.Fatalf("flat model P3Min = %d, want 4", flat.P3Min)
+	}
+	// Fill-chain-aware model (b=8, a=0: chains add b/(2b+a) = 50%).
+	aware := MakePlan(16, 31, 1<<20, 1<<18, 64, 8, 0, 1)
+	if aware.P3Min <= flat.P3Min {
+		t.Fatalf("fill-chain model must force a wider S3: %d vs flat %d", aware.P3Min, flat.P3Min)
+	}
+	// The same footprint with streams: the per-node working set cannot be
+	// relaxed by streams (they share the node's memory), so P3Min stays put
+	// while the requested stream width survives under no pressure...
+	roomy := MakePlan(16, 31, 1<<20, 0, 64, 8, 0, 4)
+	if roomy.PartitionsPerRank != 4 {
+		t.Fatalf("uncapped plan must keep the requested streams, got %d", roomy.PartitionsPerRank)
+	}
+	// ...but under a cap no rank width can absorb, streams are shed.
+	// nt=64 bounds ranks at 33; make the per-stream scratch the binding
+	// term with a tiny cap.
+	tight := MakePlan(64, 31, 1<<20, 40<<10, 64, 16, 0, 8)
+	if tight.PartitionsPerRank >= 8 {
+		t.Fatalf("capped plan must shed streams, kept %d", tight.PartitionsPerRank)
+	}
+}
+
 func TestMakePlanClampsToPartitionability(t *testing.T) {
 	// nt = 4 supports at most 3 partitions; a huge memory demand must clamp.
-	p := MakePlan(16, 9, 1<<30, 1<<10, 4, 1)
+	p := MakePlan(16, 9, 1<<30, 1<<10, 4, 0, 0, 1)
 	if p.P3Min > 3 {
 		t.Fatalf("P3Min = %d exceeds partitionability of nt=4", p.P3Min)
 	}
@@ -184,19 +216,59 @@ func TestRunDistributedHybridFlatBitForBit(t *testing.T) {
 	}
 }
 
+// TestRunDistributedReducedEngine: the recursive/pipelined reduced-system
+// knobs must flow through the driver and reproduce the sequential
+// evaluator's objective — wide enough (6 ranks × 2 streams = 12 partitions
+// with a lowered crossover) that rank 0's reduced factorization genuinely
+// recurses and streams.
+func TestRunDistributedReducedEngine(t *testing.T) {
+	ds, err := synth.Generate(synth.GenConfig{
+		Nv: 1, Nt: 26, Nr: 1,
+		MeshNx: 3, MeshNy: 3,
+		ObsPerStep: 10,
+		Seed:       9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := WeakPrior(ds.Theta0, 5)
+	e := &BTAEvaluator{Model: ds.Model, Prior: prior}
+	want := e.EvalBatch([][]float64{ds.Theta0})[0]
+	for _, tc := range []struct {
+		depth    int
+		pipeline bool
+	}{{0, true}, {1, false}, {2, true}} {
+		rep, err := RunDistributed(ds.Model, prior, ds.Theta0, DistConfig{
+			World: 6, Machine: comm.DefaultMachine(), Iterations: 1,
+			PartitionsPerRank: 2,
+			ReduceDepth:       tc.depth, ReduceCrossover: 4, PipelineReduced: tc.pipeline,
+		})
+		if err != nil {
+			t.Fatalf("depth=%d pipe=%v: %v", tc.depth, tc.pipeline, err)
+		}
+		if rep.Plan.ReduceDepth != tc.depth || rep.Plan.PipelineReduced != tc.pipeline {
+			t.Fatalf("plan does not record the reduced-engine knobs: %+v", rep.Plan)
+		}
+		if math.Abs(rep.FTrace[0]-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("depth=%d pipe=%v: distributed F = %v, sequential F = %v",
+				tc.depth, tc.pipeline, rep.FTrace[0], want)
+		}
+	}
+}
+
 // TestMakePlanPerRank: the per-node stream width is recorded, defaulted,
 // and clamped to what the time dimension can absorb.
 func TestMakePlanPerRank(t *testing.T) {
-	p := MakePlan(8, 31, 1<<20, 0, 16, 0)
+	p := MakePlan(8, 31, 1<<20, 0, 16, 0, 0, 0)
 	if p.PartitionsPerRank != 1 {
 		t.Fatalf("default per-rank width %d, want 1", p.PartitionsPerRank)
 	}
-	p = MakePlan(8, 31, 1<<20, 0, 64, 4)
+	p = MakePlan(8, 31, 1<<20, 0, 64, 0, 0, 4)
 	if p.PartitionsPerRank != 4 {
 		t.Fatalf("per-rank width %d, want 4", p.PartitionsPerRank)
 	}
 	// nt = 4 supports at most 3 partitions in total.
-	p = MakePlan(8, 31, 1<<20, 0, 4, 16)
+	p = MakePlan(8, 31, 1<<20, 0, 4, 0, 0, 16)
 	if p.PartitionsPerRank > 3 {
 		t.Fatalf("per-rank width %d exceeds partitionability of nt=4", p.PartitionsPerRank)
 	}

@@ -106,52 +106,72 @@ func newSolverScratch(m *model.Model) *solverScratch {
 	}
 }
 
+// solverSpec pins the per-factorization solver configuration one batch runs
+// at: the parallel-in-time width plus the reduced-system engine knobs
+// (recursion depth/crossover and the pipelined boundary handoff).
+type solverSpec struct {
+	parts     int
+	depth     int
+	crossover int
+	pipeline  bool
+}
+
+// specOf converts a batch plan into the factorization spec.
+func specOf(plan SharedPlan) solverSpec {
+	return solverSpec{parts: plan.Partitions, depth: plan.Recursion, pipeline: plan.PipelineReduced}
+}
+
 // cachedParallel lazily builds and caches one parallel-in-time factor per
-// width, so the Q_p and Q_c pipelines share a single caching policy while
+// spec, so the Q_p and Q_c pipelines share a single caching policy while
 // staying independent (a posterior-only workload never builds the Q_p
 // one).
 type cachedParallel struct {
-	pf    *bta.ParallelFactor
-	parts int
+	pf   *bta.ParallelFactor
+	spec solverSpec
 }
 
 // solver returns seq for widths the clamp reduces to 1, otherwise the
-// cached parallel factor for the width (rebuilding only when it changes).
-func (c *cachedParallel) solver(seq *bta.Factor, n, b, a, partitions int) (bta.Solver, error) {
-	if mx := bta.MaxUsefulPartitions(n); partitions > mx {
-		partitions = mx
+// cached parallel factor for the spec (rebuilding only when it changes).
+func (c *cachedParallel) solver(seq *bta.Factor, n, b, a int, spec solverSpec) (bta.Solver, error) {
+	if mx := bta.MaxUsefulPartitions(n); spec.parts > mx {
+		spec.parts = mx
 	}
-	if partitions <= 1 {
+	if spec.parts <= 1 {
 		return seq, nil
 	}
-	if c.pf == nil || c.parts != partitions {
-		pf, err := bta.NewParallelFactor(n, b, a, partitions)
+	if c.pf == nil || c.spec != spec {
+		pf, err := bta.NewParallelFactorOpts(n, b, a, bta.ParallelOptions{
+			Partitions: spec.parts,
+			Reduced: bta.ReducedOptions{
+				Depth: spec.depth, Crossover: spec.crossover, Pipeline: spec.pipeline,
+			},
+		})
 		if err != nil {
 			return nil, err
 		}
-		c.pf, c.parts = pf, partitions
+		c.pf, c.spec = pf, spec
 	}
 	return c.pf, nil
 }
 
-// priorSolver returns the Q_p solver for the requested parallel-in-time
-// width; condSolver the Q_c one.
-func (ws *solverScratch) priorSolver(m *model.Model, partitions int) (bta.Solver, error) {
+// priorSolver returns the Q_p solver for the requested factorization spec;
+// condSolver the Q_c one.
+func (ws *solverScratch) priorSolver(m *model.Model, spec solverSpec) (bta.Solver, error) {
 	n, b, a := m.Dims.BTAShape()
-	return ws.pfp.solver(ws.fp, n, b, a, partitions)
+	return ws.pfp.solver(ws.fp, n, b, a, spec)
 }
 
-func (ws *solverScratch) condSolver(m *model.Model, partitions int) (bta.Solver, error) {
+func (ws *solverScratch) condSolver(m *model.Model, spec solverSpec) (bta.Solver, error) {
 	n, b, a := m.Dims.BTAShape()
-	return ws.pfc.solver(ws.fc, n, b, a, partitions)
+	return ws.pfc.solver(ws.fc, n, b, a, spec)
 }
 
-// solvers returns the (Q_p, Q_c) solver pair for the requested width.
-func (ws *solverScratch) solvers(m *model.Model, partitions int) (sp, sc bta.Solver, err error) {
-	if sp, err = ws.priorSolver(m, partitions); err != nil {
+// solvers returns the (Q_p, Q_c) solver pair for the requested spec.
+func (ws *solverScratch) solvers(m *model.Model, spec solverSpec) (sp, sc bta.Solver, err error) {
+	if sp, err = ws.priorSolver(m, spec); err != nil {
 		return nil, nil, err
 	}
-	if sc, err = ws.condSolver(m, partitions); err != nil {
+	if sc, err = ws.condSolver(m, spec); err != nil {
 		return nil, nil, err
 	}
 	return sp, sc, nil
@@ -163,7 +183,7 @@ func (ws *solverScratch) solvers(m *model.Model, partitions int) (sp, sc bta.Sol
 // layer in shared-memory form. Non-Gaussian likelihoods route through the
 // inner Newton loop for the conditional mode.
 func EvalFobj(m *model.Model, prior Prior, theta []float64, runS2 bool) (FobjParts, error) {
-	return evalFobjScratch(m, prior, theta, runS2, 1, nil)
+	return evalFobjScratch(m, prior, theta, runS2, solverSpec{parts: 1}, nil)
 }
 
 // evalFobjScratch is EvalFobj against a caller-owned arena (nil allocates a
@@ -171,7 +191,7 @@ func EvalFobj(m *model.Model, prior Prior, theta []float64, runS2 bool) (FobjPar
 // width (1 = sequential POBTAF, >1 = bta.ParallelFactor over that many
 // partitions). The returned FobjParts.Mu aliases the arena's μ buffer and
 // is only valid until the arena's next evaluation.
-func evalFobjScratch(m *model.Model, prior Prior, theta []float64, runS2 bool, partitions int, ws *solverScratch) (FobjParts, error) {
+func evalFobjScratch(m *model.Model, prior Prior, theta []float64, runS2 bool, spec solverSpec, ws *solverScratch) (FobjParts, error) {
 	t, err := m.DecodeTheta(theta)
 	if err != nil {
 		return FobjParts{}, err
@@ -182,7 +202,7 @@ func evalFobjScratch(m *model.Model, prior Prior, theta []float64, runS2 bool, p
 	if ws == nil {
 		ws = newSolverScratch(m)
 	}
-	fp, fc, err := ws.solvers(m, partitions)
+	fp, fc, err := ws.solvers(m, spec)
 	if err != nil {
 		return FobjParts{}, err
 	}
@@ -274,6 +294,17 @@ type BTAEvaluator struct {
 	// (PlanBatch: wide batches sequential, narrow batches partitioned),
 	// 1 forces the sequential factorization chain, ≥ 2 forces that width.
 	Partitions int
+	// Recursion pins the reduced-system nesting depth: 0 follows the batch
+	// plan (one level once the gang is wide enough), -1 forces the
+	// sequential reduced solve, ≥ 1 forces that depth.
+	Recursion int
+	// ReducedCrossover overrides the smallest reduced block count worth
+	// recursing on (0 = bta.DefaultReducedCrossover) — the threshold knob
+	// of the reduced-system engine.
+	ReducedCrossover int
+	// NoPipeline forces the eager (non-streamed) reduced assembly even
+	// where the batch plan would pipeline the boundary handoff.
+	NoPipeline bool
 
 	scratch sync.Pool // *solverScratch, shape-bound to Model
 }
@@ -293,27 +324,41 @@ func (e *BTAEvaluator) cores() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// partitionsFor resolves the parallel-in-time width for a batch of the
-// given width. s2 tells the plan whether the evaluation actually runs two
-// concurrent pipelines (Posterior runs only the Q_c one, so its full spare
-// budget flows into that single factorization).
-func (e *BTAEvaluator) partitionsFor(width int, s2 bool) int {
+// planFor resolves the batch plan for the given width with the evaluator's
+// pinned knobs applied (Partitions/Recursion/ReducedCrossover/NoPipeline).
+// s2 tells the plan whether the evaluation actually runs two concurrent
+// pipelines (Posterior runs only the Q_c one, so its full spare budget
+// flows into that single factorization).
+func (e *BTAEvaluator) planFor(width int, s2 bool) SharedPlan {
+	plan := PlanBatch(width, e.cores(), e.Model.Dims.Nt, s2)
 	if e.Partitions > 0 {
-		return e.Partitions
+		plan.Partitions = e.Partitions
+		plan.applyReducedDefaults() // re-derive for the pinned width
 	}
-	return PlanBatch(width, e.cores(), e.Model.Dims.Nt, s2).Partitions
+	if e.Recursion > 0 {
+		plan.Recursion = e.Recursion
+	} else if e.Recursion < 0 {
+		plan.Recursion = 0
+	}
+	if e.NoPipeline {
+		plan.PipelineReduced = false
+	}
+	return plan
+}
+
+// specFor is planFor reduced to the factorization spec.
+func (e *BTAEvaluator) specFor(width int, s2 bool) solverSpec {
+	spec := specOf(e.planFor(width, s2))
+	spec.crossover = e.ReducedCrossover
+	return spec
 }
 
 // StencilPlan reports how a batch of the given width would spend the
 // evaluator's core budget (the StencilPlanner hook of HessianAtMode): the
-// per-batch SharedPlan, with a pinned Partitions knob taking precedence
-// exactly as it does inside EvalBatch.
+// per-batch SharedPlan, with the pinned knobs taking precedence exactly as
+// they do inside EvalBatch.
 func (e *BTAEvaluator) StencilPlan(width int) SharedPlan {
-	plan := PlanBatch(width, e.cores(), e.Model.Dims.Nt, e.S2)
-	if e.Partitions > 0 {
-		plan.Partitions = e.Partitions
-	}
-	return plan
+	return e.planFor(width, e.S2)
 }
 
 // EvalBatch evaluates −fobj at every point, +Inf for infeasible ones. The
@@ -327,10 +372,10 @@ func (e *BTAEvaluator) EvalBatch(points [][]float64) []float64 {
 	if w > len(points) {
 		w = len(points)
 	}
-	partitions := e.partitionsFor(len(points), e.S2)
+	spec := e.specFor(len(points), e.S2)
 	runBounded(len(points), w, func(i int) {
 		ws := e.getScratch()
-		parts, err := evalFobjScratch(e.Model, e.Prior, points[i], e.S2, partitions, ws)
+		parts, err := evalFobjScratch(e.Model, e.Prior, points[i], e.S2, spec, ws)
 		if err != nil {
 			out[i] = math.Inf(1)
 		} else {
@@ -391,7 +436,7 @@ func (e *BTAEvaluator) Posterior(theta []float64) ([]float64, []float64, error) 
 	defer e.scratch.Put(ws)
 	// Posterior runs the Q_c pipeline alone: no S2 split, so the whole
 	// width-1 spare budget goes into this one factorization.
-	fc, err := ws.condSolver(e.Model, e.partitionsFor(1, false))
+	fc, err := ws.condSolver(e.Model, e.specFor(1, false))
 	if err != nil {
 		return nil, nil, err
 	}

@@ -25,7 +25,7 @@ func TestEvalFobjScratchReuseConsistent(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := evalFobjScratch(ds.Model, prior, theta, false, 1, ws)
+		got, err := evalFobjScratch(ds.Model, prior, theta, false, solverSpec{parts: 1}, ws)
 		if err != nil {
 			t.Fatal(err)
 		}
