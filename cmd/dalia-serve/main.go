@@ -9,17 +9,27 @@
 //	dalia-serve                          # empty registry on :8042
 //	dalia-serve -addr :9000 -window 2ms  # custom bind and batch window
 //	dalia-serve -preload MB1,AP1         # fit Table IV datasets at startup
+//	dalia-serve -request-timeout 5s -queue-depth 128 -drain-timeout 10s
+//
+// SIGINT/SIGTERM trigger a graceful drain: readiness flips to 503 so load
+// balancers stop routing here, in-flight batches complete, queued requests
+// fail with 503 + Retry-After, and the listener closes once the drain
+// finishes (or -drain-timeout elapses).
 //
 // See the package comment of internal/serve for the endpoint list and
 // examples/serving for a walkthrough with a curl transcript.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/dalia-hpc/dalia/internal/serve"
@@ -30,9 +40,17 @@ func main() {
 	window := flag.Duration("window", time.Millisecond, "batch coalescing window (0 = flush when queue drains)")
 	preload := flag.String("preload", "", "comma-separated Table IV dataset specs to fit and register at startup (e.g. MB1,AP1)")
 	maxIter := flag.Int("max-iter", 25, "BFGS iteration cap for preloaded fits")
+	reqTimeout := flag.Duration("request-timeout", 0, "per-request deadline for prediction requests, 504 on expiry (0 = none)")
+	queueDepth := flag.Int("queue-depth", 0, "per-model admission queue depth; a full queue sheds with 429 + Retry-After (0 = default 64)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long a SIGINT/SIGTERM drain waits for in-flight batches (0 = indefinitely)")
 	flag.Parse()
 
-	srv := serve.New(serve.Options{BatchWindow: *window})
+	srv := serve.New(serve.Options{
+		BatchWindow:    *window,
+		RequestTimeout: *reqTimeout,
+		QueueDepth:     *queueDepth,
+		DrainTimeout:   *drainTimeout,
+	})
 	if *preload != "" {
 		for _, spec := range strings.Split(*preload, ",") {
 			spec = strings.TrimSpace(spec)
@@ -55,9 +73,38 @@ func main() {
 		}
 	}
 
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+
 	fmt.Printf("dalia-serve listening on %s (batch window %v)\n", *addr, *window)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		fmt.Fprintf(os.Stderr, "dalia-serve: %v\n", err)
-		os.Exit(1)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "dalia-serve: %v\n", err)
+			os.Exit(1)
+		}
+	case sig := <-sigCh:
+		fmt.Printf("dalia-serve: %v received, draining...\n", sig)
+		ctx := context.Background()
+		if *drainTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *drainTimeout)
+			defer cancel()
+		}
+		// Drain the batchers first (queued work answers 503 + Retry-After,
+		// in-flight batches finish), then close the HTTP listener waiting
+		// for the in-flight handlers to write their replies.
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "dalia-serve: drain: %v\n", err)
+		}
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "dalia-serve: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("dalia-serve: drained, bye")
 	}
 }

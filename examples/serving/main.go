@@ -18,6 +18,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"time"
 
 	dalia "github.com/dalia-hpc/dalia"
@@ -33,31 +34,54 @@ func show(method, path string, body, reply []byte) {
 	fmt.Println()
 }
 
+// call sends one request as a well-behaved client: a 429 (queue full) or
+// 503 (draining) reply is retried with exponential backoff seeded from the
+// server's Retry-After hint, instead of piling onto an overloaded server.
 func call(client *http.Client, base, method, path string, payload any) ([]byte, []byte) {
 	var body []byte
-	var rd io.Reader
 	if payload != nil {
 		body, _ = json.Marshal(payload)
-		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequest(method, base+path, rd)
-	if err != nil {
-		log.Fatal(err)
+	backoff := 50 * time.Millisecond
+	const maxAttempts = 6
+	for attempt := 1; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, base+path, rd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reply, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			if attempt >= maxAttempts {
+				log.Fatalf("%s %s: still shedding after %d attempts: %d: %s", method, path, attempt, resp.StatusCode, reply)
+			}
+			wait := backoff
+			if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil {
+				if d := time.Duration(secs) * time.Second; d > wait {
+					wait = d
+				}
+			}
+			time.Sleep(wait)
+			backoff *= 2
+			continue
+		}
+		if resp.StatusCode >= 300 {
+			log.Fatalf("%s %s: %d: %s", method, path, resp.StatusCode, reply)
+		}
+		return body, reply
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	reply, err := io.ReadAll(resp.Body)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if resp.StatusCode >= 300 {
-		log.Fatalf("%s %s: %d: %s", method, path, resp.StatusCode, reply)
-	}
-	return body, reply
 }
 
 func main() {

@@ -485,7 +485,27 @@ func PPOBTAFScratch(c *comm.Comm, local *LocalBTA, scr *DistScratch) (*DistFacto
 // PPOBTAFOpts is PPOBTAFScratch with the reduced-system engine configured:
 // recursion depth/crossover for rank 0's reduced factorization and the
 // pipelined boundary handoff. All ranks must pass identical options.
-func PPOBTAFOpts(c *comm.Comm, local *LocalBTA, scr *DistScratch, opts DistOptions) (*DistFactor, error) {
+//
+// A communication fault mid-factorization (a dead peer, a revoked
+// communicator, a receive timeout) aborts the evaluation cleanly: the
+// partially built factor's recycled blocks flow back to the scratch, no
+// gang goroutines are left running (the compute gangs complete before any
+// communication call), and the fault is returned as a wrapped error the
+// driver can test with comm.Retryable.
+func PPOBTAFOpts(c *comm.Comm, local *LocalBTA, scr *DistScratch, opts DistOptions) (f *DistFactor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			fe := comm.FaultOf(r)
+			if fe == nil {
+				panic(r)
+			}
+			if scr != nil {
+				scr.Reclaim(f)
+			}
+			f = nil
+			err = fmt.Errorf("bta: distributed factorization aborted: %w", fe)
+		}
+	}()
 	opts.Reduced = opts.Reduced.normalize()
 	ranks := c.Size()
 	rank := c.Rank()
@@ -515,7 +535,7 @@ func PPOBTAFOpts(c *comm.Comm, local *LocalBTA, scr *DistScratch, opts DistOptio
 		base[r] = p
 		p += counts[r]
 	}
-	f := &DistFactor{
+	f = &DistFactor{
 		span: local.Part, rank: rank, ranks: ranks, perRank: q,
 		counts: counts, base: base, p: p,
 		nGlobal: local.NGlobal, b: local.B, a: local.A,

@@ -22,7 +22,21 @@ import (
 // collective. It returns the solution over the owned blocks and the
 // (replicated) tip solution; when the factor carries recycled scratch the
 // returned slices alias it and stay valid until the next PPOBTAS call.
-func PPOBTAS(c *comm.Comm, f *DistFactor, rhsLocal, rhsTip []float64) ([]float64, []float64, error) {
+func PPOBTAS(c *comm.Comm, f *DistFactor, rhsLocal, rhsTip []float64) (xOut, xTipOut []float64, err error) {
+	// A communication fault mid-solve aborts cleanly: the sweeps run to
+	// completion inside Compute before any exchange, so no gang goroutine
+	// outlives the abort, and the solve scratch stays attached to the factor
+	// for the retry.
+	defer func() {
+		if r := recover(); r != nil {
+			fe := comm.FaultOf(r)
+			if fe == nil {
+				panic(r)
+			}
+			xOut, xTipOut = nil, nil
+			err = fmt.Errorf("bta: distributed solve aborted: %w", fe)
+		}
+	}()
 	b, a := f.b, f.a
 	if len(rhsLocal) != f.span.Size()*b {
 		return nil, nil, fmt.Errorf("bta: rank %d rhs length %d, want %d", f.rank, len(rhsLocal), f.span.Size()*b)
@@ -293,7 +307,20 @@ func (f *DistFactor) redSigStorage() *Matrix {
 //
 // When the factor carries recycled scratch the returned LocalSigma reuses
 // its storage and stays valid until the next PPOBTASI call.
-func PPOBTASI(c *comm.Comm, f *DistFactor) (*LocalSigma, error) {
+func PPOBTASI(c *comm.Comm, f *DistFactor) (sig *LocalSigma, err error) {
+	// Same abort contract as PPOBTAF/PPOBTAS: a communication fault returns
+	// a wrapped error instead of wedging the rank, with the recycled Σ
+	// storage left attached to the factor for the retry.
+	defer func() {
+		if r := recover(); r != nil {
+			fe := comm.FaultOf(r)
+			if fe == nil {
+				panic(r)
+			}
+			sig = nil
+			err = fmt.Errorf("bta: distributed selected inversion aborted: %w", fe)
+		}
+	}()
 	a := f.a
 	out := f.sigmaStorage()
 	if f.p == 1 {

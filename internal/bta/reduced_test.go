@@ -284,3 +284,71 @@ func TestReducedEngineAllocFree(t *testing.T) {
 		}
 	}
 }
+
+// TestReducedEnginePipelinedRecoveryAllocFree extends the non-SPD recovery
+// pin to the recursive pipelined engine (depth ≥ 1 + pipeline on): the
+// failure/recovery cycles must keep the construction-time storage exactly
+// (fill chains neither grow nor leak), and once warmed through failures a
+// recovered Refactorize + SelectedInversionInto cycle is allocation-free —
+// a failed factorization cannot poison the scratch into reallocating.
+func TestReducedEnginePipelinedRecoveryAllocFree(t *testing.T) {
+	if dense.RaceEnabled {
+		t.Skip("race-mode alloc counts are meaningless")
+	}
+	prev := dense.SetMaxWorkers(1)
+	defer dense.SetMaxWorkers(prev)
+	rng := rand.New(rand.NewSource(86))
+	const n, b, a = 23, 3, 2
+	good := randBTA(rng, n, b, a)
+	bad := good.Clone()
+	bad.Diag[11].Set(0, 0, -5)
+	badTip := good.Clone()
+	badTip.Tip.Set(0, 0, -5)
+
+	pf, err := NewParallelFactorOpts(n, b, a, ParallelOptions{
+		Partitions: 5,
+		Reduced:    ReducedOptions{Depth: 1, Crossover: 4, Pipeline: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := NewMatrix(n, b, a)
+	chainLens := make([]int, len(pf.ps))
+	for r, ps := range pf.ps {
+		chainLens[r] = len(ps.chain)
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		if err := pf.Refactorize(bad); err == nil {
+			t.Fatal("non-SPD interior must fail to factorize")
+		}
+		if err := pf.Refactorize(badTip); err == nil {
+			t.Fatal("non-SPD reduced system must fail to factorize")
+		}
+		if err := pf.Refactorize(good); err != nil {
+			t.Fatalf("cycle %d: recovery refactorize: %v", cycle, err)
+		}
+		if err := pf.SelectedInversionInto(sig); err != nil {
+			t.Fatal(err)
+		}
+		for r, ps := range pf.ps {
+			if len(ps.chain) != chainLens[r] {
+				t.Fatalf("cycle %d: partition %d chain length changed %d → %d",
+					cycle, r, chainLens[r], len(ps.chain))
+			}
+			if ps.chainUsed > len(ps.chain) {
+				t.Fatalf("cycle %d: partition %d chain overrun", cycle, r)
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := pf.Refactorize(good); err != nil {
+			t.Fatal(err)
+		}
+		if err := pf.SelectedInversionInto(sig); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("recovered cycle allocates %.1f objects per run, want 0", allocs)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -71,6 +72,8 @@ type Stats struct {
 	Ranks []RankStats
 	// FinalClocks holds each rank's virtual clock at exit.
 	FinalClocks []float64
+	// Killed lists the world ranks a RunPlan fault plan killed on schedule.
+	Killed []int
 }
 
 // Makespan returns the simulated runtime: the maximum final clock.
@@ -129,9 +132,11 @@ type message struct {
 }
 
 type mailbox struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	q    []message
+	mu    sync.Mutex
+	cond  *sync.Cond
+	q     []message
+	sent  int64 // per-route send sequence (fault-plan determinism)
+	timed int   // receivers waiting with a virtual-time deadline
 }
 
 func newMailbox() *mailbox {
@@ -157,6 +162,33 @@ type World struct {
 	commIDMu   sync.Mutex
 	nextCommID int64
 	interned   map[string]*commShared
+	comms      []*commShared // registry for failure wakeups
+
+	// Fault-tolerance state (see fault.go).
+	plan         *FaultPlan
+	ops          []int64 // per-rank comm-op counts (each touched by its own goroutine)
+	deadMu       sync.Mutex
+	dead         []bool
+	anyDead      atomic.Bool
+	epochMu      sync.Mutex
+	revoked      atomic.Int64 // highest revoked shrink epoch (-1 = none)
+	deadSnap     map[int][]bool
+	timedWaiters atomic.Int32
+}
+
+func newWorld(p int, mach Machine) *World {
+	w := &World{
+		size:      p,
+		mach:      mach,
+		mailboxes: make(map[mailKey]*mailbox),
+		clocks:    make([]float64, p),
+		stats:     make([]RankStats, p),
+		ops:       make([]int64, p),
+		dead:      make([]bool, p),
+		deadSnap:  make(map[int][]bool),
+	}
+	w.revoked.Store(-1)
+	return w
 }
 
 // Run executes body as an SPMD program over p ranks on the given machine and
@@ -164,15 +196,9 @@ type World struct {
 // by p goroutines (each receives its own *Comm).
 func Run(p int, mach Machine, body func(c *Comm)) Stats {
 	if p < 1 {
-		panic(fmt.Sprintf("comm: world size %d < 1", p))
+		panic(&CommError{Op: "run", Rank: -1, Tag: -1, Msg: fmt.Sprintf("world size %d < 1", p)})
 	}
-	w := &World{
-		size:      p,
-		mach:      mach,
-		mailboxes: make(map[mailKey]*mailbox),
-		clocks:    make([]float64, p),
-		stats:     make([]RankStats, p),
-	}
+	w := newWorld(p, mach)
 	world := w.newComm(identityMembers(p))
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
@@ -199,15 +225,18 @@ type commShared struct {
 	id      int64
 	world   *World
 	members []int // world ranks, index = comm rank
+	epoch   int   // shrink epoch: bumped by Shrink, inherited by Split
 
-	collMu   sync.Mutex
-	collCond *sync.Cond
-	collGen  int64
-	collCnt  int
-	collBuf  [][]float64
-	collClk  []float64
-	collOut  [][]float64
-	collT    float64
+	collMu     sync.Mutex
+	collCond   *sync.Cond
+	collGen    int64
+	collCnt    int
+	collBuf    [][]float64
+	collClk    []float64
+	collOut    [][]float64
+	collT      float64
+	collErr    error // fault raised by a reduce, published to the generation
+	collErrGen int64
 
 	useCount int // split-interning bookkeeping (guarded by world.commIDMu)
 }
@@ -215,7 +244,7 @@ type commShared struct {
 func (w *World) newComm(members []int) *commShared {
 	w.commIDMu.Lock()
 	defer w.commIDMu.Unlock()
-	return w.newCommLocked(members)
+	return w.newCommLocked(members, 0)
 }
 
 func (cs *commShared) forRank(worldRank int) *Comm {
@@ -227,7 +256,8 @@ func (cs *commShared) forRank(worldRank int) *Comm {
 		}
 	}
 	if idx < 0 {
-		panic("comm: rank not a member of communicator")
+		panic(&CommError{Op: "forRank", Rank: -1, Tag: -1,
+			Msg: fmt.Sprintf("world rank %d is not a member of the communicator", worldRank)})
 	}
 	return &Comm{shared: cs, rank: idx, worldRank: worldRank}
 }
@@ -274,18 +304,23 @@ func (c *Comm) addClock(dt float64) {
 
 // Compute runs f under the world's compute lock, measures its wall time and
 // charges it to this rank's virtual clock. f must not call communication
-// primitives (doing so would deadlock the compute lock).
+// primitives (doing so would deadlock the compute lock). The lock is
+// released even when f panics, so one rank's failure cannot wedge the
+// world's compute lane.
 func (c *Comm) Compute(f func()) {
 	w := c.shared.world
-	w.computeMu.Lock()
-	t0 := time.Now()
-	f()
-	dt := time.Since(t0).Seconds()
-	w.computeMu.Unlock()
+	dt := func() float64 {
+		w.computeMu.Lock()
+		defer w.computeMu.Unlock()
+		t0 := time.Now()
+		f()
+		return time.Since(t0).Seconds()
+	}()
 	c.addClock(dt)
 	w.clockMu.Lock()
 	w.stats[c.worldRank].ComputeSeconds += dt
 	w.clockMu.Unlock()
+	w.wakeTimed()
 }
 
 // Measure runs f under the world's compute lock and returns its wall time
@@ -298,11 +333,10 @@ func (c *Comm) Compute(f func()) {
 func (c *Comm) Measure(f func()) float64 {
 	w := c.shared.world
 	w.computeMu.Lock()
+	defer w.computeMu.Unlock()
 	t0 := time.Now()
 	f()
-	dt := time.Since(t0).Seconds()
-	w.computeMu.Unlock()
-	return dt
+	return time.Since(t0).Seconds()
 }
 
 // Elapse charges modeled seconds of compute to this rank without running
@@ -313,6 +347,7 @@ func (c *Comm) Elapse(seconds float64) {
 	w.clockMu.Lock()
 	w.stats[c.worldRank].ComputeSeconds += seconds
 	w.clockMu.Unlock()
+	w.wakeTimed()
 }
 
 func (c *Comm) mailbox(src, dst, tag int) *mailbox {
@@ -330,11 +365,20 @@ func (c *Comm) mailbox(src, dst, tag int) *mailbox {
 
 // Send transmits data to rank dst (comm-local) with the given tag. The send
 // is buffered (eager); the sender is charged the message injection cost.
+// Sending to a dead rank or on a revoked communicator panics with the typed
+// fault (recover with Catch/FaultOf).
 func (c *Comm) Send(dst, tag int, data []float64) {
 	if dst < 0 || dst >= c.Size() {
-		panic(fmt.Sprintf("comm: send to rank %d outside communicator of size %d", dst, c.Size()))
+		panic(&CommError{Op: "send", Rank: c.rank, Tag: tag,
+			Msg: fmt.Sprintf("destination rank %d outside communicator of size %d", dst, c.Size())})
 	}
+	c.commOp("send")
+	c.checkLive("send")
 	w := c.shared.world
+	dstWorld := c.shared.members[dst]
+	if w.isDead(dstWorld) {
+		panic(&RankFailure{Rank: dstWorld, Op: "send", Tag: tag})
+	}
 	cost := w.mach.p2pCost(len(data))
 	c.addClock(w.mach.Latency) // injection overhead
 	w.clockMu.Lock()
@@ -346,28 +390,37 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 	mb := c.mailbox(c.rank, dst, tag)
 	cp := append([]float64(nil), data...)
 	mb.mu.Lock()
+	mb.sent++
+	if p := w.plan; p != nil {
+		drop, delay, corrupt, elem := p.decide(c.worldRank, dstWorld, tag, mb.sent)
+		if drop {
+			mb.mu.Unlock()
+			w.wakeTimed()
+			return
+		}
+		if corrupt && len(cp) > 0 {
+			cp[int(elem%uint64(len(cp)))] = math.NaN()
+		}
+		if delay {
+			sendClock += p.DelaySeconds
+		}
+	}
 	mb.q = append(mb.q, message{data: cp, sendClock: sendClock})
 	mb.cond.Broadcast()
 	mb.mu.Unlock()
+	w.wakeTimed()
 }
 
 // Recv blocks until a message from src with the given tag arrives and
 // returns its payload. The receiver's clock advances to at least the
-// message's arrival time.
+// message's arrival time. When src has died or the communicator was
+// revoked, Recv panics with the typed fault; RecvErr returns it instead.
 func (c *Comm) Recv(src, tag int) []float64 {
-	if src < 0 || src >= c.Size() {
-		panic(fmt.Sprintf("comm: recv from rank %d outside communicator of size %d", src, c.Size()))
+	out, err := c.recvCore(src, tag, math.Inf(1))
+	if err != nil {
+		panic(err)
 	}
-	mb := c.mailbox(src, c.rank, tag)
-	mb.mu.Lock()
-	for len(mb.q) == 0 {
-		mb.cond.Wait()
-	}
-	msg := mb.q[0]
-	mb.q = mb.q[1:]
-	mb.mu.Unlock()
-	c.setClock(msg.sendClock)
-	return msg.data
+	return out
 }
 
 // TryRecv returns (payload, true) when a matching message is already queued
@@ -375,13 +428,15 @@ func (c *Comm) Recv(src, tag int) []float64 {
 func (c *Comm) TryRecv(src, tag int) ([]float64, bool) {
 	mb := c.mailbox(src, c.rank, tag)
 	mb.mu.Lock()
-	defer mb.mu.Unlock()
 	if len(mb.q) == 0 {
+		mb.mu.Unlock()
 		return nil, false
 	}
 	msg := mb.q[0]
 	mb.q = mb.q[1:]
+	mb.mu.Unlock()
 	c.setClock(msg.sendClock)
+	c.shared.world.wakeTimed()
 	return msg.data, true
 }
 
@@ -389,7 +444,14 @@ func (c *Comm) TryRecv(src, tag int) ([]float64, bool) {
 // contribution; the last arrival computes the outputs for all members via
 // reduce and the synchronized clock; everyone leaves with its output and
 // clock = t_sync. words is the per-rank message size used for cost modeling.
+//
+// Failure handling: a dead member or a revoked communicator makes the
+// collective fail on every member with a typed fault panic (each member
+// withdraws its own contribution, so the communicator state stays
+// consistent). A reduce that itself raises a fault (length mismatch) is
+// published to every member of the generation via collErr.
 func (c *Comm) collective(contrib []float64, words int, reduce func(bufs [][]float64) [][]float64) []float64 {
+	c.commOp("collective")
 	cs := c.shared
 	w := cs.world
 	n := len(cs.members)
@@ -397,10 +459,15 @@ func (c *Comm) collective(contrib []float64, words int, reduce func(bufs [][]flo
 		out := reduce([][]float64{contrib})
 		return out[0]
 	}
+	c.checkLive("collective")
+	if r := cs.deadMember(); r >= 0 {
+		panic(&RankFailure{Rank: r, Op: "collective", Tag: -1})
+	}
+	clk := c.Clock()
 	cs.collMu.Lock()
 	myGen := cs.collGen
 	cs.collBuf[c.rank] = contrib
-	cs.collClk[c.rank] = c.Clock()
+	cs.collClk[c.rank] = clk
 	cs.collCnt++
 	if cs.collCnt == n {
 		var tmax float64
@@ -410,21 +477,85 @@ func (c *Comm) collective(contrib []float64, words int, reduce func(bufs [][]flo
 			}
 		}
 		cs.collT = tmax + w.mach.collCost(n, words)
-		outs := reduce(cs.collBuf)
-		copy(cs.collOut, outs)
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					// Publish the fault to every waiter of this generation,
+					// reset the deposit state, and re-raise locally.
+					fe := FaultOf(rec)
+					if fe == nil {
+						fe = &CommError{Op: "collective", Rank: c.rank, Tag: -1,
+							Msg: fmt.Sprintf("reduce panicked: %v", rec)}
+					}
+					cs.collErr = fe
+					cs.collErrGen = myGen
+					for i := range cs.collBuf {
+						cs.collBuf[i] = nil
+					}
+					cs.collCnt = 0
+					cs.collGen++
+					cs.collCond.Broadcast()
+					cs.collMu.Unlock()
+					panic(fe)
+				}
+			}()
+			outs := reduce(cs.collBuf)
+			copy(cs.collOut, outs)
+		}()
 		cs.collCnt = 0
 		cs.collGen++
 		cs.collCond.Broadcast()
 	} else {
 		for cs.collGen == myGen {
+			if w.revokedAtLeast(cs.epoch) {
+				cs.withdrawLocked(c.rank)
+				cs.collMu.Unlock()
+				panic(&RevokedError{Epoch: cs.epoch})
+			}
+			if r := cs.deadMember(); r >= 0 {
+				cs.withdrawLocked(c.rank)
+				cs.collMu.Unlock()
+				panic(&RankFailure{Rank: r, Op: "collective", Tag: -1})
+			}
 			cs.collCond.Wait()
+		}
+		if cs.collErr != nil && cs.collErrGen == myGen {
+			err := cs.collErr
+			cs.collMu.Unlock()
+			panic(err)
 		}
 	}
 	out := cs.collOut[c.rank]
 	t := cs.collT
 	cs.collMu.Unlock()
 	c.setClock(t)
+	w.wakeTimed()
 	return out
+}
+
+// withdrawLocked removes this rank's pending contribution from an
+// incomplete collective generation (called with collMu held, on the way out
+// of a failing collective; every waiter has deposited exactly once).
+func (cs *commShared) withdrawLocked(rank int) {
+	cs.collBuf[rank] = nil
+	cs.collCnt--
+}
+
+// deadMember returns the world rank of a dead member of this communicator,
+// or -1 when all members are alive.
+func (cs *commShared) deadMember() int {
+	w := cs.world
+	if !w.anyDead.Load() {
+		return -1
+	}
+	w.deadMu.Lock()
+	defer w.deadMu.Unlock()
+	for _, m := range cs.members {
+		if w.dead[m] {
+			return m
+		}
+	}
+	return -1
 }
 
 // Barrier synchronizes all ranks of the communicator (clocks included).
@@ -439,9 +570,10 @@ func (c *Comm) Barrier() {
 func (c *Comm) AllReduceSum(data []float64) []float64 {
 	return c.collective(data, len(data), func(bufs [][]float64) [][]float64 {
 		sum := make([]float64, len(bufs[0]))
-		for _, b := range bufs {
+		for r, b := range bufs {
 			if len(b) != len(sum) {
-				panic("comm: AllReduceSum length mismatch across ranks")
+				panic(&CommError{Op: "AllReduceSum", Rank: r, Tag: -1,
+					Msg: fmt.Sprintf("length mismatch across ranks: rank %d contributed %d words, rank 0 contributed %d", r, len(b), len(sum))})
 			}
 			for i, v := range b {
 				sum[i] += v
@@ -518,7 +650,8 @@ func (c *Comm) Gather(root int, data []float64) [][]float64 {
 	}
 	cnt := int(flat[0])
 	if cnt != n {
-		panic("comm: gather internal count mismatch")
+		panic(&CommError{Op: "Gather", Rank: c.rank, Tag: -1,
+			Msg: fmt.Sprintf("internal count mismatch: encoded %d contributions for a communicator of size %d", cnt, n)})
 	}
 	lens := make([]int, n)
 	for i := 0; i < n; i++ {
@@ -595,19 +728,19 @@ func (c *Comm) Split(color, key int) *Comm {
 	// All ranks with the same color must agree on the new communicator's
 	// identity. Derive it deterministically through a per-world registry
 	// keyed by (parent comm, generation, color).
-	cs := c.shared.world.internComm(c.shared.id, color, members)
+	ikey := fmt.Sprintf("%d/%d:%v", c.shared.id, color, members)
+	cs := c.shared.world.internComm(ikey, members, c.shared.epoch)
 	return cs.forRank(c.worldRank)
 }
 
-// internComm returns a single commShared instance per (parent, color,
-// member-set) so that all ranks of the split share coordinator state.
-func (w *World) internComm(parent int64, color int, members []int) *commShared {
+// internComm returns a single commShared instance per key so that all ranks
+// of a Split or Shrink share coordinator state.
+func (w *World) internComm(key string, members []int, epoch int) *commShared {
 	w.commIDMu.Lock()
 	defer w.commIDMu.Unlock()
 	if w.interned == nil {
 		w.interned = make(map[string]*commShared)
 	}
-	key := fmt.Sprintf("%d/%d:%v", parent, color, members)
 	if cs, ok := w.interned[key]; ok {
 		// A communicator is consumed once per Split generation; bump the
 		// use-count and recycle.
@@ -617,7 +750,7 @@ func (w *World) internComm(parent int64, color int, members []int) *commShared {
 		}
 		return cs
 	}
-	cs := w.newCommLocked(members)
+	cs := w.newCommLocked(members, epoch)
 	cs.useCount = 1
 	if cs.useCount == len(members) {
 		// singleton communicator: nothing further to coordinate
@@ -627,17 +760,19 @@ func (w *World) internComm(parent int64, color int, members []int) *commShared {
 	return cs
 }
 
-func (w *World) newCommLocked(members []int) *commShared {
+func (w *World) newCommLocked(members []int, epoch int) *commShared {
 	id := w.nextCommID
 	w.nextCommID++
 	cs := &commShared{
 		id:      id,
 		world:   w,
 		members: members,
+		epoch:   epoch,
 		collBuf: make([][]float64, len(members)),
 		collClk: make([]float64, len(members)),
 		collOut: make([][]float64, len(members)),
 	}
 	cs.collCond = sync.NewCond(&cs.collMu)
+	w.comms = append(w.comms, cs)
 	return cs
 }

@@ -1,0 +1,274 @@
+package comm
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+)
+
+// Fault decisions must be a pure function of (seed, route, sequence) — the
+// same plan replayed over any goroutine schedule injects the same faults.
+func TestFaultPlanDeterministic(t *testing.T) {
+	p := &FaultPlan{Seed: 42, DropProb: 0.3, DelayProb: 0.3, CorruptProb: 0.3}
+	type dec struct {
+		drop, delay, corrupt bool
+		elem                 uint64
+	}
+	ref := make([]dec, 0, 64)
+	for seq := int64(0); seq < 64; seq++ {
+		d1, d2, d3, e := p.decide(1, 2, 7, seq)
+		ref = append(ref, dec{d1, d2, d3, e})
+	}
+	for seq := int64(0); seq < 64; seq++ {
+		d1, d2, d3, e := p.decide(1, 2, 7, seq)
+		if (dec{d1, d2, d3, e}) != ref[seq] {
+			t.Fatalf("decision for seq %d not reproducible", seq)
+		}
+	}
+	// Distinct routes draw from distinct hash streams.
+	same := 0
+	for seq := int64(0); seq < 64; seq++ {
+		d1, d2, d3, e := p.decide(2, 1, 7, seq)
+		if (dec{d1, d2, d3, e}) == ref[seq] {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("reversed route produced identical decisions — route not hashed")
+	}
+}
+
+// A scheduled kill surfaces to every surviving rank as a typed RankFailure
+// at their next collective, is recorded in Stats.Killed, and — being the
+// experiment — is excluded from RunPlan's returned error.
+func TestRunPlanScheduledKillSurfacesAsRankFailure(t *testing.T) {
+	plan := &FaultPlan{Kill: map[int]int{2: 1}}
+	faults := make([]error, 4)
+	st, err := RunPlan(4, DefaultMachine(), plan, func(c *Comm) error {
+		faults[c.Rank()] = Catch(func() {
+			c.AllReduceSum([]float64{1})
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scheduled kill leaked into the run error: %v", err)
+	}
+	if len(st.Killed) != 1 || st.Killed[0] != 2 {
+		t.Fatalf("Stats.Killed = %v, want [2]", st.Killed)
+	}
+	for r, fe := range faults {
+		if r == 2 {
+			continue
+		}
+		if !IsRankFailure(fe) {
+			t.Fatalf("rank %d: fault = %v, want RankFailure", r, fe)
+		}
+		// The named rank is whichever gone member the waiter observed first:
+		// the killed rank, or a survivor that already failed out and exited.
+		var rf *RankFailure
+		if errors.As(fe, &rf) && rf.Rank == r {
+			t.Fatalf("rank %d observed itself as failed", r)
+		}
+	}
+}
+
+// Shrink-and-retry: after a kill, every survivor revokes the wounded world,
+// shrinks onto the live members with compacted ranks, and completes the
+// collective that failed.
+func TestShrinkAfterKill(t *testing.T) {
+	plan := &FaultPlan{Kill: map[int]int{1: 1}}
+	sums := make([]float64, 4)
+	ranks := make([]int, 4)
+	for i := range ranks {
+		ranks[i] = -1
+	}
+	_, err := RunPlan(4, DefaultMachine(), plan, func(c *Comm) error {
+		fe := Catch(func() { c.AllReduceSum([]float64{1}) })
+		if fe == nil {
+			return errors.New("collective with a dead member succeeded")
+		}
+		if !Retryable(fe) {
+			return fe
+		}
+		nc := c.Shrink()
+		if nc.Size() != 3 {
+			return errors.New("shrunk world has wrong size")
+		}
+		ranks[c.Rank()] = nc.Rank()
+		sums[c.Rank()] = nc.AllReduceSum([]float64{1})[0]
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int{0, 2, 3} {
+		if sums[r] != 3 {
+			t.Fatalf("rank %d: shrunk AllReduceSum = %v, want 3", r, sums[r])
+		}
+	}
+	got := []int{ranks[0], ranks[2], ranks[3]}
+	sort.Ints(got)
+	if got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("shrunk ranks not compacted in order: %v", ranks)
+	}
+}
+
+// Operations on a revoked communicator fail with RevokedError on every
+// member — including members with no route to the failed rank.
+func TestRevokeUnblocksUnrelatedReceiver(t *testing.T) {
+	_, err := RunErr(3, DefaultMachine(), func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			// Waits for a message rank 1 will never send; must be freed by
+			// rank 2's revocation rather than deadlock.
+			_, fe := c.RecvErr(1, 9)
+			if !IsRevoked(fe) && !IsRankFailure(fe) {
+				return errors.New("blocked receiver not released by revoke")
+			}
+		case 1:
+			// Blocks forever on rank 2's never-sent message until revocation.
+			_, fe := c.RecvErr(2, 8)
+			if !IsRevoked(fe) && !IsRankFailure(fe) {
+				return errors.New("blocked receiver not released by revoke")
+			}
+		case 2:
+			c.Revoke()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// RecvTimeout is virtual-time deterministic: it delivers a message whose
+// send clock is within the deadline, and times out — advancing the receiver
+// to the deadline — once the sender's clock passed it without sending.
+func TestRecvTimeoutVirtualTime(t *testing.T) {
+	_, err := RunErr(2, DefaultMachine(), func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []float64{42})
+			c.Elapse(5) // provably past the deadline of the second receive
+			c.Barrier()
+			return nil
+		}
+		data, fe := c.RecvTimeout(0, 1, 1.0)
+		if fe != nil || data[0] != 42 {
+			return errors.New("in-deadline message not delivered")
+		}
+		_, fe = c.RecvTimeout(0, 2, 1.0)
+		if !IsTimeout(fe) {
+			return errors.New("expired deadline did not time out")
+		}
+		var te *TimeoutError
+		errors.As(fe, &te)
+		if c.Clock() < te.Deadline {
+			return errors.New("timeout did not advance the receiver clock to the deadline")
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A dropped message is survivable through RecvTimeout; the sender is still
+// charged, so the clock model stays consistent.
+func TestDroppedMessageTimesOut(t *testing.T) {
+	plan := &FaultPlan{Seed: 1, DropProb: 1}
+	_, err := RunPlan(2, DefaultMachine(), plan, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 3, []float64{1, 2, 3})
+			c.Elapse(5)
+			c.Barrier()
+			return nil
+		}
+		_, fe := c.RecvTimeout(0, 3, 1.0)
+		if !IsTimeout(fe) {
+			return errors.New("dropped message should time out, not deliver")
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Corruption pokes exactly one NaN into the payload — the detectable fault
+// the numerical layers quarantine with their finite checks.
+func TestCorruptionInjectsNaN(t *testing.T) {
+	plan := &FaultPlan{Seed: 2, CorruptProb: 1}
+	_, err := RunPlan(2, DefaultMachine(), plan, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 4, []float64{1, 2, 3, 4})
+			return nil
+		}
+		data := c.Recv(0, 4)
+		nan := 0
+		for _, v := range data {
+			if math.IsNaN(v) {
+				nan++
+			}
+		}
+		if nan != 1 {
+			return errors.New("corrupted payload should carry exactly one NaN")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The collectives' misuse panics now carry typed, contextful CommError
+// values that Catch converts into errors.
+func TestCollectiveMismatchIsTypedError(t *testing.T) {
+	_, err := RunErr(2, DefaultMachine(), func(c *Comm) error {
+		return Catch(func() {
+			c.AllReduceSum(make([]float64, 1+c.Rank()))
+		})
+	})
+	var ce *CommError
+	if !errors.As(err, &ce) {
+		t.Fatalf("length mismatch error = %v, want *CommError", err)
+	}
+	if ce.Op != "AllReduceSum" {
+		t.Fatalf("CommError.Op = %q, want AllReduceSum", ce.Op)
+	}
+}
+
+// A rank that exits its body while peers still wait on it must surface as a
+// RankFailure on the peers, not a deadlock.
+func TestEarlyExitMarksRankDead(t *testing.T) {
+	_, err := RunErr(2, DefaultMachine(), func(c *Comm) error {
+		if c.Rank() == 0 {
+			return nil // exits immediately, sends nothing
+		}
+		_, fe := c.RecvErr(0, 6)
+		if !IsRankFailure(fe) {
+			return errors.New("receive from an exited rank should fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A panic inside Compute must not deadlock the world: the compute lock is
+// released on unwind and the fault reaches RunErr's per-rank recovery.
+func TestComputePanicDoesNotDeadlock(t *testing.T) {
+	_, err := RunErr(2, DefaultMachine(), func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Compute(func() { panic("boom") })
+		}
+		c.Compute(func() {}) // must still acquire the compute lock
+		return nil
+	})
+	if err == nil {
+		t.Fatal("escaped compute panic should be reported")
+	}
+}

@@ -14,11 +14,20 @@ type OptOptions struct {
 	GradStep float64 // central-difference step h (Eq. 10)
 	GradTol  float64 // ‖∇F‖∞ convergence threshold
 	StepTol  float64 // minimal line-search step before giving up
+	// MaxEvalRetries bounds how often an undefined finite-difference
+	// gradient (a stencil arm quarantined as +Inf/NaN) is retried with a
+	// shrunk step before the search gives up with ErrGradientUndefined
+	// (0 = fail on the first undefined gradient, the historical behavior).
+	MaxEvalRetries int
+	// RetryBackoff is the stencil-shrink factor of each retry (default 0.5):
+	// a smaller h pulls the stencil arms back inside the feasible region.
+	RetryBackoff float64
 }
 
 // DefaultOptOptions mirrors the tolerances R-INLA uses for its BFGS stage.
 func DefaultOptOptions() OptOptions {
-	return OptOptions{MaxIter: 60, GradStep: 1e-3, GradTol: 5e-3, StepTol: 1e-10}
+	return OptOptions{MaxIter: 60, GradStep: 1e-3, GradTol: 5e-3, StepTol: 1e-10,
+		MaxEvalRetries: 2, RetryBackoff: 0.5}
 }
 
 // OptResult reports the outcome of the mode search.
@@ -122,6 +131,32 @@ func newBFGSState(theta0 []float64) *bfgsState {
 	return st
 }
 
+// evalGradient evaluates the central-difference gradient at x into g via
+// the evaluator, shrinking the stencil step and retrying when an arm lands
+// on an infeasible (quarantined) point, per the OptOptions retry policy.
+// It returns the batched center value F(x), the number of evaluations
+// spent, and whether the resulting gradient is finite.
+func evalGradient(e Evaluator, st *bfgsState, x, g []float64, opt OptOptions) (f float64, nevals int, ok bool) {
+	h := opt.GradStep
+	backoff := opt.RetryBackoff
+	if backoff <= 0 || backoff >= 1 {
+		backoff = 0.5
+	}
+	for attempt := 0; ; attempt++ {
+		fillGradientPoints(st.pts, x, h)
+		vals := e.EvalBatch(st.pts)
+		nevals += len(vals)
+		f = gradientFromBatchInto(g, vals, h)
+		if finiteVec(g) {
+			return f, nevals, true
+		}
+		if attempt >= opt.MaxEvalRetries {
+			return f, nevals, false
+		}
+		h *= backoff
+	}
+}
+
 // searchPoint fills xNew = x + step·p.
 func searchPoint(xNew, x, p []float64, step float64) {
 	for i := range xNew {
@@ -175,18 +210,23 @@ func Minimize(e Evaluator, theta0 []float64, opt OptOptions) (*OptResult, error)
 		return res
 	}
 
-	fillGradientPoints(st.pts, st.x, opt.GradStep)
-	vals := e.EvalBatch(st.pts)
-	f := gradientFromBatchInto(st.g, vals, opt.GradStep)
+	f, nevals, gradOK := evalGradient(e, st, st.x, st.g, opt)
 	if math.IsInf(f, 1) {
 		return nil, fmt.Errorf("inla: objective is infeasible at the initial point")
 	}
-	res := &OptResult{FEvals: len(vals), Trace: []float64{f}}
+	res := &OptResult{FEvals: nevals, Trace: []float64{f}}
+
+	gradientUndefined := func() error {
+		if opt.MaxEvalRetries > 0 {
+			return fmt.Errorf("%w (after %d step-backoff retries)", ErrGradientUndefined, opt.MaxEvalRetries)
+		}
+		return ErrGradientUndefined
+	}
 
 	for iter := 0; iter < opt.MaxIter; iter++ {
 		res.Iterations = iter + 1
-		if !finiteVec(st.g) {
-			return finish(res, f), ErrGradientUndefined
+		if !gradOK || !finiteVec(st.g) {
+			return finish(res, f), gradientUndefined()
 		}
 		if infNorm(st.g) < opt.GradTol {
 			res.Converged = true
@@ -221,10 +261,8 @@ func Minimize(e Evaluator, theta0 []float64, opt OptOptions) (*OptResult, error)
 		}
 		// New gradient (parallel batch). Prefer the batched center value
 		// (identical point) for consistency.
-		fillGradientPoints(st.pts, st.xNew, opt.GradStep)
-		vals = e.EvalBatch(st.pts)
-		res.FEvals += len(vals)
-		fNew = gradientFromBatchInto(st.gNew, vals, opt.GradStep)
+		fNew, nevals, gradOK = evalGradient(e, st, st.xNew, st.gNew, opt)
+		res.FEvals += nevals
 
 		for i := range st.s {
 			st.s[i] = st.xNew[i] - st.x[i]

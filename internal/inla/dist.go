@@ -298,6 +298,15 @@ type DistConfig struct {
 	// O(n·b²) densification, charged undistributed — the INLA_DIST-like
 	// assembly behaviour (ablation X1).
 	NaiveMapping bool
+	// Faults injects a deterministic communication-fault plan (message
+	// drops/delays/corruption, scheduled rank deaths) into the run; nil runs
+	// fault-free. Scheduled deaths are recovered by shrinking the world onto
+	// the survivors and retrying the interrupted iteration.
+	Faults *comm.FaultPlan
+	// MaxShrinks bounds how many shrink-and-retry recoveries the run
+	// attempts before giving up (0 = World−1, i.e. down to a single rank;
+	// negative = fail on the first fault without recovering).
+	MaxShrinks int
 }
 
 // DistReport aggregates a distributed run.
@@ -309,6 +318,10 @@ type DistReport struct {
 	Theta     []float64
 	FTrace    []float64
 	SolverSec float64 // max over ranks of solver-attributed compute
+	// Shrinks counts the shrink-and-retry recoveries the run performed;
+	// Survivors is the world size that finished it (World − ranks lost).
+	Shrinks   int
+	Survivors int
 }
 
 // RunDistributed executes cfg.Iterations quasi-Newton iterations of the
@@ -337,13 +350,17 @@ func RunDistributed(m *model.Model, prior Prior, theta0 []float64, cfg DistConfi
 	nt := m.Dims.Nt
 
 	_, bBlk, aBlk := m.Dims.BTAShape()
-	plan := MakePlan(cfg.World, nfeval, qcBytes, cfg.MemCapBytes, nt, bBlk, aBlk, cfg.PartitionsPerRank)
-	plan.ReduceDepth = cfg.ReduceDepth
-	plan.ReduceCrossover = cfg.ReduceCrossover
-	plan.PipelineReduced = cfg.PipelineReduced
-	if cfg.DisableS2 {
-		plan.UseS2 = false
+	planFor := func(world int) Plan {
+		p := MakePlan(world, nfeval, qcBytes, cfg.MemCapBytes, nt, bBlk, aBlk, cfg.PartitionsPerRank)
+		p.ReduceDepth = cfg.ReduceDepth
+		p.ReduceCrossover = cfg.ReduceCrossover
+		p.PipelineReduced = cfg.PipelineReduced
+		if cfg.DisableS2 {
+			p.UseS2 = false
+		}
+		return p
 	}
+	plan := planFor(cfg.World)
 	lb := cfg.LB
 	if lb < 1 {
 		lb = 1
@@ -352,70 +369,123 @@ func RunDistributed(m *model.Model, prior Prior, theta0 []float64, cfg DistConfi
 	if iterations < 1 {
 		iterations = 1
 	}
+	maxShrinks := cfg.MaxShrinks
+	if maxShrinks == 0 {
+		maxShrinks = cfg.World - 1
+	} else if maxShrinks < 0 {
+		maxShrinks = 0
+	}
 
-	shared := make([]*sharedState, plan.Groups)
-	for g := range shared {
-		shared[g] = newSharedState()
+	// Shared-assembly registries keyed by world size: every shrink rebuilds
+	// the topology over fewer ranks, and world sizes strictly decrease, so
+	// each recovered topology gets its own deduplication state.
+	var statesMu sync.Mutex
+	statesBySize := make(map[int][]*sharedState)
+	getStates := func(size, groups int) []*sharedState {
+		statesMu.Lock()
+		defer statesMu.Unlock()
+		s, ok := statesBySize[size]
+		if !ok {
+			s = make([]*sharedState, groups)
+			for g := range s {
+				s[g] = newSharedState()
+			}
+			statesBySize[size] = s
+		}
+		return s
 	}
 
 	var mu sync.Mutex
-	var runErr error
 	finalTheta := append([]float64(nil), theta0...)
 	var trace []float64
+	shrinksDone, survivors := 0, cfg.World
 
-	st := comm.Run(cfg.World, cfg.Machine, func(c *comm.Comm) {
-		g := plan.GroupOf(c.Rank())
-		group := c.Split(g, c.Rank())
-		state := shared[g]
+	st, runErr := comm.RunPlan(cfg.World, cfg.Machine, cfg.Faults, func(world *comm.Comm) error {
+		wplan := plan
+		g := wplan.GroupOf(world.Rank())
+		group := world.Split(g, world.Rank())
+		state := getStates(world.Size(), wplan.Groups)[g]
 
 		theta := append([]float64(nil), theta0...)
 		grad := make([]float64, d)
 		scr := &groupScratch{}
 		var localTrace []float64
+		shrinks := 0
 		for iter := 0; iter < iterations; iter++ {
-			pts := gradientPoints(theta, 1e-3)
-			vals := make([]float64, len(pts))
-			for i := g; i < len(pts); i += plan.Groups {
-				f, err := evalFobjGroup(group, state, m, prior, pts[i], plan, cfg, lb, scr)
-				if err != nil {
-					f = math.Inf(1)
+			var f0 float64
+			iterErr := comm.Catch(func() {
+				pts := gradientPoints(theta, 1e-3)
+				vals := make([]float64, len(pts))
+				for i := g; i < len(pts); i += wplan.Groups {
+					f, err := evalFobjGroup(group, state, m, prior, pts[i], wplan, cfg, lb, scr)
+					if err != nil {
+						f = math.Inf(1)
+					}
+					if group.Rank() == 0 {
+						vals[i] = f
+					}
 				}
-				if group.Rank() == 0 {
-					vals[i] = f
+				// World-level reduction of the gradient batch (the ⊕ of Fig. 3a).
+				red := world.AllReduceSum(vals)
+				f0 = gradientFromBatchInto(grad, red, 1e-3)
+				world.Barrier()
+			})
+			if iterErr != nil {
+				if !comm.Retryable(iterErr) {
+					return iterErr
 				}
+				if shrinks >= maxShrinks {
+					return fmt.Errorf("inla: shrink budget exhausted after %d recoveries: %w", shrinks, iterErr)
+				}
+				// Shrink-and-retry: revoke the wounded topology, redistribute
+				// the dead ranks' partitions by replanning over the survivors,
+				// and redo the interrupted iteration. Collectives complete
+				// all-or-nothing, so every survivor lands here with the same θ
+				// and the same iteration index.
+				shrinks++
+				world = world.Shrink()
+				wplan = planFor(world.Size())
+				g = wplan.GroupOf(world.Rank())
+				group = world.Split(g, world.Rank())
+				state = getStates(world.Size(), wplan.Groups)[g]
+				scr = &groupScratch{}
+				iter--
+				continue
 			}
-			// World-level reduction of the gradient batch (the ⊕ of Fig. 3a).
-			red := c.AllReduceSum(vals)
-			f0, gvec := gradientFromBatch(red, 1e-3)
-			copy(grad, gvec)
-			localTrace = append(localTrace, f0)
 			// Damped quasi-Newton step from the reduced gradient. The paper's
 			// iteration cost is the 2·dim(θ)+1 parallel evaluations (§IV-D1);
-			// the step itself is negligible bookkeeping on every rank.
+			// the step itself is negligible bookkeeping on every rank. It is
+			// applied only after the whole iteration committed, so a
+			// mid-iteration failure retries from unchanged θ.
+			localTrace = append(localTrace, f0)
 			step := 0.5 / (1 + dense.Nrm2(grad))
 			for i := range theta {
 				theta[i] -= step * grad[i]
 			}
-			c.Barrier()
 		}
-		if c.Rank() == 0 {
+		if world.Rank() == 0 {
 			mu.Lock()
 			copy(finalTheta, theta)
 			trace = localTrace
+			shrinksDone = shrinks
+			survivors = world.Size()
 			mu.Unlock()
 		}
+		return nil
 	})
 
 	if runErr != nil {
 		return nil, runErr
 	}
 	rep := &DistReport{
-		Plan:     plan,
-		Stats:    st,
-		Makespan: st.Makespan(),
-		PerIter:  st.Makespan() / float64(iterations),
-		Theta:    finalTheta,
-		FTrace:   trace,
+		Plan:      plan,
+		Stats:     st,
+		Makespan:  st.Makespan(),
+		PerIter:   st.Makespan() / float64(iterations),
+		Theta:     finalTheta,
+		FTrace:    trace,
+		Shrinks:   shrinksDone,
+		Survivors: survivors,
 	}
 	rep.SolverSec = st.MaxCompute()
 	return rep, nil

@@ -42,6 +42,12 @@ type FitOptions struct {
 	// the eigenvector grid of the mode Hessian (§III-4) instead of the
 	// plug-in at θ* only; requires the Hessian stage.
 	IntegrateHyperGrid bool
+	// MaxEvalRetries / RetryBackoff override the mode search's
+	// quarantined-evaluation retry policy (OptOptions.MaxEvalRetries /
+	// OptOptions.RetryBackoff) when set (> 0); zero keeps whatever Opt
+	// carries.
+	MaxEvalRetries int
+	RetryBackoff   float64
 }
 
 // DefaultFitOptions returns the standard configuration.
@@ -78,6 +84,12 @@ func Fit(m *model.Model, prior Prior, theta0 []float64, opts FitOptions) (*Resul
 
 // fitWith runs the INLA stages on any Evaluator backend.
 func fitWith(e Evaluator, theta0 []float64, opts FitOptions) (*Result, error) {
+	if opts.MaxEvalRetries > 0 {
+		opts.Opt.MaxEvalRetries = opts.MaxEvalRetries
+	}
+	if opts.RetryBackoff > 0 {
+		opts.Opt.RetryBackoff = opts.RetryBackoff
+	}
 	opt, err := Minimize(e, theta0, opts.Opt)
 	if err != nil && opt == nil {
 		return nil, err

@@ -307,6 +307,49 @@ type BTAEvaluator struct {
 	NoPipeline bool
 
 	scratch sync.Pool // *solverScratch, shape-bound to Model
+
+	// Quarantine bookkeeping: failed θ evaluations (infeasible points,
+	// non-SPD beyond the solver's recovery, escaped panics) are absorbed as
+	// +Inf and recorded here instead of crashing the fit.
+	failures    atomic.Int64
+	evalErrMu   sync.Mutex
+	lastEvalErr *EvalError
+}
+
+// EvalError is one quarantined θ evaluation failure: the point, the retry
+// attempt it occurred on (0 for a first evaluation), and the underlying
+// cause. BFGS absorbs quarantined evaluations as +Inf objective values and
+// recovers with step-backoff (OptOptions.MaxEvalRetries/RetryBackoff).
+type EvalError struct {
+	Theta   []float64
+	Attempt int
+	Err     error
+}
+
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("inla: evaluation at θ=%v quarantined (attempt %d): %v", e.Theta, e.Attempt, e.Err)
+}
+
+func (e *EvalError) Unwrap() error { return e.Err }
+
+// quarantine records one failed evaluation.
+func (e *BTAEvaluator) quarantine(theta []float64, err error) {
+	ee := &EvalError{Theta: append([]float64(nil), theta...), Err: err}
+	e.failures.Add(1)
+	e.evalErrMu.Lock()
+	e.lastEvalErr = ee
+	e.evalErrMu.Unlock()
+}
+
+// EvalFailures returns how many evaluations have been quarantined.
+func (e *BTAEvaluator) EvalFailures() int64 { return e.failures.Load() }
+
+// LastEvalError returns the most recently quarantined evaluation (nil when
+// every evaluation so far succeeded).
+func (e *BTAEvaluator) LastEvalError() *EvalError {
+	e.evalErrMu.Lock()
+	defer e.evalErrMu.Unlock()
+	return e.lastEvalErr
 }
 
 func (e *BTAEvaluator) getScratch() *solverScratch {
@@ -375,13 +418,29 @@ func (e *BTAEvaluator) EvalBatch(points [][]float64) []float64 {
 	spec := e.specFor(len(points), e.S2)
 	runBounded(len(points), w, func(i int) {
 		ws := e.getScratch()
-		parts, err := evalFobjScratch(e.Model, e.Prior, points[i], e.S2, spec, ws)
+		var parts FobjParts
+		var err error
+		panicked := true
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					// A solver abort must cost one point, not the process;
+					// the poisoned scratch is dropped, not pooled.
+					err = fmt.Errorf("inla: evaluation panicked: %v", r)
+				}
+			}()
+			parts, err = evalFobjScratch(e.Model, e.Prior, points[i], e.S2, spec, ws)
+			panicked = false
+		}()
 		if err != nil {
+			e.quarantine(points[i], err)
 			out[i] = math.Inf(1)
 		} else {
 			out[i] = -parts.F()
 		}
-		e.scratch.Put(ws) // parts.Mu is dead past this point
+		if !panicked {
+			e.scratch.Put(ws) // parts.Mu is dead past this point
+		}
 	})
 	return out
 }

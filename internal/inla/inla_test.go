@@ -1,6 +1,7 @@
 package inla
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -448,10 +449,15 @@ func TestMinimizeUndefinedGradient(t *testing.T) {
 	// optimizer must not report convergence — it returns the best iterate
 	// with ErrGradientUndefined.
 	res, err := Minimize(&cliffEvaluator{}, []float64{0}, DefaultOptOptions())
-	if err != ErrGradientUndefined {
+	if !errors.Is(err, ErrGradientUndefined) {
 		t.Fatalf("want ErrGradientUndefined, got %v (res=%+v)", err, res)
 	}
 	if res == nil || res.Theta[0] != 0 || res.Converged {
 		t.Fatal("undefined gradient must return the last iterate, unconverged")
+	}
+	// The default policy retries the stencil with a shrunk step before
+	// giving up: 3 attempts × 3 points for the 1-d cliff.
+	if res.FEvals != 9 {
+		t.Fatalf("want 9 evaluations (2 step-backoff retries), got %d", res.FEvals)
 	}
 }

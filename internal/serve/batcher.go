@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +25,11 @@ type pending struct {
 // reached (immediate flush, no waiting) or the window elapses. All queries
 // of a flushed batch go through one Predictor.PredictInto call — one
 // triangular sweep for everything that arrived together.
+//
+// Admission is bounded: the request channel is the queue, and a full queue
+// rejects immediately with ErrOverloaded instead of blocking the handler —
+// under overload the server sheds load (429 + Retry-After) rather than
+// accumulating goroutines.
 type batcher struct {
 	pr         *predict.Predictor
 	window     time.Duration
@@ -31,20 +37,29 @@ type batcher struct {
 	stop       chan struct{}
 	stopOnce   sync.Once
 	workerDone chan struct{}
+	// closeErr is the error requests fail with once shutdown begins. It is
+	// written inside stopOnce before stop closes; readers only load it after
+	// observing stop closed, so the channel close orders the accesses.
+	closeErr error
 
 	// batch statistics (atomics; read by /stats)
 	batches      atomic.Int64
 	batchedQs    atomic.Int64
 	maxBatchSeen atomic.Int64
+	shed         atomic.Int64
 }
 
 // newBatcher starts the worker. window 0 means flush as soon as the
 // channel momentarily drains (minimum latency, still coalescing whatever
-// is already queued).
-func newBatcher(pr *predict.Predictor, window time.Duration) *batcher {
+// is already queued); depth ≤ 0 uses the default admission queue of 64
+// pending requests.
+func newBatcher(pr *predict.Predictor, window time.Duration, depth int) *batcher {
+	if depth <= 0 {
+		depth = 64
+	}
 	b := &batcher{
 		pr: pr, window: window,
-		ch:         make(chan *pending, 64),
+		ch:         make(chan *pending, depth),
 		stop:       make(chan struct{}),
 		workerDone: make(chan struct{}),
 	}
@@ -52,8 +67,15 @@ func newBatcher(pr *predict.Predictor, window time.Duration) *batcher {
 	return b
 }
 
-// do submits a request and blocks until its batch completes.
-func (b *batcher) do(qs []predict.Query) ([]float64, []float64, error) {
+// do submits a request and blocks until its batch completes, the context
+// ends, or the batcher shuts down. A full admission queue fails immediately
+// with ErrOverloaded. A context cancellation abandons the request (the
+// worker still processes it — results land in buffers nobody reads) and
+// returns ctx.Err().
+func (b *batcher) do(ctx context.Context, qs []predict.Query) ([]float64, []float64, error) {
+	if b.stopped() {
+		return nil, nil, b.closeErr
+	}
 	p := &pending{
 		qs:    qs,
 		means: make([]float64, len(qs)),
@@ -63,19 +85,23 @@ func (b *batcher) do(qs []predict.Query) ([]float64, []float64, error) {
 	select {
 	case b.ch <- p:
 	case <-b.stop:
-		return nil, nil, errStopped
+		return nil, nil, b.closeErr
+	default:
+		b.shed.Add(1)
+		return nil, nil, ErrOverloaded
 	}
-	// The send can race shutdown: both cases above may be ready and the
-	// enqueue land in a channel no worker reads anymore. Never wait on done
-	// alone once stop is closed — but prefer a completed result if the
-	// worker did pick the item up.
+	// The send can race shutdown: the enqueue may land in a channel no
+	// worker reads anymore. Never wait on done alone once stop is closed —
+	// but prefer a completed result if the worker did pick the item up.
 	select {
 	case <-p.done:
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
 	case <-b.stop:
 		select {
 		case <-p.done:
 		default:
-			return nil, nil, errStopped
+			return nil, nil, b.closeErr
 		}
 	}
 	return p.means, p.vars, p.err
@@ -83,9 +109,17 @@ func (b *batcher) do(qs []predict.Query) ([]float64, []float64, error) {
 
 // shutdown stops the worker and waits for it to exit, so callers folding
 // the batcher's statistics afterwards see the final flush counted. Queued
-// and subsequent requests fail with errStopped. Safe to call repeatedly.
-func (b *batcher) shutdown() {
-	b.stopOnce.Do(func() { close(b.stop) })
+// and subsequent requests fail with cause (nil = errStopped, the
+// model-unregistered condition; the server drain passes ErrServerClosed).
+// Safe to call repeatedly — the first cause wins.
+func (b *batcher) shutdown(cause error) {
+	b.stopOnce.Do(func() {
+		if cause == nil {
+			cause = errStopped
+		}
+		b.closeErr = cause
+		close(b.stop)
+	})
 	<-b.workerDone
 }
 
@@ -111,10 +145,10 @@ func (b *batcher) run() {
 			return
 		}
 		// Both select cases may have been ready (Go picks randomly): honor
-		// shutdown over work received after stop closed, so the errStopped
+		// shutdown over work received after stop closed, so the close-error
 		// contract is deterministic.
 		if b.stopped() {
-			first.err = errStopped
+			first.err = b.closeErr
 			close(first.done)
 			b.drainFailed()
 			return
@@ -191,7 +225,7 @@ func (b *batcher) drainFailed() {
 	for {
 		select {
 		case p := <-b.ch:
-			p.err = errStopped
+			p.err = b.closeErr
 			close(p.done)
 		default:
 			return

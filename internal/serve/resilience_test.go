@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/dalia-hpc/dalia/internal/mesh"
+	"github.com/dalia-hpc/dalia/internal/predict"
+)
+
+// stalledModel registers a tiny fitted model whose batcher has the given
+// admission depth and NO running worker, so the queue state is fully under
+// the test's control (deterministic overload, deterministic timeouts).
+// Call go b.run() to let it drain.
+func stalledModel(t *testing.T, srv *Server, depth int) (*servedModel, *batcher) {
+	t.Helper()
+	m, err := srv.FitModel(FitRequest{Name: "frozen", Gen: tinyGen(), MaxIter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Join the auto-started worker before replacing the batcher so it never
+	// races the stalled one for requests.
+	m.batcher.shutdown(nil)
+	b := &batcher{
+		pr:   m.pr,
+		ch:   make(chan *pending, depth),
+		stop: make(chan struct{}), workerDone: make(chan struct{}),
+	}
+	m.batcher = b
+	if err := srv.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	return m, b
+}
+
+func predictBody() PredictRequest {
+	return PredictRequest{Queries: []QueryJSON{{X: 1, Y: 1, T: 0, Response: 0}}}
+}
+
+// Overload must shed deterministically: with the one-slot admission queue
+// occupied, the next request answers 429 + Retry-After, /stats counts the
+// shed, and /readyz reports degraded — all without crashing or hanging.
+func TestOverloadSheds429(t *testing.T) {
+	srv := New(Options{})
+	_, b := stalledModel(t, srv, 1)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Occupy the only queue slot; the request parks until the worker starts.
+	first := make(chan *http.Response, 1)
+	go func() {
+		resp, _ := postJSON(t, client, ts.URL+"/v1/models/frozen/predict", predictBody())
+		first <- resp
+	}()
+	waitFor(t, func() bool { return len(b.ch) == 1 })
+
+	resp, _ := postJSON(t, client, ts.URL+"/v1/models/frozen/predict", predictBody())
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded predict = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 reply missing Retry-After")
+	}
+
+	var st Stats
+	if code := getJSON(t, client, ts.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.ShedRequests < 1 {
+		t.Fatalf("stats shed_requests = %d, want ≥ 1", st.ShedRequests)
+	}
+	var ready map[string]string
+	if code := getJSON(t, client, ts.URL+"/readyz", &ready); code != http.StatusOK || ready["status"] != "degraded" {
+		t.Fatalf("readyz after shedding: %d %v, want 200 degraded", code, ready)
+	}
+
+	// Un-stall: the parked request completes normally.
+	go b.run()
+	select {
+	case resp := <-first:
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("parked request = %d, want 200", resp.StatusCode)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("parked request never completed")
+	}
+	b.shutdown(nil)
+}
+
+// A request deadline must bound queue-wait time: against a stalled batcher
+// the predict answers 504 once RequestTimeout elapses.
+func TestRequestTimeoutAnswers504(t *testing.T) {
+	srv := New(Options{RequestTimeout: 30 * time.Millisecond})
+	_, b := stalledModel(t, srv, 8)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/models/frozen/predict", predictBody())
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out predict = %d (%s), want 504", resp.StatusCode, body)
+	}
+	go b.run()
+	b.shutdown(nil)
+}
+
+// Graceful drain: Shutdown flips readiness to 503 "draining", queued and
+// subsequent requests fail with ErrServerClosed (503 + Retry-After over
+// HTTP), and no goroutines are left behind.
+func TestShutdownDrains(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv := New(Options{})
+	m, err := srv.FitModel(FitRequest{Name: "drainme", Gen: tinyGen(), MaxIter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+
+	// A pre-drain request succeeds.
+	if resp, body := postJSON(t, client, ts.URL+"/v1/models/drainme/predict", predictBody()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain predict = %d (%s)", resp.StatusCode, body)
+	}
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// Idempotent.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+
+	var ready map[string]string
+	if code := getJSON(t, client, ts.URL+"/readyz", &ready); code != http.StatusServiceUnavailable || ready["status"] != "draining" {
+		t.Fatalf("readyz during drain: %d %v, want 503 draining", code, ready)
+	}
+	resp, _ := postJSON(t, client, ts.URL+"/v1/models/drainme/predict", predictBody())
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain predict = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("post-drain 503 missing Retry-After")
+	}
+	// The typed error surfaces on the direct (non-HTTP) path too.
+	if _, _, err := m.batcher.do(context.Background(), []predict.Query{{Point: mesh.Point{X: 1, Y: 1}}}); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("do after drain: %v, want ErrServerClosed", err)
+	}
+
+	ts.Close()
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= before })
+}
+
+// The recovery middleware turns a panicking handler into a 500 on that
+// request, counts it, degrades readiness, and keeps the server serving.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	srv := New(Options{})
+	srv.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("handler exploded")
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	var out errorJSON
+	if code := getJSON(t, client, ts.URL+"/boom", &out); code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler = %d, want 500", code)
+	}
+	// Still serving.
+	if code := getJSON(t, client, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz after panic = %d", code)
+	}
+	var ready map[string]string
+	if code := getJSON(t, client, ts.URL+"/readyz", &ready); code != http.StatusOK || ready["status"] != "degraded" {
+		t.Fatalf("readyz after panic: %d %v, want 200 degraded", code, ready)
+	}
+	var st Stats
+	getJSON(t, client, ts.URL+"/stats", &st)
+	if st.RecoveredPanics != 1 {
+		t.Fatalf("stats recovered_panics = %d, want 1", st.RecoveredPanics)
+	}
+}
+
+// A fresh server is ready.
+func TestReadyzReady(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+	var ready map[string]string
+	if code := getJSON(t, ts.Client(), ts.URL+"/readyz", &ready); code != http.StatusOK || ready["status"] != "ready" {
+		t.Fatalf("readyz: %d %v, want 200 ready", code, ready)
+	}
+}
+
+// waitFor polls cond with a generous deadline — used for worker/goroutine
+// settling, never for correctness-bearing ordering.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}

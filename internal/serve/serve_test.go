@@ -2,7 +2,9 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -239,19 +241,19 @@ func TestRequestAfterShutdownFailsFast(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.batcher.shutdown()
+	m.batcher.shutdown(nil)
 	done := make(chan error, 8)
 	for i := 0; i < 8; i++ {
 		go func() {
-			_, _, err := m.batcher.do([]predict.Query{{Point: mesh.Point{X: 1, Y: 1}}})
+			_, _, err := m.batcher.do(context.Background(), []predict.Query{{Point: mesh.Point{X: 1, Y: 1}}})
 			done <- err
 		}()
 	}
 	for i := 0; i < 8; i++ {
 		select {
 		case err := <-done:
-			if err == nil {
-				t.Fatal("request against a shut-down batcher succeeded")
+			if !errors.Is(err, errStopped) {
+				t.Fatalf("request against a shut-down batcher: err=%v, want errStopped", err)
 			}
 		case <-time.After(5 * time.Second):
 			t.Fatal("request against a shut-down batcher hung")

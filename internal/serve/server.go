@@ -9,6 +9,7 @@
 // Endpoints:
 //
 //	GET    /healthz                   liveness probe
+//	GET    /readyz                    readiness probe (ready/degraded/draining)
 //	GET    /stats                     serving counters (JSON)
 //	GET    /v1/models                 list registered models
 //	POST   /v1/models                 fit + register a model from a dataset spec
@@ -18,6 +19,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -38,12 +40,33 @@ import (
 
 var errStopped = errors.New("serve: model unregistered while request was queued")
 
+// ErrServerClosed is what queued and subsequent prediction requests fail
+// with once a graceful drain (Server.Shutdown) has begun; the HTTP layer
+// maps it to 503 + Retry-After.
+var ErrServerClosed = errors.New("serve: server is shutting down")
+
+// ErrOverloaded is returned when a model's bounded admission queue is full;
+// the HTTP layer maps it to 429 + Retry-After so well-behaved clients back
+// off instead of piling on.
+var ErrOverloaded = errors.New("serve: request queue is full")
+
 // Options configures a Server.
 type Options struct {
 	// BatchWindow is how long the per-model batcher holds the first query
 	// of a batch open for concurrent arrivals. 0 flushes as soon as the
 	// queue momentarily drains (lowest latency, still coalescing bursts).
 	BatchWindow time.Duration
+	// RequestTimeout bounds each prediction request end to end (admission
+	// wait + batched solve); expiry answers 504. 0 = no deadline.
+	RequestTimeout time.Duration
+	// QueueDepth bounds each model's admission queue: that many pending
+	// requests may wait for a batch slot before further arrivals are shed
+	// with 429 + Retry-After. ≤ 0 = the default of 64.
+	QueueDepth int
+	// DrainTimeout bounds how long Shutdown waits for in-flight batches
+	// before giving up. 0 = wait indefinitely (callers usually bound the
+	// enclosing context instead).
+	DrainTimeout time.Duration
 }
 
 // Server is the dalia-serve HTTP application state.
@@ -65,6 +88,15 @@ type Server struct {
 	retiredBatches   atomic.Int64
 	retiredBatchedQs atomic.Int64
 	retiredMaxBatch  atomic.Int64
+	retiredSheds     atomic.Int64
+
+	// resilience state: draining flips when Shutdown begins (readiness goes
+	// 503 so load balancers stop routing here); panics counts requests the
+	// recovery middleware turned into 500s instead of letting the process
+	// die. Either sheds or panics > 0 degrades /readyz (still serving, but
+	// an operator should look).
+	draining atomic.Bool
+	panics   atomic.Int64
 }
 
 // servedModel couples one fitted model with its prediction engine and
@@ -87,6 +119,7 @@ func New(opts Options) *Server {
 	s := &Server{opts: opts, start: time.Now(), models: map[string]*servedModel{}, fitting: map[string]struct{}{}}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /v1/models", s.handleListModels)
 	mux.HandleFunc("POST /v1/models", s.handleFitModel)
@@ -98,8 +131,55 @@ func New(opts Options) *Server {
 }
 
 // Handler returns the HTTP handler tree (also used by httptest servers and
-// the serving benchmark).
-func (s *Server) Handler() http.Handler { return s.mux }
+// the serving benchmark), wrapped in the panic-recovery middleware: a
+// panicking handler answers its own request with a 500 and increments the
+// panic counter instead of killing the connection (or, for a panic that
+// escapes the handler goroutine entirely, the process).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Add(1)
+				writeErr(w, http.StatusInternalServerError, "internal error: %v", rec)
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Shutdown begins a graceful drain: readiness flips to 503 (so load
+// balancers stop routing here), every model batcher stops accepting work —
+// queued and subsequent requests fail with ErrServerClosed (503 +
+// Retry-After) — and in-flight batches run to completion. Returns when all
+// batcher workers have exited, Options.DrainTimeout elapses, or ctx ends,
+// whichever comes first. Safe to call repeatedly.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.opts.DrainTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.DrainTimeout)
+		defer cancel()
+	}
+	s.mu.RLock()
+	models := make([]*servedModel, 0, len(s.models))
+	for _, m := range s.models {
+		models = append(models, m)
+	}
+	s.mu.RUnlock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, m := range models {
+			m.batcher.shutdown(ErrServerClosed)
+		}
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // --- request/response schemas ---
 
@@ -182,6 +262,8 @@ type Stats struct {
 	Batches         int64   `json:"batches"`
 	AvgBatchSize    float64 `json:"avg_batch_size"`
 	MaxBatchSize    int64   `json:"max_batch_size"`
+	ShedRequests    int64   `json:"shed_requests"`
+	RecoveredPanics int64   `json:"recovered_panics"`
 }
 
 type errorJSON struct {
@@ -211,6 +293,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReadyz reports serving readiness: 503 "draining" once Shutdown has
+// begun (liveness stays green — the process is healthy, just leaving the
+// pool), 200 "degraded" when the server has shed load or recovered handler
+// panics since start (still serving; worth operator attention), 200
+// "ready" otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	if s.shedTotal() > 0 || s.panics.Load() > 0 {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "degraded"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// shedTotal sums shed requests over live and retired batchers.
+func (s *Server) shedTotal() int64 {
+	total := s.retiredSheds.Load()
+	s.mu.RLock()
+	for _, m := range s.models {
+		total += m.batcher.shed.Load()
+	}
+	s.mu.RUnlock()
+	return total
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	// Read the retired totals under the same lock deletion folds them
@@ -218,10 +328,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	batches := s.retiredBatches.Load()
 	batchedQs := s.retiredBatchedQs.Load()
 	maxBatch := s.retiredMaxBatch.Load()
+	sheds := s.retiredSheds.Load()
 	nModels := len(s.models)
 	for _, m := range s.models {
 		batches += m.batcher.batches.Load()
 		batchedQs += m.batcher.batchedQs.Load()
+		sheds += m.batcher.shed.Load()
 		if mb := m.batcher.maxBatchSeen.Load(); mb > maxBatch {
 			maxBatch = mb
 		}
@@ -235,6 +347,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Queries:         s.queries.Load(),
 		Batches:         batches,
 		MaxBatchSize:    maxBatch,
+		ShedRequests:    sheds,
+		RecoveredPanics: s.panics.Load(),
 	}
 	if batches > 0 {
 		st.AvgBatchSize = float64(batchedQs) / float64(batches)
@@ -276,7 +390,7 @@ func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
 	// — /stats (which reads under the same lock) never sees the counters
 	// move backwards. Requests arriving while the batcher winds down fail
 	// with errStopped and are answered 404.
-	m.batcher.shutdown()
+	m.batcher.shutdown(nil)
 	s.mu.Lock()
 	if _, still := s.models[name]; !still {
 		// A concurrent DELETE won the fold.
@@ -287,6 +401,7 @@ func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
 	delete(s.models, name)
 	s.retiredBatches.Add(m.batcher.batches.Load())
 	s.retiredBatchedQs.Add(m.batcher.batchedQs.Load())
+	s.retiredSheds.Add(m.batcher.shed.Load())
 	for {
 		cur := s.retiredMaxBatch.Load()
 		mb := m.batcher.maxBatchSeen.Load()
@@ -332,7 +447,7 @@ func (s *Server) handleFitModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.Register(m); err != nil {
-		m.batcher.shutdown()
+		m.batcher.shutdown(nil)
 		writeErr(w, http.StatusConflict, "%v", err)
 		return
 	}
@@ -395,14 +510,36 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			Covariates: q.Covariates,
 		}
 	}
-	means, vars, err := m.batcher.do(qs)
-	if errors.Is(err, errStopped) {
+	ctx := r.Context()
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+	}
+	means, vars, err := m.batcher.do(ctx, qs)
+	switch {
+	case errors.Is(err, errStopped):
 		// The model was deleted while this request was queued: a client
 		// condition, not a server fault.
 		writeErr(w, http.StatusNotFound, "model %q was unregistered", r.PathValue("name"))
 		return
-	}
-	if err != nil {
+	case errors.Is(err, ErrServerClosed):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusGatewayTimeout, "request deadline exceeded after %v", s.opts.RequestTimeout)
+		return
+	case errors.Is(err, context.Canceled):
+		// The client went away; nobody reads this reply, but close the
+		// exchange cleanly.
+		writeErr(w, http.StatusServiceUnavailable, "request canceled")
+		return
+	case err != nil:
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
@@ -482,7 +619,7 @@ func (s *Server) FitModel(req FitRequest) (*servedModel, error) {
 		fitSeconds: fitSecs,
 		createdAt:  time.Now(),
 		pr:         pr,
-		batcher:    newBatcher(pr, s.opts.BatchWindow),
+		batcher:    newBatcher(pr, s.opts.BatchWindow, s.opts.QueueDepth),
 	}, nil
 }
 
