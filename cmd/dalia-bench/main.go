@@ -21,13 +21,17 @@
 // BENCH_4.json, -compare gates against one), reduced (parallel recursive
 // reduced-system engine: factorization latency and reduced-phase share
 // across partitions × recursion depth × pipelined handoff; -out writes
-// BENCH_5.json, -compare gates against one).
+// BENCH_5.json, -compare gates against one), latency (closed-loop clients
+// against the replicated HTTP serving path: p50/p99/p999 request latency
+// and throughput; -out writes BENCH_6.json, -compare gates p99 against
+// one).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -57,7 +61,21 @@ func main() {
 	out := flag.String("out", "", "write the kernels/serving/pintime experiment's JSON baseline to this path")
 	compare := flag.String("compare", "", "kernels/serving/pintime: compare against this stored baseline and exit 1 on a >-maxregress rate regression")
 	maxRegress := flag.Float64("maxregress", 0.25, "maximum tolerated fractional rate regression in -compare mode")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this path")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	experiments := []experiment{
 		{"table1", "framework capability matrix (Table I)", func(bool) error {
@@ -135,6 +153,39 @@ func main() {
 					return fmt.Errorf("%d serving regression(s) beyond %.0f%% vs %s", len(regs), *maxRegress*100, *compare)
 				}
 				fmt.Printf("    no engine-path regression beyond %.0f%% vs %s\n", *maxRegress*100, *compare)
+			}
+			return nil
+		}},
+		{"latency", "serving tail latency under concurrent closed-loop load (replicated snapshot path)", func(quick bool) error {
+			base, err := bench.Latency(quick)
+			if err != nil {
+				return err
+			}
+			bench.PrintLatency(base, os.Stdout)
+			if *out != "" {
+				if err := bench.WriteLatencyBaseline(base, *out); err != nil {
+					return err
+				}
+				fmt.Printf("    baseline written to %s\n", *out)
+			}
+			if *compare != "" {
+				stored, err := bench.LoadLatencyBaseline(*compare)
+				if err != nil {
+					return err
+				}
+				if !bench.LatencyComparable(base, stored) {
+					fmt.Printf("    gate skipped: GOMAXPROCS %d here vs %d in %s (latencies not comparable)\n",
+						base.GoMaxProcs, stored.GoMaxProcs, *compare)
+					return nil
+				}
+				regs := bench.CompareLatency(base, stored, *maxRegress)
+				if len(regs) > 0 {
+					for _, r := range regs {
+						fmt.Fprintf(os.Stderr, "    REGRESSION %s\n", r)
+					}
+					return fmt.Errorf("%d p99 regression(s) beyond %.0f%% vs %s", len(regs), *maxRegress*100, *compare)
+				}
+				fmt.Printf("    no p99 regression beyond %.0f%% vs %s\n", *maxRegress*100, *compare)
 			}
 			return nil
 		}},
@@ -248,13 +299,13 @@ func main() {
 	// -out is honored by several experiments; refuse a selection where a
 	// later one would silently overwrite an earlier one's file.
 	nOut := 0
-	for _, name := range []string{"kernels", "serving", "pintime", "hybrid", "reduced"} {
+	for _, name := range []string{"kernels", "serving", "pintime", "hybrid", "reduced", "latency"} {
 		if runAll || want[name] {
 			nOut++
 		}
 	}
 	if *out != "" && nOut > 1 {
-		fmt.Fprintln(os.Stderr, "-out with several baseline-writing experiments selected would write them to one path; pick one of kernels/serving/pintime/hybrid/reduced")
+		fmt.Fprintln(os.Stderr, "-out with several baseline-writing experiments selected would write them to one path; pick one of kernels/serving/pintime/hybrid/reduced/latency")
 		os.Exit(2)
 	}
 

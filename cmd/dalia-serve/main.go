@@ -8,6 +8,7 @@
 //
 //	dalia-serve                          # empty registry on :8042
 //	dalia-serve -addr :9000 -window 2ms  # custom bind and batch window
+//	dalia-serve -replicas 4 -slo 10ms    # worker pool size and latency SLO
 //	dalia-serve -preload MB1,AP1         # fit Table IV datasets at startup
 //	dalia-serve -request-timeout 5s -queue-depth 128 -drain-timeout 10s
 //
@@ -38,6 +39,8 @@ import (
 func main() {
 	addr := flag.String("addr", ":8042", "listen address")
 	window := flag.Duration("window", time.Millisecond, "batch coalescing window (0 = flush when queue drains)")
+	slo := flag.Duration("slo", 0, "per-request latency target: batches flush early once the oldest queued request's budget drops below the expected solve time (0 = disabled)")
+	replicas := flag.Int("replicas", 0, "batch-worker replicas per model, each reading the lock-free snapshot (0 = GOMAXPROCS)")
 	preload := flag.String("preload", "", "comma-separated Table IV dataset specs to fit and register at startup (e.g. MB1,AP1)")
 	maxIter := flag.Int("max-iter", 25, "BFGS iteration cap for preloaded fits")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request deadline for prediction requests, 504 on expiry (0 = none)")
@@ -47,6 +50,8 @@ func main() {
 
 	srv := serve.New(serve.Options{
 		BatchWindow:    *window,
+		SLO:            *slo,
+		Replicas:       *replicas,
 		RequestTimeout: *reqTimeout,
 		QueueDepth:     *queueDepth,
 		DrainTimeout:   *drainTimeout,

@@ -134,12 +134,25 @@ type (
 	PredictQuery = predict.Query
 	// PredictOption customizes a Predictor (batch width, observation noise).
 	PredictOption = predict.Option
-	// Server is the dalia-serve HTTP application: a registry of fitted
-	// models with per-model request batching.
+	// PredictSnapshot is an immutable read-only prediction engine: any
+	// number of goroutines query it concurrently with zero locking.
+	PredictSnapshot = predict.Snapshot
+	// PredictHandle is an atomically swappable reference to the current
+	// snapshot of a model — refits publish without blocking readers.
+	PredictHandle = predict.Handle
+	// Server is the dalia-serve HTTP application: a sharded registry of
+	// fitted models with per-model replicated request batching.
 	Server = serve.Server
-	// ServeOptions configures a Server (batch coalescing window).
+	// ServeOptions configures a Server (batch coalescing window, latency
+	// SLO, worker replicas per model).
 	ServeOptions = serve.Options
 )
+
+// ErrConcurrentPredict is returned by a Predictor backed by the parallel
+// (partitioned) factorization when two goroutines call it at once: the
+// parallel backend shares per-partition scratch and is strictly
+// single-flight. Concurrent serving wants NewPredictSnapshot instead.
+var ErrConcurrentPredict = predict.ErrConcurrentParallel
 
 // NewPredictor builds a posterior prediction engine from a fit result,
 // factorizing Q_c at the fitted mode once.
@@ -154,6 +167,19 @@ func WithPredictMaxBatch(k int) PredictOption { return predict.WithMaxBatch(k) }
 // variances, giving the law of a new observation rather than of the latent
 // predictor.
 func WithObservationNoise() PredictOption { return predict.WithObservationNoise() }
+
+// NewPredictSnapshot freezes a fit result into an immutable read-only
+// prediction engine whose read path is lock-free: N goroutines may call
+// PredictInto concurrently with zero allocations after warmup. Publish it
+// through a PredictHandle to let refits swap in new snapshots without
+// blocking in-flight readers.
+func NewPredictSnapshot(m *Model, res *Result, opts ...PredictOption) (*PredictSnapshot, error) {
+	return predict.NewSnapshot(m, res, opts...)
+}
+
+// NewPredictHandle publishes an initial snapshot behind an atomically
+// swappable handle.
+func NewPredictHandle(s *PredictSnapshot) *PredictHandle { return predict.NewHandle(s) }
 
 // NewServer builds an empty-registry batch inference server; mount
 // srv.Handler() on any HTTP listener.

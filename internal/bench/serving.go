@@ -20,7 +20,7 @@ import (
 
 // ServingResult is one measured point of the serving benchmark.
 type ServingResult struct {
-	// Path is "engine" (direct Predictor batches) or "http" (full JSON
+	// Path is "engine" (direct snapshot batches) or "http" (full JSON
 	// round trips through the coalescing batcher).
 	Path string `json:"path"`
 	// Batch is queries per PredictInto call (engine) or per request (http).
@@ -68,7 +68,7 @@ func Serving(quick bool) (*ServingBaseline, error) {
 	}
 	fitSecs := time.Since(t0).Seconds()
 
-	pr := m.Predictor()
+	pr := m.Snapshot()
 	dims := m.Dims()
 	out := &ServingBaseline{
 		GoMaxProcs: runtime.GOMAXPROCS(0),

@@ -20,17 +20,41 @@
 // per-batch buffer comes from a pooled scratch arena, so the steady-state
 // prediction path performs zero heap allocations — the same fixed-memory
 // discipline the INLA mode search established for fitting.
+//
+// The package offers two engines over the same core:
+//
+//   - Predictor — the general engine. Sequential factor by default
+//     (lock-free concurrent solves), or the parallel-in-time backend via
+//     WithSolverPartitions for single-flight callers that want each solve
+//     spread across cores. Concurrent use of the parallel backend is a
+//     caller bug and fails with ErrConcurrentParallel.
+//   - Snapshot — the replicated-serving engine. An immutable predictor over
+//     the sequential factor whose read path takes no lock at all; N readers
+//     query one Snapshot concurrently with per-goroutine pooled scratch,
+//     and a Handle swaps refitted Snapshots in atomically without blocking
+//     in-flight reads.
 package predict
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/dalia-hpc/dalia/internal/bta"
 	"github.com/dalia-hpc/dalia/internal/inla"
 	"github.com/dalia-hpc/dalia/internal/mesh"
 	"github.com/dalia-hpc/dalia/internal/model"
 )
+
+// ErrConcurrentParallel reports concurrent PredictInto calls on a Predictor
+// bound to the parallel-in-time backend. That backend shares per-partition
+// solver scratch across calls, so it is strictly single-flight; instead of
+// quietly serializing callers behind a mutex (hiding the misconfiguration
+// as latency), the engine fails fast. Replicated serving reads from a
+// Snapshot, whose path is lock-free by construction.
+var ErrConcurrentParallel = errors.New(
+	"predict: concurrent PredictInto on the parallel-in-time backend (single-flight only); serve replicated reads from a Snapshot")
 
 // Query asks for the posterior predictive law of one response at one
 // space-time location.
@@ -46,62 +70,54 @@ type Query struct {
 	Covariates []float64
 }
 
-// Option customizes a Predictor.
-type Option func(*Predictor)
-
-// WithMaxBatch sets the number of queries coalesced into one multi-RHS
-// solve (default 64). Larger batches amortize the triangular sweeps better;
-// the scratch arena grows linearly with it.
-func WithMaxBatch(k int) Option { return func(p *Predictor) { p.maxBatch = k } }
-
-// WithObservationNoise adds the Gaussian observation noise 1/τ_k to every
-// predictive variance, turning the latent-predictor law into the posterior
-// predictive law of a new observation.
-func WithObservationNoise() Option { return func(p *Predictor) { p.includeNoise = true } }
-
-// WithSolverPartitions sets the parallel-in-time width of the mode
-// factorization and its solves: ≤ 0 schedules it from the machine's spare
-// cores (inla.PlanBatch at width 1 — what dalia-serve uses, see the
-// Predictor contract note), ≥ 1 forces that width. Without this option the
-// predictor stays on the sequential factor, preserving lock-free
-// concurrent PredictInto across caller-owned workers.
-func WithSolverPartitions(p int) Option {
-	return func(pr *Predictor) {
-		pr.partitions = p
-		pr.partitionsSet = true
-	}
-}
-
-// Predictor is a goroutine-safe posterior prediction engine bound to one
-// fitted model. Construction factorizes Q_c at the mode once; every
-// subsequent batch reuses that factor. By default the factor is the
-// sequential chain, whose solves are lock-free — callers may fan
-// PredictInto out across their own worker goroutines, the contract this
-// engine has always had.
-//
-// WithSolverPartitions switches to the parallel-in-time backend: the mode
-// factorization and every solve run across goroutine partitions, which is
-// what a single-flight caller wants for latency. The parallel backend
-// shares per-partition scratch across calls, so its solves serialize
-// through an internal mutex — the right trade for the serving stack
-// (dalia-serve's per-model batcher is one worker, so its one-at-a-time
-// solves simply run on more cores), the wrong one for multi-worker batch
-// parallelism, which is why it is opt-in.
-type Predictor struct {
-	m     *model.Model
-	theta *model.Theta
-	fc    bta.Solver
-	mu    []float64 // latent posterior mean, BTA ordering
-
+// config collects the option state shared by Predictor and Snapshot
+// construction.
+type config struct {
 	maxBatch      int
 	includeNoise  bool
 	partitions    int
 	partitionsSet bool
+}
 
-	solveMu sync.Mutex // guards fc's solve scratch (parallel backend only)
-	seqFc   bool       // fc is the sequential Factor: no locking needed
+// Option customizes a Predictor or a Snapshot.
+type Option func(*config)
 
-	scratch sync.Pool // *batchScratch
+// WithMaxBatch sets the number of queries coalesced into one multi-RHS
+// solve (default 64). Larger batches amortize the triangular sweeps better;
+// the scratch arena grows linearly with it.
+func WithMaxBatch(k int) Option { return func(c *config) { c.maxBatch = k } }
+
+// WithObservationNoise adds the Gaussian observation noise 1/τ_k to every
+// predictive variance, turning the latent-predictor law into the posterior
+// predictive law of a new observation.
+func WithObservationNoise() Option { return func(c *config) { c.includeNoise = true } }
+
+// WithSolverPartitions sets the parallel-in-time width of the mode
+// factorization and its solves: ≤ 0 schedules it from the machine's spare
+// cores (inla.PlanBatch at width 1), ≥ 1 forces that width. Without this
+// option the predictor stays on the sequential factor, preserving lock-free
+// concurrent PredictInto across caller-owned workers. The parallel backend
+// is single-flight: concurrent PredictInto fails with ErrConcurrentParallel.
+// NewSnapshot rejects this option — a Snapshot is always the lock-free
+// sequential factor.
+func WithSolverPartitions(p int) Option {
+	return func(c *config) {
+		c.partitions = p
+		c.partitionsSet = true
+	}
+}
+
+// engine is the shared prediction core: the fitted model, the decoded mode,
+// the latent posterior mean, and the batch policy. It fills φ columns and
+// reads variances back; the owning type decides how the half solve runs
+// (lock-free sequential vs single-flight parallel).
+type engine struct {
+	m     *model.Model
+	theta *model.Theta
+	mu    []float64 // latent posterior mean, BTA ordering
+
+	maxBatch     int
+	includeNoise bool
 }
 
 // batchScratch is one worker's arena: the multi-RHS workspace whose columns
@@ -110,108 +126,34 @@ type batchScratch struct {
 	ms *bta.MultiSolve
 }
 
-// New builds a Predictor from a fitted result: the mode θ* is re-decoded,
-// Q_c(θ*) is assembled and factorized (inla.ModeSolver, parallel-in-time
-// when the width-1 scheduling plan finds spare cores), and the latent mean
-// is copied out of the result so the predictor stays valid however the
-// result is used afterwards.
-func New(m *model.Model, res *inla.Result, opts ...Option) (*Predictor, error) {
+// newEngine validates the shared inputs and copies the latent mean out of
+// the result so the engine stays valid however the result is used
+// afterwards.
+func newEngine(m *model.Model, res *inla.Result, c *config) (engine, error) {
 	if len(res.Mu) != m.Dims.Total() {
-		return nil, fmt.Errorf("predict: latent mean length %d, want %d", len(res.Mu), m.Dims.Total())
+		return engine{}, fmt.Errorf("predict: latent mean length %d, want %d", len(res.Mu), m.Dims.Total())
 	}
-	p := &Predictor{
-		m:        m,
-		mu:       append([]float64(nil), res.Mu...),
-		maxBatch: 64,
+	if c.maxBatch < 1 {
+		return engine{}, fmt.Errorf("predict: max batch %d < 1", c.maxBatch)
 	}
-	for _, o := range opts {
-		o(p)
+	if c.includeNoise && m.Lik != model.LikGaussian {
+		return engine{}, fmt.Errorf("predict: observation noise is only defined for Gaussian likelihoods")
 	}
-	if p.maxBatch < 1 {
-		return nil, fmt.Errorf("predict: max batch %d < 1", p.maxBatch)
-	}
-	if p.includeNoise && m.Lik != model.LikGaussian {
-		return nil, fmt.Errorf("predict: observation noise is only defined for Gaussian likelihoods")
-	}
-	partitions := 1 // default: sequential, lock-free concurrent solves
-	if p.partitionsSet {
-		partitions = p.partitions
-		if partitions <= 0 {
-			// A prediction solve is one evaluation wide: spend the spare
-			// cores inside the factorization, like the narrow INLA batches.
-			partitions = inla.PlanBatch(1, 0, m.Dims.Nt, false).Partitions
-		}
-	}
-	t, fc, err := inla.ModeSolver(m, res.Theta, partitions)
-	if err != nil {
-		return nil, err
-	}
-	p.theta = t
-	p.fc = fc
-	_, p.seqFc = fc.(*bta.Factor)
-	return p, nil
+	return engine{
+		m:            m,
+		mu:           append([]float64(nil), res.Mu...),
+		maxBatch:     c.maxBatch,
+		includeNoise: c.includeNoise,
+	}, nil
 }
 
-// Theta returns the decoded hyperparameter configuration the predictor is
-// bound to.
-func (p *Predictor) Theta() *model.Theta { return p.theta }
-
-// MaxBatch returns the multi-RHS coalescing width.
-func (p *Predictor) MaxBatch() int { return p.maxBatch }
-
-func (p *Predictor) getScratch() *batchScratch {
-	if ws, ok := p.scratch.Get().(*batchScratch); ok {
-		return ws
-	}
-	n, b, a := p.m.Dims.BTAShape()
-	return &batchScratch{ms: bta.NewMultiSolve(n, b, a, p.maxBatch)}
-}
-
-// Predict computes posterior predictive means and variances for the
-// queries, allocating the result slices. See PredictInto for the
-// allocation-free variant services use.
-func (p *Predictor) Predict(qs []Query) (means, vars []float64, err error) {
-	means = make([]float64, len(qs))
-	vars = make([]float64, len(qs))
-	if err := p.PredictInto(qs, means, vars); err != nil {
-		return nil, nil, err
-	}
-	return means, vars, nil
-}
-
-// PredictInto computes posterior predictive means and variances into the
-// caller-provided slices (len(qs) each). Queries are processed in coalesced
-// batches of up to MaxBatch columns per triangular sweep; after the pooled
-// scratch warms up, the path performs zero heap allocations.
-func (p *Predictor) PredictInto(qs []Query, means, vars []float64) error {
-	if len(means) < len(qs) || len(vars) < len(qs) {
-		return fmt.Errorf("predict: output length %d/%d for %d queries", len(means), len(vars), len(qs))
-	}
-	ws := p.getScratch()
-	defer p.scratch.Put(ws)
-	for lo := 0; lo < len(qs); lo += p.maxBatch {
-		hi := lo + p.maxBatch
-		if hi > len(qs) {
-			hi = len(qs)
-		}
-		if err := p.predictBatch(ws, qs[lo:hi], means[lo:hi], vars[lo:hi]); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// predictBatch fills one φ column per query, accumulates the means against
-// μ during the fill, half-solves all columns at once, and reads the
-// variances back as column squared norms.
-func (p *Predictor) predictBatch(ws *batchScratch, qs []Query, means, vars []float64) error {
-	d := p.m.Dims
-	lc := p.theta.Lambda.CoregView()
-	msh := p.m.Builder.Mesh
+// fillBatch zeroes the narrowed workspace, assembles one φ column per query
+// and accumulates the predictive means against μ during the fill.
+func (e *engine) fillBatch(ms *bta.MultiSolve, qs []Query, means []float64) error {
+	d := e.m.Dims
+	lc := e.theta.Lambda.CoregView()
+	msh := e.m.Builder.Mesh
 	per := d.PerProcess()
-	// Narrow the workspace to the batch width: a partially filled batch
-	// sweeps only the columns it uses.
-	ms := ws.ms.Narrow(len(qs))
 	rhs := ms.RHS
 	rhs.Zero()
 
@@ -241,39 +183,36 @@ func (p *Predictor) predictBatch(ws *batchScratch, qs []Query, means, vars []flo
 				if bc[v] == 0 {
 					continue
 				}
-				idx := p.m.BTAIndex(base + q.T*d.Ns + tri[v])
+				idx := e.m.BTAIndex(base + q.T*d.Ns + tri[v])
 				w := f * bc[v]
 				rhs.Set(idx, col, rhs.At(idx, col)+w)
-				mean += w * p.mu[idx]
+				mean += w * e.mu[idx]
 			}
 			for r := 0; r < d.Nr && q.Covariates != nil; r++ {
 				c := q.Covariates[r]
 				if c == 0 {
 					continue
 				}
-				idx := p.m.BTAIndex(base + d.Ns*d.Nt + r)
+				idx := e.m.BTAIndex(base + d.Ns*d.Nt + r)
 				w := f * c
 				rhs.Set(idx, col, rhs.At(idx, col)+w)
-				mean += w * p.mu[idx]
+				mean += w * e.mu[idx]
 			}
 		}
 		means[col] = mean
 	}
+	return nil
+}
 
-	// One BLAS-3 half solve for the whole batch: columns become L̃⁻¹φ, whose
-	// squared norms are the predictive variances (nonnegative by
-	// construction, and invariant to the backend's elimination ordering).
-	if p.seqFc {
-		p.fc.ForwardSolveMultiInto(ms)
-	} else {
-		p.solveMu.Lock()
-		p.fc.ForwardSolveMultiInto(ms)
-		p.solveMu.Unlock()
-	}
-
+// readVariances reads predictive variances back as the half-solved columns'
+// squared norms (nonnegative by construction, and invariant to the
+// backend's elimination ordering), folding in observation noise when the
+// engine is configured for it.
+func (e *engine) readVariances(ms *bta.MultiSolve, qs []Query, vars []float64) {
 	for i := range qs {
 		vars[i] = 0
 	}
+	rhs := ms.RHS
 	dim := ms.Dim()
 	for r := 0; r < dim; r++ {
 		row := rhs.Row(r)
@@ -281,10 +220,152 @@ func (p *Predictor) predictBatch(ws *batchScratch, qs []Query, means, vars []flo
 			vars[i] += row[i] * row[i]
 		}
 	}
-	if p.includeNoise {
+	if e.includeNoise {
 		for i, q := range qs {
-			vars[i] += 1 / p.theta.TauY[q.Response]
+			vars[i] += 1 / e.theta.TauY[q.Response]
 		}
 	}
+}
+
+// newScratch builds one worker's multi-RHS arena at the engine's coalescing
+// width.
+func (e *engine) newScratch() *batchScratch {
+	n, b, a := e.m.Dims.BTAShape()
+	return &batchScratch{ms: bta.NewMultiSolve(n, b, a, e.maxBatch)}
+}
+
+// checkOut validates the caller-provided output slices.
+func (e *engine) checkOut(qs []Query, means, vars []float64) error {
+	if len(means) < len(qs) || len(vars) < len(qs) {
+		return fmt.Errorf("predict: output length %d/%d for %d queries", len(means), len(vars), len(qs))
+	}
+	return nil
+}
+
+// Predictor is a goroutine-safe posterior prediction engine bound to one
+// fitted model. Construction factorizes Q_c at the mode once; every
+// subsequent batch reuses that factor. By default the factor is the
+// sequential chain, whose solves are lock-free — callers may fan
+// PredictInto out across their own worker goroutines, the contract this
+// engine has always had.
+//
+// WithSolverPartitions switches to the parallel-in-time backend: the mode
+// factorization and every solve run across goroutine partitions, which is
+// what a single-flight caller wants for latency. The parallel backend
+// shares per-partition scratch across calls, so it is strictly
+// single-flight: a second concurrent PredictInto fails with
+// ErrConcurrentParallel instead of quietly serializing. Replicated serving
+// reads from a Snapshot instead.
+type Predictor struct {
+	engine
+	fc    bta.Solver
+	seqFc bool        // fc is the sequential Factor: no concurrency guard needed
+	busy  atomic.Bool // single-flight guard for the parallel backend
+
+	scratch sync.Pool // *batchScratch
+}
+
+// New builds a Predictor from a fitted result: the mode θ* is re-decoded,
+// Q_c(θ*) is assembled and factorized (inla.ModeSolver, parallel-in-time
+// when the width-1 scheduling plan finds spare cores), and the latent mean
+// is copied out of the result so the predictor stays valid however the
+// result is used afterwards.
+func New(m *model.Model, res *inla.Result, opts ...Option) (*Predictor, error) {
+	c := config{maxBatch: 64}
+	for _, o := range opts {
+		o(&c)
+	}
+	e, err := newEngine(m, res, &c)
+	if err != nil {
+		return nil, err
+	}
+	partitions := 1 // default: sequential, lock-free concurrent solves
+	if c.partitionsSet {
+		partitions = c.partitions
+		if partitions <= 0 {
+			// A prediction solve is one evaluation wide: spend the spare
+			// cores inside the factorization, like the narrow INLA batches.
+			partitions = inla.PlanBatch(1, 0, m.Dims.Nt, false).Partitions
+		}
+	}
+	t, fc, err := inla.ModeSolver(m, res.Theta, partitions)
+	if err != nil {
+		return nil, err
+	}
+	p := &Predictor{engine: e, fc: fc}
+	p.theta = t
+	_, p.seqFc = fc.(*bta.Factor)
+	return p, nil
+}
+
+// Theta returns the decoded hyperparameter configuration the predictor is
+// bound to.
+func (p *Predictor) Theta() *model.Theta { return p.theta }
+
+// MaxBatch returns the multi-RHS coalescing width.
+func (p *Predictor) MaxBatch() int { return p.maxBatch }
+
+func (p *Predictor) getScratch() *batchScratch {
+	if ws, ok := p.scratch.Get().(*batchScratch); ok {
+		return ws
+	}
+	return p.newScratch()
+}
+
+// Predict computes posterior predictive means and variances for the
+// queries, allocating the result slices. See PredictInto for the
+// allocation-free variant services use.
+func (p *Predictor) Predict(qs []Query) (means, vars []float64, err error) {
+	means = make([]float64, len(qs))
+	vars = make([]float64, len(qs))
+	if err := p.PredictInto(qs, means, vars); err != nil {
+		return nil, nil, err
+	}
+	return means, vars, nil
+}
+
+// PredictInto computes posterior predictive means and variances into the
+// caller-provided slices (len(qs) each). Queries are processed in coalesced
+// batches of up to MaxBatch columns per triangular sweep; after the pooled
+// scratch warms up, the path performs zero heap allocations. On the
+// parallel backend a concurrent call fails with ErrConcurrentParallel.
+func (p *Predictor) PredictInto(qs []Query, means, vars []float64) error {
+	if err := p.checkOut(qs, means, vars); err != nil {
+		return err
+	}
+	if !p.seqFc {
+		// The parallel backend's per-partition scratch is shared across
+		// calls: admit exactly one flight, fail the rest fast.
+		if !p.busy.CompareAndSwap(false, true) {
+			return ErrConcurrentParallel
+		}
+		defer p.busy.Store(false)
+	}
+	ws := p.getScratch()
+	defer p.scratch.Put(ws)
+	for lo := 0; lo < len(qs); lo += p.maxBatch {
+		hi := lo + p.maxBatch
+		if hi > len(qs) {
+			hi = len(qs)
+		}
+		if err := p.predictBatch(ws, qs[lo:hi], means[lo:hi], vars[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// predictBatch fills one φ column per query, half-solves all columns at
+// once, and reads the variances back as column squared norms.
+func (p *Predictor) predictBatch(ws *batchScratch, qs []Query, means, vars []float64) error {
+	// Narrow the workspace to the batch width: a partially filled batch
+	// sweeps only the columns it uses.
+	ms := ws.ms.Narrow(len(qs))
+	if err := p.fillBatch(ms, qs, means); err != nil {
+		return err
+	}
+	// One BLAS-3 half solve for the whole batch: columns become L̃⁻¹φ.
+	p.fc.ForwardSolveMultiInto(ms)
+	p.readVariances(ms, qs, vars)
 	return nil
 }

@@ -1,0 +1,352 @@
+package predict
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/dalia-hpc/dalia/internal/dense"
+	"github.com/dalia-hpc/dalia/internal/inla"
+	"github.com/dalia-hpc/dalia/internal/mesh"
+	"github.com/dalia-hpc/dalia/internal/synth"
+)
+
+// A Snapshot must answer exactly what the (sequential) Predictor answers:
+// both run the same engine over the same sequential factor, so results are
+// bitwise identical.
+func TestSnapshotMatchesPredictor(t *testing.T) {
+	f := getFitted(t)
+	s, err := NewSnapshot(f.ds.Model, f.res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	qs := randomQueries(rng, f, 2*s.MaxBatch()+5)
+	wantM, wantV, err := f.pr.Predict(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotM, gotV, err := s.Predict(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if gotM[i] != wantM[i] || gotV[i] != wantV[i] {
+			t.Fatalf("query %d: snapshot (%v,%v) vs predictor (%v,%v)", i, gotM[i], gotV[i], wantM[i], wantV[i])
+		}
+	}
+}
+
+// A Snapshot is always the lock-free sequential factor; asking for the
+// parallel backend is a configuration error, not a silent downgrade.
+func TestSnapshotRejectsSolverPartitions(t *testing.T) {
+	f := getFitted(t)
+	if _, err := NewSnapshot(f.ds.Model, f.res, WithSolverPartitions(2)); err == nil {
+		t.Fatal("NewSnapshot accepted WithSolverPartitions")
+	}
+}
+
+// The snapshot read path performs zero heap allocations after the pooled
+// scratch warms up — the lock-free hot path neither locks nor allocates.
+func TestSnapshotPredictIntoAllocs(t *testing.T) {
+	if dense.RaceEnabled {
+		t.Skip("race-mode sync.Pool drops Put items; zero-alloc assertion only holds without -race")
+	}
+	f := getFitted(t)
+	s, err := NewSnapshot(f.ds.Model, f.res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	qs := randomQueries(rng, f, s.MaxBatch())
+	means := make([]float64, len(qs))
+	vars := make([]float64, len(qs))
+	if err := s.PredictInto(qs, means, vars); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := s.PredictInto(qs, means, vars); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Snapshot.PredictInto allocates %.1f objects per run, want 0", allocs)
+	}
+	// Through the handle too: one atomic load must not reintroduce
+	// allocations.
+	h := NewHandle(s)
+	allocs = testing.AllocsPerRun(10, func() {
+		if err := h.PredictInto(qs, means, vars); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Handle.PredictInto allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// Concurrent readers on one Snapshot all get exactly the single-threaded
+// answer: the read path shares no mutable state (under -race this is the
+// lock-free claim's proof obligation).
+func TestSnapshotConcurrentReaders(t *testing.T) {
+	f := getFitted(t)
+	s, err := NewSnapshot(f.ds.Model, f.res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	qs := randomQueries(rng, f, 40)
+	wantM, wantV, err := s.Predict(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const readers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			means := make([]float64, len(qs))
+			vars := make([]float64, len(qs))
+			for it := 0; it < 20; it++ {
+				if err := s.PredictInto(qs, means, vars); err != nil {
+					errs <- err
+					return
+				}
+				for i := range qs {
+					if means[i] != wantM[i] || vars[i] != wantV[i] {
+						errs <- errors.New("concurrent read diverged from single-threaded answer")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Swapping snapshots under concurrent read load never tears a batch: every
+// PredictInto answers entirely from one snapshot — the means vector matches
+// one generation's reference bitwise, never a mix. The two generations
+// share θ (same factor, same variances) and differ only in the latent mean,
+// scaled ×2, so every query distinguishes them.
+func TestHandleSwapUnderLoadNoTearing(t *testing.T) {
+	f := getFitted(t)
+	sA, err := NewSnapshot(f.ds.Model, f.res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := *f.res
+	res2.Mu = make([]float64, len(f.res.Mu))
+	for i, v := range f.res.Mu {
+		res2.Mu[i] = 2 * v
+	}
+	sB, err := NewSnapshot(f.ds.Model, &res2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(24))
+	qs := randomQueries(rng, f, 24)
+	refA, _, err := sA.Predict(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refB, _, err := sB.Predict(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if refA[i] == refB[i] {
+			t.Fatalf("query %d cannot distinguish the generations (mean %v)", i, refA[i])
+		}
+	}
+
+	h := NewHandle(sA)
+	var stop atomic.Bool
+	var sawA, sawB, torn atomic.Int64
+	const readers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			means := make([]float64, len(qs))
+			vars := make([]float64, len(qs))
+			for !stop.Load() {
+				if err := h.PredictInto(qs, means, vars); err != nil {
+					errs <- err
+					return
+				}
+				matchA, matchB := true, true
+				for i := range qs {
+					if means[i] != refA[i] {
+						matchA = false
+					}
+					if means[i] != refB[i] {
+						matchB = false
+					}
+				}
+				switch {
+				case matchA:
+					sawA.Add(1)
+				case matchB:
+					sawB.Add(1)
+				default:
+					torn.Add(1)
+				}
+			}
+		}()
+	}
+	// Swap generations back and forth while the readers hammer the handle.
+	for i := 0; i < 40; i++ {
+		if i%2 == 0 {
+			h.Swap(sB)
+		} else {
+			h.Swap(sA)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	if n := torn.Load(); n > 0 {
+		t.Fatalf("%d torn reads (matched neither generation)", n)
+	}
+	if sawA.Load() == 0 || sawB.Load() == 0 {
+		t.Logf("swap test saw generations A=%d B=%d; both >0 expected under normal scheduling", sawA.Load(), sawB.Load())
+	}
+}
+
+// A retired snapshot holds no goroutines: after a swap the old generation
+// just drains to the garbage collector, so churning through generations
+// under load leaves the goroutine count flat.
+func TestSnapshotSwapLeaksNoGoroutines(t *testing.T) {
+	f := getFitted(t)
+	before := runtime.NumGoroutine()
+	s0, err := NewSnapshot(f.ds.Model, f.res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandle(s0)
+	rng := rand.New(rand.NewSource(25))
+	qs := randomQueries(rng, f, 8)
+	means := make([]float64, len(qs))
+	vars := make([]float64, len(qs))
+	for gen := 0; gen < 5; gen++ {
+		s, err := NewSnapshot(f.ds.Model, f.res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		old := h.Swap(s)
+		// The old generation keeps answering in-flight reads, then drains.
+		if err := old.PredictInto(qs, means, vars); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.PredictInto(qs, means, vars); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Generous settle: anything the runtime spawned transiently winds down.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before {
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines grew %d → %d across snapshot generations", before, now)
+	}
+}
+
+// The parallel backend is single-flight: a concurrent second call fails
+// with the typed ErrConcurrentParallel instead of quietly serializing. The
+// in-flight state is forced deterministically rather than raced.
+func TestParallelBackendConcurrencyTypedError(t *testing.T) {
+	// The shared test model's time domain (nt=4) is too shallow to
+	// partition (MaxUsefulPartitions(4)=1 falls back to the sequential
+	// factor), so this test fits its own deeper model.
+	ds, err := synth.Generate(synth.GenConfig{
+		Nv: 1, Nt: 8, Nr: 1,
+		MeshNx: 4, MeshNy: 3,
+		ObsPerStep: 15,
+		Seed:       31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := inla.DefaultFitOptions()
+	opts.Opt.MaxIter = 4
+	opts.SkipHyperUncertainty = true
+	res, err := inla.Fit(ds.Model, inla.WeakPrior(ds.Theta0, 5), ds.Theta0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := New(ds.Model, res, WithSolverPartitions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.seqFc {
+		t.Fatal("WithSolverPartitions(2) still built the sequential factor")
+	}
+	sq, err := New(ds.Model, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(26))
+	d := ds.Model.Dims
+	qs := make([]Query, 4)
+	for i := range qs {
+		qs[i] = Query{
+			Point:      mesh.Point{X: rng.Float64() * 300, Y: rng.Float64() * 200},
+			T:          rng.Intn(d.Nt),
+			Response:   0,
+			Covariates: []float64{1},
+		}
+	}
+	means := make([]float64, len(qs))
+	vars := make([]float64, len(qs))
+
+	// Simulate an in-flight call, exactly as PredictInto marks one.
+	pp.busy.Store(true)
+	if err := pp.PredictInto(qs, means, vars); !errors.Is(err, ErrConcurrentParallel) {
+		t.Fatalf("concurrent parallel PredictInto: %v, want ErrConcurrentParallel", err)
+	}
+	pp.busy.Store(false)
+
+	// The flight guard releases: a subsequent call succeeds and matches the
+	// sequential engine.
+	if err := pp.PredictInto(qs, means, vars); err != nil {
+		t.Fatal(err)
+	}
+	wantM, wantV, err := sq.Predict(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if d := means[i] - wantM[i]; d > 1e-8 || d < -1e-8 {
+			t.Errorf("query %d: parallel mean %v vs sequential %v", i, means[i], wantM[i])
+		}
+		if d := vars[i] - wantV[i]; d > 1e-8*(1+wantV[i]) || d < -1e-8*(1+wantV[i]) {
+			t.Errorf("query %d: parallel var %v vs sequential %v", i, vars[i], wantV[i])
+		}
+	}
+
+	// The sequential default never trips the guard, even mid-"flight".
+	sq.busy.Store(true)
+	defer sq.busy.Store(false)
+	if err := sq.PredictInto(qs, means, vars); err != nil {
+		t.Fatalf("sequential PredictInto with busy set: %v", err)
+	}
+}

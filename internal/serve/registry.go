@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// registryShards is the number of independent lock domains the model
+// registry is split across. Lookups on the prediction hot path take one
+// shard's read lock only; fits, deletes and stats on different shards never
+// contend. A power of two keeps the modulo cheap.
+const registryShards = 16
+
+// regShard is one lock domain of the registry: its models, the names
+// reserved by in-flight fits, and the folded counters of models deleted
+// from this shard (so /stats never moves backwards — every model's batch
+// statistics are counted on exactly one side of its shard's lock).
+type regShard struct {
+	mu      sync.RWMutex
+	models  map[string]*servedModel
+	fitting map[string]struct{}
+
+	// counters of deleted models, folded in under mu by remove()
+	retiredBatches    int64
+	retiredBatchedQs  int64
+	retiredMaxBatch   int64
+	retiredSheds      int64
+	retiredSLOFlushes int64
+}
+
+// registry is the sharded model registry: names hash to shards, and every
+// operation locks only the shard it touches.
+type registry struct {
+	shards [registryShards]regShard
+}
+
+func newRegistry() *registry {
+	r := &registry{}
+	for i := range r.shards {
+		r.shards[i].models = map[string]*servedModel{}
+		r.shards[i].fitting = map[string]struct{}{}
+	}
+	return r
+}
+
+func (r *registry) shard(name string) *regShard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(name))
+	return &r.shards[h.Sum32()%registryShards]
+}
+
+// get returns the named model.
+func (r *registry) get(name string) (*servedModel, bool) {
+	sh := r.shard(name)
+	sh.mu.RLock()
+	m, ok := sh.models[name]
+	sh.mu.RUnlock()
+	return m, ok
+}
+
+// reserve marks a name as being fitted, failing if it is already
+// registered or reserved. release undoes a reservation that did not
+// register.
+func (r *registry) reserve(name string) bool {
+	sh := r.shard(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.models[name]; ok {
+		return false
+	}
+	if _, ok := sh.fitting[name]; ok {
+		return false
+	}
+	sh.fitting[name] = struct{}{}
+	return true
+}
+
+func (r *registry) release(name string) {
+	sh := r.shard(name)
+	sh.mu.Lock()
+	delete(sh.fitting, name)
+	sh.mu.Unlock()
+}
+
+// put registers a model, failing on a duplicate name.
+func (r *registry) put(m *servedModel) bool {
+	sh := r.shard(m.name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.models[m.name]; ok {
+		return false
+	}
+	sh.models[m.name] = m
+	return true
+}
+
+// remove unregisters a model whose batcher has already been joined,
+// folding its final counters into the shard's retired totals in the same
+// critical section — stats reading this shard never sees the counters
+// move backwards.
+func (r *registry) remove(m *servedModel) bool {
+	sh := r.shard(m.name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cur, ok := sh.models[m.name]; !ok || cur != m {
+		// A concurrent DELETE won the fold.
+		return false
+	}
+	delete(sh.models, m.name)
+	sh.retiredBatches += m.batcher.batches.Load()
+	sh.retiredBatchedQs += m.batcher.batchedQs.Load()
+	sh.retiredSheds += m.batcher.shed.Load()
+	sh.retiredSLOFlushes += m.batcher.sloFlushes.Load()
+	if mb := m.batcher.maxBatchSeen.Load(); mb > sh.retiredMaxBatch {
+		sh.retiredMaxBatch = mb
+	}
+	return true
+}
+
+// snapshotAll returns every registered model, name-sorted.
+func (r *registry) snapshotAll() []*servedModel {
+	var out []*servedModel
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for _, m := range sh.models {
+			out = append(out, m)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// regTotals are the registry-wide batch statistics: live batchers plus the
+// retired counters of deleted models, each shard read under its own lock.
+type regTotals struct {
+	models     int
+	batches    int64
+	batchedQs  int64
+	maxBatch   int64
+	sheds      int64
+	sloFlushes int64
+}
+
+func (r *registry) totals() regTotals {
+	var t regTotals
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		t.models += len(sh.models)
+		t.batches += sh.retiredBatches
+		t.batchedQs += sh.retiredBatchedQs
+		t.sheds += sh.retiredSheds
+		t.sloFlushes += sh.retiredSLOFlushes
+		if sh.retiredMaxBatch > t.maxBatch {
+			t.maxBatch = sh.retiredMaxBatch
+		}
+		for _, m := range sh.models {
+			t.batches += m.batcher.batches.Load()
+			t.batchedQs += m.batcher.batchedQs.Load()
+			t.sheds += m.batcher.shed.Load()
+			t.sloFlushes += m.batcher.sloFlushes.Load()
+			if mb := m.batcher.maxBatchSeen.Load(); mb > t.maxBatch {
+				t.maxBatch = mb
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return t
+}

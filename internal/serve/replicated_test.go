@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The SLO flush policy must actually fire: with a collection window far
+// longer than the latency target, every batch's deadline comes from the SLO
+// budget, not the window, and /stats records the cut.
+func TestSLOFlushFires(t *testing.T) {
+	srv := New(Options{
+		BatchWindow: 5 * time.Second, // never the binding constraint
+		SLO:         2 * time.Millisecond,
+		Replicas:    1,
+	})
+	m, err := srv.FitModel(FitRequest{Name: "slo", Gen: tinyGen(), MaxIter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	q := QueryJSON{X: 50, Y: 50, T: 0, Response: 0, Covariates: []float64{1, 0}}
+	for i := 0; i < 4; i++ {
+		resp, body := postJSON(t, client, ts.URL+"/v1/models/slo/predict", PredictRequest{Queries: []QueryJSON{q}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict %d status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+
+	var st Stats
+	if code := getJSON(t, client, ts.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.SLOFlushes == 0 {
+		t.Errorf("window=5s slo=2ms served %d batches with zero SLO-driven flushes", st.Batches)
+	}
+	// Latency proof, not just a counter: with the SLO cutting the window,
+	// a lone request must answer in far under the 5s window.
+	t0 := time.Now()
+	resp, body := postJSON(t, client, ts.URL+"/v1/models/slo/predict", PredictRequest{Queries: []QueryJSON{q}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d: %s", resp.StatusCode, body)
+	}
+	if d := time.Since(t0); d > 2*time.Second {
+		t.Errorf("SLO-governed request took %v; the 5s window leaked into latency", d)
+	}
+}
+
+// A replicated worker pool serves concurrent load correctly: every request
+// succeeds, every query is counted exactly once, and /stats reports the
+// configured replica count.
+func TestReplicatedConcurrentPredict(t *testing.T) {
+	const replicas, reqs = 4, 32
+	srv := New(Options{BatchWindow: 200 * time.Microsecond, Replicas: replicas})
+	m, err := srv.FitModel(FitRequest{Name: "rep", Gen: tinyGen(), MaxIter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Reference answer from the published snapshot, single-threaded.
+	q := QueryJSON{X: 120, Y: 40, T: 1, Response: 0, Covariates: []float64{1, 0.5}}
+	resp, body := postJSON(t, client, ts.URL+"/v1/models/rep/predict", PredictRequest{Queries: []QueryJSON{q}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d: %s", resp.StatusCode, body)
+	}
+	want := string(body)
+
+	var wg sync.WaitGroup
+	for i := 0; i < reqs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postJSON(t, client, ts.URL+"/v1/models/rep/predict", PredictRequest{Queries: []QueryJSON{q}})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("concurrent predict status %d: %s", resp.StatusCode, body)
+				return
+			}
+			// Identical query, identical snapshot: replicas must answer
+			// bitwise identically regardless of which worker batched it.
+			if got := string(body); got != want {
+				t.Errorf("replica answer diverged:\n got %s\nwant %s", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var st Stats
+	if code := getJSON(t, client, ts.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Replicas != replicas {
+		t.Errorf("stats replicas=%d, want %d", st.Replicas, replicas)
+	}
+	if st.Queries != reqs+1 || st.PredictRequests != reqs+1 {
+		t.Errorf("stats queries=%d requests=%d, want %d/%d", st.Queries, st.PredictRequests, reqs+1, reqs+1)
+	}
+	if st.ShedRequests != 0 {
+		t.Errorf("%d requests shed under default queue depth", st.ShedRequests)
+	}
+}
+
+// The refit endpoint republishes atomically: an empty-body refit repeats the
+// deterministic recipe, so predictions before and after are bitwise
+// identical, the model card counts the refit, and a concurrent refit is
+// rejected with 409 rather than racing the swap.
+func TestRefitEndpointRepublishes(t *testing.T) {
+	srv := New(Options{})
+	m, err := srv.FitModel(FitRequest{Name: "rf", Gen: tinyGen(), MaxIter: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	q := QueryJSON{X: 77, Y: 33, T: 2, Response: 0, Covariates: []float64{1, -0.3}}
+	resp, before := postJSON(t, client, ts.URL+"/v1/models/rf/predict", PredictRequest{Queries: []QueryJSON{q}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d: %s", resp.StatusCode, before)
+	}
+	oldSnap := m.Snapshot()
+
+	// While a refit is in flight, a second one must conflict, not queue.
+	m.refitting.Store(true)
+	resp, body := postJSON(t, client, ts.URL+"/v1/models/rf/refit", RefitRequest{})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("concurrent refit status %d: %s, want 409", resp.StatusCode, body)
+	}
+	m.refitting.Store(false)
+
+	resp, body = postJSON(t, client, ts.URL+"/v1/models/rf/refit", RefitRequest{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refit status %d: %s", resp.StatusCode, body)
+	}
+	if m.Snapshot() == oldSnap {
+		t.Error("refit did not swap the published snapshot")
+	}
+
+	var info ModelInfo
+	if code := getJSON(t, client, ts.URL+"/v1/models/rf", &info); code != http.StatusOK {
+		t.Fatalf("model card status %d", code)
+	}
+	if info.Refits != 1 {
+		t.Errorf("model card refits=%d, want 1", info.Refits)
+	}
+
+	// Same recipe, deterministic fit: the republished snapshot answers
+	// bitwise identically.
+	resp, after := postJSON(t, client, ts.URL+"/v1/models/rf/predict", PredictRequest{Queries: []QueryJSON{q}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict after refit status %d: %s", resp.StatusCode, after)
+	}
+	if string(before) != string(after) {
+		t.Errorf("refit with the original recipe changed answers:\n before %s\n after  %s", before, after)
+	}
+
+	// A reseeded refit is the rolling-data case: new dataset, new mode.
+	seed := int64(99)
+	resp, body = postJSON(t, client, ts.URL+"/v1/models/rf/refit", RefitRequest{Seed: &seed})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reseeded refit status %d: %s", resp.StatusCode, body)
+	}
+	resp, reseeded := postJSON(t, client, ts.URL+"/v1/models/rf/predict", PredictRequest{Queries: []QueryJSON{q}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict after reseeded refit status %d: %s", resp.StatusCode, reseeded)
+	}
+	if string(reseeded) == string(before) {
+		t.Error("refit against a reseeded dataset left predictions unchanged")
+	}
+
+	var st Stats
+	if code := getJSON(t, client, ts.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Refits != 2 {
+		t.Errorf("stats refits=%d, want 2", st.Refits)
+	}
+}

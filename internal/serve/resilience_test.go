@@ -16,20 +16,20 @@ import (
 // stalledModel registers a tiny fitted model whose batcher has the given
 // admission depth and NO running worker, so the queue state is fully under
 // the test's control (deterministic overload, deterministic timeouts).
-// Call go b.run() to let it drain.
+// Call b.startWorkers(1) to let it drain.
 func stalledModel(t *testing.T, srv *Server, depth int) (*servedModel, *batcher) {
 	t.Helper()
 	m, err := srv.FitModel(FitRequest{Name: "frozen", Gen: tinyGen(), MaxIter: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Join the auto-started worker before replacing the batcher so it never
-	// races the stalled one for requests.
+	// Join the auto-started worker pool before replacing the batcher so it
+	// never races the stalled one for requests.
 	m.batcher.shutdown(nil)
 	b := &batcher{
-		pr:   m.pr,
+		h:    m.handle,
 		ch:   make(chan *pending, depth),
-		stop: make(chan struct{}), workerDone: make(chan struct{}),
+		stop: make(chan struct{}),
 	}
 	m.batcher = b
 	if err := srv.Register(m); err != nil {
@@ -81,7 +81,7 @@ func TestOverloadSheds429(t *testing.T) {
 	}
 
 	// Un-stall: the parked request completes normally.
-	go b.run()
+	b.startWorkers(1)
 	select {
 	case resp := <-first:
 		if resp.StatusCode != http.StatusOK {
@@ -105,7 +105,7 @@ func TestRequestTimeoutAnswers504(t *testing.T) {
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("timed-out predict = %d (%s), want 504", resp.StatusCode, body)
 	}
-	go b.run()
+	b.startWorkers(1)
 	b.shutdown(nil)
 }
 

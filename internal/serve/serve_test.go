@@ -176,7 +176,9 @@ func TestServePredictMatchesDenseReference(t *testing.T) {
 
 // Concurrent single-point requests must coalesce into one multi-RHS batch.
 func TestConcurrentRequestsCoalesce(t *testing.T) {
-	srv := New(Options{BatchWindow: 2 * time.Second})
+	// One replica makes the coalescing deterministic: with a pool, two
+	// workers could legally split the four arrivals into two batches.
+	srv := New(Options{BatchWindow: 2 * time.Second, Replicas: 1})
 	m, err := srv.FitModel(FitRequest{Name: "co", Gen: tinyGen(), MaxIter: 4, MaxBatch: 4})
 	if err != nil {
 		t.Fatal(err)

@@ -1,10 +1,14 @@
 // Package serve implements the dalia-serve batch inference server: a
-// long-lived HTTP JSON service holding a registry of fitted
+// long-lived HTTP JSON service holding a sharded registry of fitted
 // spatio-temporal models (fit once, serve many) and answering posterior
-// prediction queries through the internal/predict engine. Concurrent point
-// queries against the same model are coalesced by a per-model batcher into
-// single multi-RHS solves, so serving throughput scales with the BLAS-3
-// triangular sweep rather than with per-request vector solves.
+// prediction queries through the internal/predict engine. Each model's
+// factorization is frozen into an immutable predict.Snapshot that a pool of
+// worker replicas queries concurrently with zero locking; concurrent point
+// queries are coalesced by a per-model batcher into single multi-RHS
+// solves, with an SLO-driven flush policy bounding tail latency, so serving
+// throughput scales with the BLAS-3 triangular sweep rather than with
+// per-request vector solves. Refits publish a new snapshot through an
+// atomic handle swap without blocking in-flight reads.
 //
 // Endpoints:
 //
@@ -16,6 +20,7 @@
 //	GET    /v1/models/{name}          model card (dims, θ*, fit time)
 //	DELETE /v1/models/{name}          unregister
 //	POST   /v1/models/{name}/predict  batched posterior prediction
+//	POST   /v1/models/{name}/refit    refit and atomically swap the snapshot
 package serve
 
 import (
@@ -25,9 +30,9 @@ import (
 	"fmt"
 	"math"
 	"net/http"
-	"sort"
+	"runtime"
+	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -52,10 +57,20 @@ var ErrOverloaded = errors.New("serve: request queue is full")
 
 // Options configures a Server.
 type Options struct {
-	// BatchWindow is how long the per-model batcher holds the first query
-	// of a batch open for concurrent arrivals. 0 flushes as soon as the
-	// queue momentarily drains (lowest latency, still coalescing bursts).
+	// BatchWindow is how long a batch worker holds the first query of a
+	// batch open for concurrent arrivals. 0 flushes as soon as the queue
+	// momentarily drains (lowest latency, still coalescing bursts).
 	BatchWindow time.Duration
+	// SLO is the per-request latency target the flush policy protects: a
+	// collecting batch flushes early once the oldest queued request's
+	// remaining budget (SLO − time already waited) drops below the
+	// expected batch-solve time, estimated from a decaying latency model.
+	// Layered on the width/window triggers; 0 disables the policy.
+	SLO time.Duration
+	// Replicas sizes each model's batch-worker pool. Every replica reads
+	// the model's immutable snapshot lock-free, so replicas scale
+	// concurrent solves across cores. ≤ 0 = GOMAXPROCS.
+	Replicas int
 	// RequestTimeout bounds each prediction request end to end (admission
 	// wait + batched solve); expiry answers 504. 0 = no deadline.
 	RequestTimeout time.Duration
@@ -75,20 +90,13 @@ type Server struct {
 	start time.Time
 	mux   *http.ServeMux
 
-	mu      sync.RWMutex
-	models  map[string]*servedModel
-	fitting map[string]struct{} // names reserved by in-flight fits
+	reg *registry
 
 	// counters surfaced by /stats
 	fits        atomic.Int64
+	refits      atomic.Int64
 	predictReqs atomic.Int64
 	queries     atomic.Int64
-	// batch counters of deleted models, folded in so /stats never moves
-	// backwards when a model is unregistered
-	retiredBatches   atomic.Int64
-	retiredBatchedQs atomic.Int64
-	retiredMaxBatch  atomic.Int64
-	retiredSheds     atomic.Int64
 
 	// resilience state: draining flips when Shutdown begins (readiness goes
 	// 503 so load balancers stop routing here); panics counts requests the
@@ -99,24 +107,36 @@ type Server struct {
 	panics   atomic.Int64
 }
 
-// servedModel couples one fitted model with its prediction engine and
-// request batcher.
-type servedModel struct {
-	name       string
-	spec       string
-	dims       coreg.Dims
-	width      float64 // spatial domain extent [0,width]×[0,height] (km)
-	height     float64
+// fitMeta is the part of a model card a refit replaces: published through
+// an atomic pointer next to the snapshot handle so /v1/models/{name} never
+// reads a half-updated card.
+type fitMeta struct {
 	theta      []float64
 	fitSeconds float64
-	createdAt  time.Time
-	pr         *predict.Predictor
-	batcher    *batcher
+}
+
+// servedModel couples one fitted model with its snapshot handle and request
+// batcher. The handle is the publication point: the batcher's worker
+// replicas load the current immutable snapshot per batch, and a refit swaps
+// a new one in without blocking them.
+type servedModel struct {
+	name      string
+	spec      string
+	req       FitRequest // the fit recipe, kept for refits
+	dims      coreg.Dims
+	width     float64 // spatial domain extent [0,width]×[0,height] (km)
+	height    float64
+	createdAt time.Time
+	handle    *predict.Handle
+	batcher   *batcher
+	meta      atomic.Pointer[fitMeta]
+	refitting atomic.Bool // single-flight guard for refits
+	refits    atomic.Int64
 }
 
 // New builds a server with an empty registry.
 func New(opts Options) *Server {
-	s := &Server{opts: opts, start: time.Now(), models: map[string]*servedModel{}, fitting: map[string]struct{}{}}
+	s := &Server{opts: opts, start: time.Now(), reg: newRegistry()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -126,12 +146,13 @@ func New(opts Options) *Server {
 	mux.HandleFunc("GET /v1/models/{name}", s.handleGetModel)
 	mux.HandleFunc("DELETE /v1/models/{name}", s.handleDeleteModel)
 	mux.HandleFunc("POST /v1/models/{name}/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/models/{name}/refit", s.handleRefit)
 	s.mux = mux
 	return s
 }
 
 // Handler returns the HTTP handler tree (also used by httptest servers and
-// the serving benchmark), wrapped in the panic-recovery middleware: a
+// the serving benchmarks), wrapped in the panic-recovery middleware: a
 // panicking handler answers its own request with a 500 and increments the
 // panic counter instead of killing the connection (or, for a panic that
 // escapes the handler goroutine entirely, the process).
@@ -160,12 +181,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		ctx, cancel = context.WithTimeout(ctx, s.opts.DrainTimeout)
 		defer cancel()
 	}
-	s.mu.RLock()
-	models := make([]*servedModel, 0, len(s.models))
-	for _, m := range s.models {
-		models = append(models, m)
-	}
-	s.mu.RUnlock()
+	models := s.reg.snapshotAll()
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -213,6 +229,15 @@ type FitRequest struct {
 	MaxBatch int `json:"max_batch,omitempty"`
 }
 
+// RefitRequest re-runs a model's fit and atomically swaps the published
+// snapshot. With no body (or an empty one) the original recipe is repeated;
+// Seed refits against a regenerated dataset (the rolling-data case),
+// MaxIter overrides the BFGS cap for this refit only.
+type RefitRequest struct {
+	Seed    *int64 `json:"seed,omitempty"`
+	MaxIter int    `json:"max_iter,omitempty"`
+}
+
 // QueryJSON is one prediction query.
 type QueryJSON struct {
 	X          float64   `json:"x"`
@@ -250,6 +275,7 @@ type ModelInfo struct {
 	FitSeconds float64   `json:"fit_seconds"`
 	CreatedAt  time.Time `json:"created_at"`
 	MaxBatch   int       `json:"max_batch"`
+	Refits     int64     `json:"refits,omitempty"`
 }
 
 // Stats is the /stats payload.
@@ -257,13 +283,16 @@ type Stats struct {
 	UptimeSeconds   float64 `json:"uptime_seconds"`
 	Models          int     `json:"models"`
 	Fits            int64   `json:"fits"`
+	Refits          int64   `json:"refits"`
 	PredictRequests int64   `json:"predict_requests"`
 	Queries         int64   `json:"queries"`
 	Batches         int64   `json:"batches"`
 	AvgBatchSize    float64 `json:"avg_batch_size"`
 	MaxBatchSize    int64   `json:"max_batch_size"`
+	SLOFlushes      int64   `json:"slo_flushes"`
 	ShedRequests    int64   `json:"shed_requests"`
 	RecoveredPanics int64   `json:"recovered_panics"`
+	Replicas        int     `json:"replicas_per_model"`
 }
 
 type errorJSON struct {
@@ -285,6 +314,40 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_, _ = w.Write(append(data, '\n'))
 }
 
+// writePredictResponse hand-encodes the prediction reply. The predict hot
+// path writes thousands of replies per second, and reflective
+// encoding/json marshaling of three float arrays costs more than the
+// solves they carry; strconv.AppendFloat's shortest-round-trip format
+// produces numbers that parse back to the same float64 at a fraction of
+// the cost.
+func writePredictResponse(w http.ResponseWriter, resp *PredictResponse) {
+	buf := make([]byte, 0, 32+20*3*len(resp.Mean))
+	buf = append(buf, `{"mean":`...)
+	buf = appendFloats(buf, resp.Mean)
+	buf = append(buf, `,"variance":`...)
+	buf = appendFloats(buf, resp.Variance)
+	buf = append(buf, `,"sd":`...)
+	buf = appendFloats(buf, resp.SD)
+	buf = append(buf, '}', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf)
+}
+
+// appendFloats appends a JSON array of finite float64s (predictive means
+// and variances are validated finite upstream; a non-finite value would
+// already have failed the solve).
+func appendFloats(buf []byte, vs []float64) []byte {
+	buf = append(buf, '[')
+	for i, v := range vs {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+	}
+	return append(buf, ']')
+}
+
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
 }
@@ -303,72 +366,54 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
-	if s.shedTotal() > 0 || s.panics.Load() > 0 {
+	if s.reg.totals().sheds > 0 || s.panics.Load() > 0 {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "degraded"})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
-// shedTotal sums shed requests over live and retired batchers.
-func (s *Server) shedTotal() int64 {
-	total := s.retiredSheds.Load()
-	s.mu.RLock()
-	for _, m := range s.models {
-		total += m.batcher.shed.Load()
-	}
-	s.mu.RUnlock()
-	return total
-}
-
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	// Read the retired totals under the same lock deletion folds them
-	// under, so a model is always counted on exactly one side.
-	batches := s.retiredBatches.Load()
-	batchedQs := s.retiredBatchedQs.Load()
-	maxBatch := s.retiredMaxBatch.Load()
-	sheds := s.retiredSheds.Load()
-	nModels := len(s.models)
-	for _, m := range s.models {
-		batches += m.batcher.batches.Load()
-		batchedQs += m.batcher.batchedQs.Load()
-		sheds += m.batcher.shed.Load()
-		if mb := m.batcher.maxBatchSeen.Load(); mb > maxBatch {
-			maxBatch = mb
-		}
-	}
-	s.mu.RUnlock()
+	t := s.reg.totals()
 	st := Stats{
 		UptimeSeconds:   time.Since(s.start).Seconds(),
-		Models:          nModels,
+		Models:          t.models,
 		Fits:            s.fits.Load(),
+		Refits:          s.refits.Load(),
 		PredictRequests: s.predictReqs.Load(),
 		Queries:         s.queries.Load(),
-		Batches:         batches,
-		MaxBatchSize:    maxBatch,
-		ShedRequests:    sheds,
+		Batches:         t.batches,
+		MaxBatchSize:    t.maxBatch,
+		SLOFlushes:      t.sloFlushes,
+		ShedRequests:    t.sheds,
 		RecoveredPanics: s.panics.Load(),
+		Replicas:        s.replicas(),
 	}
-	if batches > 0 {
-		st.AvgBatchSize = float64(batchedQs) / float64(batches)
+	if t.batches > 0 {
+		st.AvgBatchSize = float64(t.batchedQs) / float64(t.batches)
 	}
 	writeJSON(w, http.StatusOK, st)
 }
 
+// replicas reports the effective per-model worker pool size.
+func (s *Server) replicas() int {
+	if s.opts.Replicas > 0 {
+		return s.opts.Replicas
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 func (s *Server) handleListModels(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	infos := make([]ModelInfo, 0, len(s.models))
-	for _, m := range s.models {
+	models := s.reg.snapshotAll()
+	infos := make([]ModelInfo, 0, len(models))
+	for _, m := range models {
 		infos = append(infos, m.info())
 	}
-	s.mu.RUnlock()
-	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	writeJSON(w, http.StatusOK, map[string]any{"models": infos})
 }
 
 func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
-	m, ok := s.lookup(r.PathValue("name"))
+	m, ok := s.reg.get(r.PathValue("name"))
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no model %q", r.PathValue("name"))
 		return
@@ -378,38 +423,21 @@ func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	s.mu.RLock()
-	m, ok := s.models[name]
-	s.mu.RUnlock()
+	m, ok := s.reg.get(name)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no model %q", name)
 		return
 	}
-	// Join the worker first so its final flush is counted, then fold the
-	// dead batcher's counters and remove the model in one critical section
-	// — /stats (which reads under the same lock) never sees the counters
-	// move backwards. Requests arriving while the batcher winds down fail
-	// with errStopped and are answered 404.
+	// Join the workers first so their final flushes are counted, then fold
+	// the dead batcher's counters and remove the model in one critical
+	// section — /stats (which reads under the same shard lock) never sees
+	// the counters move backwards. Requests arriving while the batcher
+	// winds down fail with errStopped and are answered 404.
 	m.batcher.shutdown(nil)
-	s.mu.Lock()
-	if _, still := s.models[name]; !still {
-		// A concurrent DELETE won the fold.
-		s.mu.Unlock()
+	if !s.reg.remove(m) {
 		writeErr(w, http.StatusNotFound, "no model %q", name)
 		return
 	}
-	delete(s.models, name)
-	s.retiredBatches.Add(m.batcher.batches.Load())
-	s.retiredBatchedQs.Add(m.batcher.batchedQs.Load())
-	s.retiredSheds.Add(m.batcher.shed.Load())
-	for {
-		cur := s.retiredMaxBatch.Load()
-		mb := m.batcher.maxBatchSeen.Load()
-		if mb <= cur || s.retiredMaxBatch.CompareAndSwap(cur, mb) {
-			break
-		}
-	}
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
 
@@ -426,21 +454,11 @@ func (s *Server) handleFitModel(w http.ResponseWriter, r *http.Request) {
 	// Reserve the name before the (potentially multi-second) fit so a
 	// concurrent duplicate request conflicts immediately instead of both
 	// running the full INLA fit and one result being discarded.
-	s.mu.Lock()
-	_, exists := s.models[req.Name]
-	_, inFlight := s.fitting[req.Name]
-	if exists || inFlight {
-		s.mu.Unlock()
+	if !s.reg.reserve(req.Name) {
 		writeErr(w, http.StatusConflict, "model %q already registered", req.Name)
 		return
 	}
-	s.fitting[req.Name] = struct{}{}
-	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		delete(s.fitting, req.Name)
-		s.mu.Unlock()
-	}()
+	defer s.reg.release(req.Name)
 	m, err := s.FitModel(req)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -454,8 +472,49 @@ func (s *Server) handleFitModel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, m.info())
 }
 
+// handleRefit re-runs a registered model's fit (optionally against a
+// reseeded dataset) and publishes the resulting snapshot through the atomic
+// handle swap — in-flight predictions finish against the old snapshot, new
+// batches read the fresh one, and no reader ever blocks on the fit.
+func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	m, ok := s.reg.get(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no model %q", name)
+		return
+	}
+	var req RefitRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+			return
+		}
+	}
+	// Refits are single-flight per model: the fit is seconds of work, and
+	// two concurrent refits would race their swaps in arbitrary order.
+	if !m.refitting.CompareAndSwap(false, true) {
+		writeErr(w, http.StatusConflict, "model %q is already refitting", name)
+		return
+	}
+	defer m.refitting.Store(false)
+	fitReq := m.req
+	if req.MaxIter > 0 {
+		fitReq.MaxIter = req.MaxIter
+	}
+	snap, _, _, _, meta, err := s.fitSnapshot(fitReq, req.Seed)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "refit: %v", err)
+		return
+	}
+	m.meta.Store(meta)
+	m.handle.Swap(snap)
+	m.refits.Add(1)
+	s.refits.Add(1)
+	writeJSON(w, http.StatusOK, m.info())
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	m, ok := s.lookup(r.PathValue("name"))
+	m, ok := s.reg.get(r.PathValue("name"))
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no model %q", r.PathValue("name"))
 		return
@@ -549,28 +608,55 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	for i, v := range vars {
 		resp.SD[i] = sqrt(v)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writePredictResponse(w, &resp)
 }
 
-func (s *Server) lookup(name string) (*servedModel, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	m, ok := s.models[name]
-	return m, ok
-}
-
-// FitModel generates the dataset, runs the INLA fit and builds the
-// prediction engine — the fit-once step of the registry. Exported so the
-// serving benchmark and the dalia-serve preload path can register models
+// FitModel generates the dataset, runs the INLA fit and freezes the
+// prediction snapshot — the fit-once step of the registry. Exported so the
+// serving benchmarks and the dalia-serve preload path can register models
 // without going through HTTP.
 func (s *Server) FitModel(req FitRequest) (*servedModel, error) {
-	gen, specID, err := resolveGen(req)
+	snap, gen, specID, dims, meta, err := s.fitSnapshot(req, nil)
 	if err != nil {
 		return nil, err
 	}
+	width, height := gen.Width, gen.Height
+	if width == 0 {
+		width = 400 // synth.Generate's domain defaults
+	}
+	if height == 0 {
+		height = 300
+	}
+	handle := predict.NewHandle(snap)
+	m := &servedModel{
+		name:      req.Name,
+		spec:      specID,
+		req:       req,
+		dims:      dims,
+		width:     width,
+		height:    height,
+		createdAt: time.Now(),
+		handle:    handle,
+		batcher:   newBatcher(handle, s.opts),
+	}
+	m.meta.Store(meta)
+	return m, nil
+}
+
+// fitSnapshot is the shared fit core of FitModel and refits: resolve the
+// dataset recipe (optionally reseeded), generate, fit, and freeze the
+// result into an immutable snapshot.
+func (s *Server) fitSnapshot(req FitRequest, seed *int64) (*predict.Snapshot, synth.GenConfig, string, coreg.Dims, *fitMeta, error) {
+	gen, specID, err := resolveGen(req)
+	if err != nil {
+		return nil, synth.GenConfig{}, "", coreg.Dims{}, nil, err
+	}
+	if seed != nil {
+		gen.Seed = *seed
+	}
 	ds, err := synth.Generate(gen)
 	if err != nil {
-		return nil, fmt.Errorf("dataset generation: %w", err)
+		return nil, synth.GenConfig{}, "", coreg.Dims{}, nil, fmt.Errorf("dataset generation: %w", err)
 	}
 	maxIter := req.MaxIter
 	if maxIter <= 0 {
@@ -585,53 +671,30 @@ func (s *Server) FitModel(req FitRequest) (*servedModel, error) {
 	prior := inla.WeakPrior(ds.Theta0, 5)
 	res, err := inla.Fit(ds.Model, prior, ds.Theta0, opts)
 	if err != nil {
-		return nil, fmt.Errorf("fit: %w", err)
+		return nil, synth.GenConfig{}, "", coreg.Dims{}, nil, fmt.Errorf("fit: %w", err)
 	}
 	fitSecs := time.Since(t0).Seconds()
-	// The per-model batcher is a single worker, so solves are one-at-a-time
-	// by construction: opt into the parallel-in-time backend and let each
-	// solve (and the one-off mode factorization) use the spare cores.
-	popts := []predict.Option{predict.WithSolverPartitions(0)}
+	popts := []predict.Option{}
 	if req.IncludeNoise {
 		popts = append(popts, predict.WithObservationNoise())
 	}
 	if req.MaxBatch > 0 {
 		popts = append(popts, predict.WithMaxBatch(req.MaxBatch))
 	}
-	pr, err := predict.New(ds.Model, res, popts...)
+	snap, err := predict.NewSnapshot(ds.Model, res, popts...)
 	if err != nil {
-		return nil, fmt.Errorf("predictor: %w", err)
+		return nil, synth.GenConfig{}, "", coreg.Dims{}, nil, fmt.Errorf("snapshot: %w", err)
 	}
-	width, height := gen.Width, gen.Height
-	if width == 0 {
-		width = 400 // synth.Generate's domain defaults
-	}
-	if height == 0 {
-		height = 300
-	}
-	return &servedModel{
-		name:       req.Name,
-		spec:       specID,
-		dims:       ds.Model.Dims,
-		width:      width,
-		height:     height,
-		theta:      append([]float64(nil), res.Theta...),
-		fitSeconds: fitSecs,
-		createdAt:  time.Now(),
-		pr:         pr,
-		batcher:    newBatcher(pr, s.opts.BatchWindow, s.opts.QueueDepth),
-	}, nil
+	meta := &fitMeta{theta: append([]float64(nil), res.Theta...), fitSeconds: fitSecs}
+	return snap, gen, specID, ds.Model.Dims, meta, nil
 }
 
 // Register inserts an externally fitted model into the registry (the
 // non-HTTP twin of POST /v1/models, used by preloading and benchmarks).
 func (s *Server) Register(m *servedModel) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.models[m.name]; ok {
+	if !s.reg.put(m) {
 		return fmt.Errorf("serve: model %q already registered", m.name)
 	}
-	s.models[m.name] = m
 	s.fits.Add(1)
 	return nil
 }
@@ -669,14 +732,19 @@ func resolveGen(req FitRequest) (synth.GenConfig, string, error) {
 	}
 }
 
-// Predictor exposes the model's prediction engine (used by the serving
-// benchmark to measure the raw engine path next to the HTTP path).
-func (m *servedModel) Predictor() *predict.Predictor { return m.pr }
+// Snapshot exposes the model's currently published prediction snapshot
+// (used by the serving benchmarks to measure the raw engine path next to
+// the HTTP path).
+func (m *servedModel) Snapshot() *predict.Snapshot { return m.handle.Load() }
+
+// Handle exposes the model's snapshot publication point.
+func (m *servedModel) Handle() *predict.Handle { return m.handle }
 
 // Dims exposes the model's dimensions.
 func (m *servedModel) Dims() coreg.Dims { return m.dims }
 
 func (m *servedModel) info() ModelInfo {
+	meta := m.meta.Load()
 	return ModelInfo{
 		Name:       m.name,
 		Spec:       m.spec,
@@ -687,10 +755,11 @@ func (m *servedModel) info() ModelInfo {
 		LatentDim:  m.dims.Total(),
 		Width:      m.width,
 		Height:     m.height,
-		Theta:      m.theta,
-		FitSeconds: m.fitSeconds,
+		Theta:      meta.theta,
+		FitSeconds: meta.fitSeconds,
 		CreatedAt:  m.createdAt,
-		MaxBatch:   m.pr.MaxBatch(),
+		MaxBatch:   m.handle.Load().MaxBatch(),
+		Refits:     m.refits.Load(),
 	}
 }
 
