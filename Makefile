@@ -14,23 +14,25 @@
 #                     PR 3 the parallel-in-time baseline, PR 4 the hybrid
 #                     two-level scheduling baseline, PR 5 the recursive
 #                     reduced-system engine baseline, PR 6 the serving
-#                     latency baseline)
+#                     latency baseline, PR 7 the crash-recovery baseline)
 #   make bench-smoke— regression gates: kernels GEMM rate vs BENCH_1.json
 #                     (25% floor), serving engine path vs BENCH_2.json,
 #                     pintime rates vs BENCH_3.json, hybrid solver cycle
 #                     rates vs BENCH_4.json, reduced-engine cycle rates vs
 #                     BENCH_5.json (40% floors — the quick-mode runs are
-#                     shorter and noisier) and serving p99 latency vs
-#                     BENCH_6.json (25% ceiling, p99 only)
+#                     shorter and noisier), serving p99 latency vs
+#                     BENCH_6.json (25% ceiling, p99 only) and crash
+#                     recovery vs BENCH_7.json (restart cost ceiling plus
+#                     the unconditional byte-identical-predictions check)
 #   make all        — everything above
 
 GO ?= go
 # PR/BENCH parameterize the baseline artifact so successive PRs never
 # clobber earlier baselines (BENCH_1.json is the PR 1 kernels reference the
 # smoke compares against).
-PR ?= 6
+PR ?= 7
 BENCH ?= BENCH_$(PR).json
-EXP ?= latency
+EXP ?= recovery
 
 .PHONY: all test vet fmt-check race purego bench baseline bench-smoke ci ci-local
 
@@ -69,6 +71,7 @@ bench-smoke:
 	$(GO) run ./cmd/dalia-bench -exp=hybrid -quick -compare BENCH_4.json -maxregress 0.4
 	$(GO) run ./cmd/dalia-bench -exp=reduced -quick -compare BENCH_5.json -maxregress 0.4
 	$(GO) run ./cmd/dalia-bench -exp=latency -quick -compare BENCH_6.json -maxregress 0.25
+	$(GO) run ./cmd/dalia-bench -exp=recovery -quick -compare BENCH_7.json -maxregress 1.0
 
 ci: fmt-check test race purego
 	-$(MAKE) bench-smoke
@@ -81,8 +84,9 @@ ci-local: fmt-check test race
 	GOMAXPROCS=2 $(GO) test -race -count=1 ./internal/bta/ ./internal/comm/ ./internal/inla/ ./internal/predict/ ./internal/serve/
 	GOMAXPROCS=8 $(GO) test -race -count=1 ./internal/bta/ ./internal/comm/ ./internal/inla/ ./internal/predict/ ./internal/serve/
 	$(GO) test -race -count=2 \
-		-run 'Chaos|Fault|Kill|Shrink|Revoke|Timeout|Corrupt|Dropped|Dead|Quarantine|Recovery|Overload|Shutdown|Drain|Panic|Readyz|Resilience' \
-		./internal/comm/ ./internal/bta/ ./internal/inla/ ./internal/serve/
+		-run 'Chaos|Fault|Kill|Shrink|Revoke|Timeout|Corrupt|Dropped|Dead|Quarantine|Recovery|Overload|Shutdown|Drain|Panic|Readyz|Resilience|Torture|Restart|Interrupted' \
+		./internal/comm/ ./internal/bta/ ./internal/inla/ ./internal/serve/ ./internal/store/
+	$(GO) test -count=1 -run 'CrashRestartRecovery' ./cmd/dalia-serve/
 	$(GO) test -tags purego ./...
 	GOOS=linux GOARCH=arm64 $(GO) build ./...
 	-$(MAKE) bench-smoke

@@ -24,7 +24,9 @@
 // BENCH_5.json, -compare gates against one), latency (closed-loop clients
 // against the replicated HTTP serving path: p50/p99/p999 request latency
 // and throughput; -out writes BENCH_6.json, -compare gates p99 against
-// one).
+// one), recovery (crash recovery: restart-from-store vs refit cost for a
+// registry of fitted models, asserting byte-identical predictions; -out
+// writes BENCH_7.json, -compare gates restart cost against one).
 package main
 
 import (
@@ -189,6 +191,39 @@ func main() {
 			}
 			return nil
 		}},
+		{"recovery", "crash recovery: restart-from-store vs refit (byte-identical predictions)", func(quick bool) error {
+			base, err := bench.Recovery(quick)
+			if err != nil {
+				return err
+			}
+			bench.PrintRecovery(base, os.Stdout)
+			if *out != "" {
+				if err := bench.WriteRecoveryBaseline(base, *out); err != nil {
+					return err
+				}
+				fmt.Printf("    baseline written to %s\n", *out)
+			}
+			if *compare != "" {
+				stored, err := bench.LoadRecoveryBaseline(*compare)
+				if err != nil {
+					return err
+				}
+				if !bench.RecoveryComparable(base, stored) {
+					fmt.Printf("    gate skipped: GOMAXPROCS %d here vs %d in %s (restart times not comparable)\n",
+						base.GoMaxProcs, stored.GoMaxProcs, *compare)
+					return nil
+				}
+				regs := bench.CompareRecovery(base, stored, *maxRegress)
+				if len(regs) > 0 {
+					for _, r := range regs {
+						fmt.Fprintf(os.Stderr, "    REGRESSION %s\n", r)
+					}
+					return fmt.Errorf("%d recovery regression(s) beyond %.0f%% vs %s", len(regs), *maxRegress*100, *compare)
+				}
+				fmt.Printf("    no recovery regression beyond %.0f%% vs %s\n", *maxRegress*100, *compare)
+			}
+			return nil
+		}},
 		{"hybrid", "hybrid two-level (ranks × partitions) distributed BTA solver", func(quick bool) error {
 			base, err := bench.Hybrid(quick)
 			if err != nil {
@@ -299,13 +334,13 @@ func main() {
 	// -out is honored by several experiments; refuse a selection where a
 	// later one would silently overwrite an earlier one's file.
 	nOut := 0
-	for _, name := range []string{"kernels", "serving", "pintime", "hybrid", "reduced", "latency"} {
+	for _, name := range []string{"kernels", "serving", "pintime", "hybrid", "reduced", "latency", "recovery"} {
 		if runAll || want[name] {
 			nOut++
 		}
 	}
 	if *out != "" && nOut > 1 {
-		fmt.Fprintln(os.Stderr, "-out with several baseline-writing experiments selected would write them to one path; pick one of kernels/serving/pintime/hybrid/reduced/latency")
+		fmt.Fprintln(os.Stderr, "-out with several baseline-writing experiments selected would write them to one path; pick one of kernels/serving/pintime/hybrid/reduced/latency/recovery")
 		os.Exit(2)
 	}
 

@@ -10,12 +10,20 @@
 //	dalia-serve -addr :9000 -window 2ms  # custom bind and batch window
 //	dalia-serve -replicas 4 -slo 10ms    # worker pool size and latency SLO
 //	dalia-serve -preload MB1,AP1         # fit Table IV datasets at startup
+//	dalia-serve -store-dir /var/lib/dalia # durable checkpoints + crash recovery
 //	dalia-serve -request-timeout 5s -queue-depth 128 -drain-timeout 10s
+//
+// With -store-dir every successful fit or refit is checkpointed to a
+// crash-safe store (atomic rename + write-ahead log) and in-flight fits
+// checkpoint their optimizer state. On restart the registry is rebuilt
+// from the store — recovered models serve bitwise-identical predictions
+// without re-running a single mode search, and interrupted fits resume
+// from their last BFGS iterate instead of θ₀.
 //
 // SIGINT/SIGTERM trigger a graceful drain: readiness flips to 503 so load
 // balancers stop routing here, in-flight batches complete, queued requests
-// fail with 503 + Retry-After, and the listener closes once the drain
-// finishes (or -drain-timeout elapses).
+// fail with 503 + Retry-After, pending checkpoints flush to the store, and
+// the listener closes once the drain finishes (or -drain-timeout elapses).
 //
 // See the package comment of internal/serve for the endpoint list and
 // examples/serving for a walkthrough with a curl transcript.
@@ -26,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -34,6 +43,7 @@ import (
 	"time"
 
 	"github.com/dalia-hpc/dalia/internal/serve"
+	"github.com/dalia-hpc/dalia/internal/store"
 )
 
 func main() {
@@ -46,16 +56,35 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request deadline for prediction requests, 504 on expiry (0 = none)")
 	queueDepth := flag.Int("queue-depth", 0, "per-model admission queue depth; a full queue sheds with 429 + Retry-After (0 = default 64)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long a SIGINT/SIGTERM drain waits for in-flight batches (0 = indefinitely)")
+	storeDir := flag.String("store-dir", "", "durable checkpoint store directory: fits persist here and the registry recovers on restart (empty = in-memory only)")
+	ckptEvery := flag.Int("checkpoint-every", 1, "persist in-flight optimizer state every N BFGS iterations (with -store-dir)")
 	flag.Parse()
 
-	srv := serve.New(serve.Options{
-		BatchWindow:    *window,
-		SLO:            *slo,
-		Replicas:       *replicas,
-		RequestTimeout: *reqTimeout,
-		QueueDepth:     *queueDepth,
-		DrainTimeout:   *drainTimeout,
-	})
+	opts := serve.Options{
+		BatchWindow:     *window,
+		SLO:             *slo,
+		Replicas:        *replicas,
+		RequestTimeout:  *reqTimeout,
+		QueueDepth:      *queueDepth,
+		DrainTimeout:    *drainTimeout,
+		CheckpointEvery: *ckptEvery,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("dalia-serve: "+format+"\n", args...)
+		},
+	}
+	if *storeDir != "" {
+		st, stats, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dalia-serve: open store %s: %v\n", *storeDir, err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		opts.Store = st
+		opts.Recovery = stats
+		fmt.Printf("dalia-serve: store %s opened: %s\n", *storeDir, stats)
+	}
+
+	srv := serve.New(opts)
 	if *preload != "" {
 		for _, spec := range strings.Split(*preload, ",") {
 			spec = strings.TrimSpace(spec)
@@ -78,14 +107,21 @@ func main() {
 		}
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Explicit Listen (instead of ListenAndServe) so ":0" binds print the
+	// actual address — the crash-restart harness depends on this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dalia-serve: listen %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
 	errCh := make(chan error, 1)
-	go func() { errCh <- hs.ListenAndServe() }()
+	go func() { errCh <- hs.Serve(ln) }()
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 
-	fmt.Printf("dalia-serve listening on %s (batch window %v)\n", *addr, *window)
+	fmt.Printf("dalia-serve listening on %s (batch window %v)\n", ln.Addr(), *window)
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -101,8 +137,9 @@ func main() {
 			defer cancel()
 		}
 		// Drain the batchers first (queued work answers 503 + Retry-After,
-		// in-flight batches finish), then close the HTTP listener waiting
-		// for the in-flight handlers to write their replies.
+		// in-flight batches finish, pending checkpoints flush to the store),
+		// then close the HTTP listener waiting for the in-flight handlers to
+		// write their replies.
 		if err := srv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "dalia-serve: drain: %v\n", err)
 		}

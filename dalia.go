@@ -42,6 +42,7 @@ import (
 	"github.com/dalia-hpc/dalia/internal/predict"
 	"github.com/dalia-hpc/dalia/internal/serve"
 	"github.com/dalia-hpc/dalia/internal/spde"
+	"github.com/dalia-hpc/dalia/internal/store"
 	"github.com/dalia-hpc/dalia/internal/synth"
 )
 
@@ -144,9 +145,51 @@ type (
 	// fitted models with per-model replicated request batching.
 	Server = serve.Server
 	// ServeOptions configures a Server (batch coalescing window, latency
-	// SLO, worker replicas per model).
+	// SLO, worker replicas per model, durable checkpoint store).
 	ServeOptions = serve.Options
 )
+
+// Crash-safe persistence types (the durable checkpoint store).
+type (
+	// CheckpointStore is a durable, crash-safe store for fitted models:
+	// versioned checksummed checkpoints published atomically under a small
+	// write-ahead log, with generation retention and quarantine of anything
+	// that fails validation on recovery.
+	CheckpointStore = store.Store
+	// Checkpoint is one durable record: an opaque spec (fit recipe) plus an
+	// opaque payload (serialized fit result or optimizer state).
+	Checkpoint = store.Checkpoint
+	// StoreRecoveryStats reports what recovery found on open: models
+	// recovered, corrupt generations quarantined, uncommitted publishes
+	// rolled back, torn WAL tails truncated.
+	StoreRecoveryStats = store.RecoveryStats
+	// FitCheckpoint is the resumable BFGS optimizer state emitted by
+	// FitOptions.Checkpoint: a killed fit resumes from its last iterate via
+	// FitOptions.Resume instead of restarting at θ₀.
+	FitCheckpoint = inla.OptCheckpoint
+)
+
+// ErrFitCanceled is returned (wrapped) by Fit when FitOptions.Ctx is
+// canceled: the mode search stops at an iteration boundary after emitting a
+// final checkpoint.
+var ErrFitCanceled = inla.ErrFitCanceled
+
+// OpenStore opens (creating if needed) a durable checkpoint store rooted at
+// dir and runs crash recovery: torn writes rolled back, corrupt generations
+// quarantined with fallback to the previous generation. Wire the returned
+// store into ServeOptions.Store and a restarted server rebuilds its whole
+// registry without re-running a single fit.
+func OpenStore(dir string) (*CheckpointStore, *StoreRecoveryStats, error) {
+	return store.Open(dir)
+}
+
+// MarshalResult serializes a fit result to the stable binary format used by
+// checkpoint payloads; the float64 bits round-trip exactly.
+func MarshalResult(r *Result) []byte { return inla.MarshalResult(r) }
+
+// UnmarshalResult decodes a MarshalResult payload, rejecting truncated or
+// corrupt input.
+func UnmarshalResult(data []byte) (*Result, error) { return inla.UnmarshalResult(data) }
 
 // ErrConcurrentPredict is returned by a Predictor backed by the parallel
 // (partitioned) factorization when two goroutines call it at once: the

@@ -34,9 +34,31 @@ func show(method, path string, body, reply []byte) {
 	fmt.Println()
 }
 
-// call sends one request as a well-behaved client: a 429 (queue full) or
-// 503 (draining) reply is retried with exponential backoff seeded from the
-// server's Retry-After hint, instead of piling onto an overloaded server.
+// serverDraining asks /readyz whether the server is shutting down for good.
+// A draining server answers 503 with status "draining" — retrying against it
+// is wasted work, because a drain never un-drains.
+func serverDraining(client *http.Client, base string) bool {
+	resp, err := client.Get(base + "/readyz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	var ready struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		return false
+	}
+	return ready.Status == "draining"
+}
+
+// call sends one request as a well-behaved client, distinguishing the two
+// shedding replies: 429 (queue momentarily full) is transient, so it retries
+// with exponential backoff seeded from the server's Retry-After hint; 503
+// during a graceful drain is terminal, so the client checks /readyz and
+// gives up immediately instead of retrying against a server that is going
+// away. A 503 on a server that is NOT draining (e.g. a refit briefly
+// rejected) still gets the backoff treatment.
 func call(client *http.Client, base, method, path string, payload any) ([]byte, []byte) {
 	var body []byte
 	if payload != nil {
@@ -63,7 +85,14 @@ func call(client *http.Client, base, method, path string, payload any) ([]byte, 
 		if err != nil {
 			log.Fatal(err)
 		}
-		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		switch resp.StatusCode {
+		case http.StatusServiceUnavailable:
+			if serverDraining(client, base) {
+				log.Fatalf("%s %s: server is draining (503 + Retry-After %q); not retrying — find another replica",
+					method, path, resp.Header.Get("Retry-After"))
+			}
+			fallthrough
+		case http.StatusTooManyRequests:
 			if attempt >= maxAttempts {
 				log.Fatalf("%s %s: still shedding after %d attempts: %d: %s", method, path, attempt, resp.StatusCode, reply)
 			}

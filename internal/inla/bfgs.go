@@ -1,6 +1,7 @@
 package inla
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -22,6 +23,26 @@ type OptOptions struct {
 	// RetryBackoff is the stencil-shrink factor of each retry (default 0.5):
 	// a smaller h pulls the stencil arms back inside the feasible region.
 	RetryBackoff float64
+	// Ctx, when non-nil, lets a caller abort the search between iterations:
+	// cancellation is observed at iteration boundaries only (a checkpoint
+	// boundary — the iterate, gradient and inverse Hessian are consistent),
+	// and the search returns the current iterate with ErrFitCanceled.
+	Ctx context.Context
+	// Checkpoint, when set, receives a consistent deep-copied snapshot of
+	// the optimizer state every CheckpointEvery completed iterations (and on
+	// a context abort). An error returned by the callback stops the search
+	// — callers that treat persistence as best-effort absorb errors inside
+	// the callback instead.
+	Checkpoint func(*OptCheckpoint) error
+	// CheckpointEvery is the iteration stride of the Checkpoint callback
+	// (≤ 0 = every iteration).
+	CheckpointEvery int
+	// Resume, when set, restarts the search from a previously captured
+	// checkpoint instead of theta0: the iterate, gradient, objective and
+	// inverse Hessian are restored exactly, so the continuation performs the
+	// same evaluations the uninterrupted run would have from that iteration
+	// on. Iteration and evaluation counters continue from the checkpoint.
+	Resume *OptCheckpoint
 }
 
 // DefaultOptOptions mirrors the tolerances R-INLA uses for its BFGS stage.
@@ -48,6 +69,12 @@ var ErrLineSearchFailed = errors.New("inla: line search failed to decrease the o
 // infeasible points, leaving the gradient NaN/Inf; the current iterate is
 // returned as the best available mode.
 var ErrGradientUndefined = errors.New("inla: finite-difference gradient is undefined (stencil hit infeasible points)")
+
+// ErrFitCanceled signals that the search's context was canceled; the search
+// stopped at an iteration boundary and the current iterate is returned as
+// the best available mode (a resumable checkpoint was emitted first when a
+// Checkpoint callback is configured).
+var ErrFitCanceled = errors.New("inla: fit canceled")
 
 // finiteVec reports whether every component is finite.
 func finiteVec(v []float64) bool {
@@ -195,14 +222,35 @@ func bfgsUpdate(hInv *dense.Matrix, s, yv, hy []float64) {
 	}
 }
 
+// snapshotOpt deep-copies the live optimizer state into a resumable
+// checkpoint (the Checkpoint callback owns the copy outright).
+func snapshotOpt(st *bfgsState, hInv *dense.Matrix, f float64, iter int, res *OptResult) *OptCheckpoint {
+	return (&OptCheckpoint{
+		Theta: st.x, Grad: st.g, F: f, HInv: hInv,
+		Iter: iter, FEvals: res.FEvals, Trace: res.Trace,
+	}).clone()
+}
+
 // Minimize runs BFGS on F(θ) = −fobj(θ) with gradients from parallel
 // central differences evaluated through the Evaluator. All iteration state
 // lives in buffers allocated once up front; the per-iteration cost is the
 // Evaluator batches.
+//
+// With opt.Resume set the search continues from the checkpointed iterate
+// instead of theta0; with opt.Checkpoint set a resumable snapshot is emitted
+// every opt.CheckpointEvery completed iterations; with opt.Ctx set a
+// cancellation aborts at the next iteration boundary with ErrFitCanceled.
 func Minimize(e Evaluator, theta0 []float64, opt OptOptions) (*OptResult, error) {
 	d := len(theta0)
+	if opt.Resume != nil && len(opt.Resume.Theta) != d {
+		return nil, fmt.Errorf("inla: resume checkpoint dimension %d, want %d", len(opt.Resume.Theta), d)
+	}
 	st := newBFGSState(theta0)
 	hInv := dense.Eye(d) // inverse Hessian approximation
+	ckEvery := opt.CheckpointEvery
+	if ckEvery <= 0 {
+		ckEvery = 1
+	}
 
 	finish := func(res *OptResult, f float64) *OptResult {
 		res.Theta = append([]float64(nil), st.x...)
@@ -210,11 +258,36 @@ func Minimize(e Evaluator, theta0 []float64, opt OptOptions) (*OptResult, error)
 		return res
 	}
 
-	f, nevals, gradOK := evalGradient(e, st, st.x, st.g, opt)
-	if math.IsInf(f, 1) {
-		return nil, fmt.Errorf("inla: objective is infeasible at the initial point")
+	var res *OptResult
+	var f float64
+	var gradOK bool
+	startIter := 0
+	if ck := opt.Resume; ck != nil {
+		// Restore the interrupted search's exact state: from here on the
+		// continuation evaluates the same points the uninterrupted run
+		// would have.
+		copy(st.x, ck.Theta)
+		copy(st.g, ck.Grad)
+		f = ck.F
+		if ck.HInv != nil && ck.HInv.Rows == d && ck.HInv.Cols == d {
+			for i := 0; i < d; i++ {
+				for j := 0; j < d; j++ {
+					hInv.Set(i, j, ck.HInv.At(i, j))
+				}
+			}
+		}
+		startIter = ck.Iter
+		gradOK = finiteVec(st.g)
+		res = &OptResult{FEvals: ck.FEvals, Iterations: ck.Iter,
+			Trace: append([]float64(nil), ck.Trace...)}
+	} else {
+		var nevals int
+		f, nevals, gradOK = evalGradient(e, st, st.x, st.g, opt)
+		if math.IsInf(f, 1) {
+			return nil, fmt.Errorf("inla: objective is infeasible at the initial point")
+		}
+		res = &OptResult{FEvals: nevals, Trace: []float64{f}}
 	}
-	res := &OptResult{FEvals: nevals, Trace: []float64{f}}
 
 	gradientUndefined := func() error {
 		if opt.MaxEvalRetries > 0 {
@@ -223,7 +296,17 @@ func Minimize(e Evaluator, theta0 []float64, opt OptOptions) (*OptResult, error)
 		return ErrGradientUndefined
 	}
 
-	for iter := 0; iter < opt.MaxIter; iter++ {
+	for iter := startIter; iter < opt.MaxIter; iter++ {
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			// Iteration boundaries are checkpoint boundaries: emit a final
+			// resumable snapshot, then abort with the current iterate.
+			if opt.Checkpoint != nil {
+				if cerr := opt.Checkpoint(snapshotOpt(st, hInv, f, iter, res)); cerr != nil {
+					return finish(res, f), fmt.Errorf("%w; final checkpoint: %v", ErrFitCanceled, cerr)
+				}
+			}
+			return finish(res, f), fmt.Errorf("%w: %v", ErrFitCanceled, opt.Ctx.Err())
+		}
 		res.Iterations = iter + 1
 		if !gradOK || !finiteVec(st.g) {
 			return finish(res, f), gradientUndefined()
@@ -261,6 +344,7 @@ func Minimize(e Evaluator, theta0 []float64, opt OptOptions) (*OptResult, error)
 		}
 		// New gradient (parallel batch). Prefer the batched center value
 		// (identical point) for consistency.
+		var nevals int
 		fNew, nevals, gradOK = evalGradient(e, st, st.xNew, st.gNew, opt)
 		res.FEvals += nevals
 
@@ -276,6 +360,11 @@ func Minimize(e Evaluator, theta0 []float64, opt OptOptions) (*OptResult, error)
 		st.probe[0] = st.xNew
 		f = fNew
 		res.Trace = append(res.Trace, f)
+		if opt.Checkpoint != nil && (iter+1)%ckEvery == 0 {
+			if cerr := opt.Checkpoint(snapshotOpt(st, hInv, f, iter+1, res)); cerr != nil {
+				return finish(res, f), fmt.Errorf("inla: optimizer checkpoint at iteration %d: %w", iter+1, cerr)
+			}
+		}
 	}
 	return finish(res, f), nil
 }

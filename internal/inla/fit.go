@@ -1,6 +1,8 @@
 package inla
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -48,6 +50,22 @@ type FitOptions struct {
 	// carries.
 	MaxEvalRetries int
 	RetryBackoff   float64
+	// Ctx, when non-nil, propagates cancellation into the mode search: a
+	// canceled context aborts the BFGS loop at the next iteration boundary
+	// (a checkpoint boundary) and Fit returns ErrFitCanceled. The posterior
+	// stages are skipped on an aborted search.
+	Ctx context.Context
+	// Checkpoint, when set, receives a deep-copied resumable snapshot of
+	// the optimizer state every CheckpointEvery completed mode-search
+	// iterations — the hook the persistence layer uses so a killed fit
+	// resumes from the last BFGS iterate instead of θ₀.
+	Checkpoint func(*OptCheckpoint) error
+	// CheckpointEvery is the iteration stride of Checkpoint (≤ 0 = every
+	// iteration).
+	CheckpointEvery int
+	// Resume restarts the mode search from a previously captured optimizer
+	// checkpoint instead of theta0.
+	Resume *OptCheckpoint
 }
 
 // DefaultFitOptions returns the standard configuration.
@@ -90,8 +108,23 @@ func fitWith(e Evaluator, theta0 []float64, opts FitOptions) (*Result, error) {
 	if opts.RetryBackoff > 0 {
 		opts.Opt.RetryBackoff = opts.RetryBackoff
 	}
+	if opts.Ctx != nil {
+		opts.Opt.Ctx = opts.Ctx
+	}
+	if opts.Checkpoint != nil {
+		opts.Opt.Checkpoint = opts.Checkpoint
+		opts.Opt.CheckpointEvery = opts.CheckpointEvery
+	}
+	if opts.Resume != nil {
+		opts.Opt.Resume = opts.Resume
+	}
 	opt, err := Minimize(e, theta0, opts.Opt)
 	if err != nil && opt == nil {
+		return nil, err
+	}
+	if errors.Is(err, ErrFitCanceled) {
+		// An aborted search has no business running the posterior stages;
+		// the caller holds the resumable checkpoint.
 		return nil, err
 	}
 	// A failed line search still yields a usable (if premature) mode.

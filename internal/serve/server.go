@@ -40,6 +40,7 @@ import (
 	"github.com/dalia-hpc/dalia/internal/inla"
 	"github.com/dalia-hpc/dalia/internal/mesh"
 	"github.com/dalia-hpc/dalia/internal/predict"
+	"github.com/dalia-hpc/dalia/internal/store"
 	"github.com/dalia-hpc/dalia/internal/synth"
 )
 
@@ -82,6 +83,20 @@ type Options struct {
 	// before giving up. 0 = wait indefinitely (callers usually bound the
 	// enclosing context instead).
 	DrainTimeout time.Duration
+	// Store, when set, makes fitted models durable: every fit/refit is
+	// checkpointed asynchronously, in-flight fits persist their optimizer
+	// state for resume, and New rebuilds the registry from the store
+	// without re-optimizing. nil = memory-only (the historical behavior).
+	Store *store.Store
+	// Recovery carries the store's own open-time repair stats (what
+	// store.Open quarantined or rolled back) so /readyz can surface them.
+	Recovery *store.RecoveryStats
+	// CheckpointEvery is the BFGS iteration stride of in-flight fit-state
+	// persistence (≤ 0 = every iteration). Only meaningful with Store.
+	CheckpointEvery int
+	// Logf, when set, receives operational log lines (recovery, persistence,
+	// flush summaries). nil = silent.
+	Logf func(format string, args ...any)
 }
 
 // Server is the dalia-serve HTTP application state.
@@ -105,6 +120,19 @@ type Server struct {
 	// an operator should look).
 	draining atomic.Bool
 	panics   atomic.Int64
+
+	// persistence state: fitCtx is canceled by Shutdown so in-flight fits
+	// and refits abort at their next checkpoint boundary; persist is the
+	// async checkpoint writer (nil without a store). The counters feed
+	// /stats and the /readyz degraded signal.
+	fitCtx           context.Context
+	fitCancel        context.CancelFunc
+	persist          *persister
+	recoveredModels  atomic.Int64
+	resumedFits      atomic.Int64
+	recoveryFailures atomic.Int64
+	persisted        atomic.Int64
+	persistErrors    atomic.Int64
 }
 
 // fitMeta is the part of a model card a refit replaces: published through
@@ -122,7 +150,8 @@ type fitMeta struct {
 type servedModel struct {
 	name      string
 	spec      string
-	req       FitRequest // the fit recipe, kept for refits
+	req       FitRequest      // the fit recipe, kept for refits
+	gen       synth.GenConfig // resolved generation config of the serving fit
 	dims      coreg.Dims
 	width     float64 // spatial domain extent [0,width]×[0,height] (km)
 	height    float64
@@ -132,11 +161,30 @@ type servedModel struct {
 	meta      atomic.Pointer[fitMeta]
 	refitting atomic.Bool // single-flight guard for refits
 	refits    atomic.Int64
+	// pending is the not-yet-persisted fit outcome Register hands to the
+	// checkpoint writer (nil once enqueued, and always nil without a store).
+	pending *fitOutcome
 }
 
-// New builds a server with an empty registry.
+// New builds a server. With Options.Store set the registry is first
+// rebuilt from the durable checkpoints (no re-optimization) and interrupted
+// fits are resumed from their last BFGS iterate; otherwise the registry
+// starts empty.
 func New(opts Options) *Server {
 	s := &Server{opts: opts, start: time.Now(), reg: newRegistry()}
+	s.fitCtx, s.fitCancel = context.WithCancel(context.Background())
+	if opts.Store != nil {
+		s.persist = newPersister(opts.Store, s.logf, func(e flushEntry) {
+			if e.err != nil {
+				s.persistErrors.Add(1)
+				s.logf("store: publish %s: %v", e.name, e.err)
+				return
+			}
+			s.persisted.Add(1)
+			s.logf("store: published %s generation %d", e.name, e.gen)
+		})
+		s.recoverFromStore()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -169,13 +217,17 @@ func (s *Server) Handler() http.Handler {
 }
 
 // Shutdown begins a graceful drain: readiness flips to 503 (so load
-// balancers stop routing here), every model batcher stops accepting work —
-// queued and subsequent requests fail with ErrServerClosed (503 +
-// Retry-After) — and in-flight batches run to completion. Returns when all
-// batcher workers have exited, Options.DrainTimeout elapses, or ctx ends,
-// whichever comes first. Safe to call repeatedly.
+// balancers stop routing here), in-flight fits and refits are canceled at
+// their next checkpoint boundary (the persisted optimizer state lets a
+// restart resume them), every model batcher stops accepting work — queued
+// and subsequent requests fail with ErrServerClosed (503 + Retry-After) —
+// in-flight batches run to completion, and pending model checkpoints are
+// flushed to the store with a per-model summary logged. Returns when the
+// drain completes, Options.DrainTimeout elapses, or ctx ends, whichever
+// comes first. Safe to call repeatedly.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.fitCancel()
 	if s.opts.DrainTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.opts.DrainTimeout)
@@ -191,10 +243,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+	if s.persist != nil {
+		// The persister logs one line per model as each checkpoint lands;
+		// this summary line bounds what the drain still had in flight.
+		pending, err := s.persist.close(ctx)
+		s.logf("persistence flush: %d checkpoint(s) pending at drain, %d published, %d errors",
+			pending, s.persisted.Load(), s.persistErrors.Load())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // --- request/response schemas ---
@@ -293,6 +355,15 @@ type Stats struct {
 	ShedRequests    int64   `json:"shed_requests"`
 	RecoveredPanics int64   `json:"recovered_panics"`
 	Replicas        int     `json:"replicas_per_model"`
+	// Persistence counters (all zero without a store). RecoveredModels is
+	// how many models startup restored from durable checkpoints without
+	// re-optimizing; ResumedFits how many interrupted fits continued from
+	// their last BFGS iterate.
+	RecoveredModels      int64 `json:"recovered_models,omitempty"`
+	ResumedFits          int64 `json:"resumed_fits,omitempty"`
+	RecoveryFailures     int64 `json:"recovery_failures,omitempty"`
+	PersistedCheckpoints int64 `json:"persisted_checkpoints,omitempty"`
+	PersistErrors        int64 `json:"persist_errors,omitempty"`
 }
 
 type errorJSON struct {
@@ -358,19 +429,39 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // handleReadyz reports serving readiness: 503 "draining" once Shutdown has
 // begun (liveness stays green — the process is healthy, just leaving the
-// pool), 200 "degraded" when the server has shed load or recovered handler
-// panics since start (still serving; worth operator attention), 200
-// "ready" otherwise.
+// pool), 200 "degraded" when the server has shed load, recovered handler
+// panics, or the persistence layer repaired/quarantined anything on the
+// way up (still serving — possibly an older generation — but an operator
+// should look), 200 "ready" otherwise. With a store attached the body
+// carries the recovery counters either way.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
-	if s.reg.totals().sheds > 0 || s.panics.Load() > 0 {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "degraded"})
-		return
+	degraded := s.reg.totals().sheds > 0 || s.panics.Load() > 0
+	body := map[string]any{}
+	if s.opts.Store != nil {
+		body["recovered_models"] = s.recoveredModels.Load()
+		body["resumed_fits"] = s.resumedFits.Load()
+		body["recovery_failures"] = s.recoveryFailures.Load()
+		body["persist_errors"] = s.persistErrors.Load()
+		if s.recoveryFailures.Load() > 0 || s.persistErrors.Load() > 0 {
+			degraded = true
+		}
+		if rec := s.opts.Recovery; rec != nil {
+			body["store_recovery"] = rec
+			if rec.Degraded() {
+				degraded = true
+			}
+		}
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	if degraded {
+		body["status"] = "degraded"
+	} else {
+		body["status"] = "ready"
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -388,6 +479,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		ShedRequests:    t.sheds,
 		RecoveredPanics: s.panics.Load(),
 		Replicas:        s.replicas(),
+
+		RecoveredModels:      s.recoveredModels.Load(),
+		ResumedFits:          s.resumedFits.Load(),
+		RecoveryFailures:     s.recoveryFailures.Load(),
+		PersistedCheckpoints: s.persisted.Load(),
+		PersistErrors:        s.persistErrors.Load(),
 	}
 	if t.batches > 0 {
 		st.AvgBatchSize = float64(t.batchedQs) / float64(t.batches)
@@ -438,10 +535,21 @@ func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no model %q", name)
 		return
 	}
+	if s.opts.Store != nil {
+		if err := s.opts.Store.Delete(name); err != nil {
+			s.persistErrors.Add(1)
+			s.logf("store: delete %s: %v", name, err)
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
 
 func (s *Server) handleFitModel(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
 	var req FitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
@@ -461,6 +569,11 @@ func (s *Server) handleFitModel(w http.ResponseWriter, r *http.Request) {
 	defer s.reg.release(req.Name)
 	m, err := s.FitModel(req)
 	if err != nil {
+		if errors.Is(err, inla.ErrFitCanceled) {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, "fit aborted: server is draining")
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -477,6 +590,11 @@ func (s *Server) handleFitModel(w http.ResponseWriter, r *http.Request) {
 // handle swap — in-flight predictions finish against the old snapshot, new
 // batches read the fresh one, and no reader ever blocks on the fit.
 func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
 	name := r.PathValue("name")
 	m, ok := s.reg.get(name)
 	if !ok {
@@ -501,15 +619,21 @@ func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 	if req.MaxIter > 0 {
 		fitReq.MaxIter = req.MaxIter
 	}
-	snap, _, _, _, meta, err := s.fitSnapshot(fitReq, req.Seed)
+	out, err := s.fitSnapshot(fitReq, req.Seed)
 	if err != nil {
+		if errors.Is(err, inla.ErrFitCanceled) {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, "refit aborted: server is draining")
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "refit: %v", err)
 		return
 	}
-	m.meta.Store(meta)
-	m.handle.Swap(snap)
+	m.meta.Store(out.meta)
+	m.handle.Swap(out.snap)
 	m.refits.Add(1)
 	s.refits.Add(1)
+	s.persistModel(m, out)
 	writeJSON(w, http.StatusOK, m.info())
 }
 
@@ -611,52 +735,82 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writePredictResponse(w, &resp)
 }
 
+// fitOutcome bundles everything a completed fit produced: the frozen
+// snapshot for serving, the resolved recipe for persistence and refits,
+// and the raw inla.Result whose serialized bytes are the durable
+// checkpoint payload.
+type fitOutcome struct {
+	snap   *predict.Snapshot
+	req    FitRequest
+	gen    synth.GenConfig // resolved (possibly reseeded) generation config
+	specID string
+	dims   coreg.Dims
+	meta   *fitMeta
+	res    *inla.Result
+}
+
 // FitModel generates the dataset, runs the INLA fit and freezes the
 // prediction snapshot — the fit-once step of the registry. Exported so the
 // serving benchmarks and the dalia-serve preload path can register models
 // without going through HTTP.
 func (s *Server) FitModel(req FitRequest) (*servedModel, error) {
-	snap, gen, specID, dims, meta, err := s.fitSnapshot(req, nil)
+	out, err := s.fitSnapshot(req, nil)
 	if err != nil {
 		return nil, err
 	}
-	width, height := gen.Width, gen.Height
+	return s.buildServedModel(req, out), nil
+}
+
+// buildServedModel wraps a fit outcome in its serving shell (handle +
+// batcher), leaving the outcome attached for Register to persist.
+func (s *Server) buildServedModel(req FitRequest, out *fitOutcome) *servedModel {
+	width, height := out.gen.Width, out.gen.Height
 	if width == 0 {
 		width = 400 // synth.Generate's domain defaults
 	}
 	if height == 0 {
 		height = 300
 	}
-	handle := predict.NewHandle(snap)
+	handle := predict.NewHandle(out.snap)
 	m := &servedModel{
 		name:      req.Name,
-		spec:      specID,
+		spec:      out.specID,
 		req:       req,
-		dims:      dims,
+		gen:       out.gen,
+		dims:      out.dims,
 		width:     width,
 		height:    height,
 		createdAt: time.Now(),
 		handle:    handle,
 		batcher:   newBatcher(handle, s.opts),
 	}
-	m.meta.Store(meta)
-	return m, nil
+	m.meta.Store(out.meta)
+	m.pending = out
+	return m
 }
 
 // fitSnapshot is the shared fit core of FitModel and refits: resolve the
-// dataset recipe (optionally reseeded), generate, fit, and freeze the
-// result into an immutable snapshot.
-func (s *Server) fitSnapshot(req FitRequest, seed *int64) (*predict.Snapshot, synth.GenConfig, string, coreg.Dims, *fitMeta, error) {
+// dataset recipe (optionally reseeded) and run the fit.
+func (s *Server) fitSnapshot(req FitRequest, seed *int64) (*fitOutcome, error) {
 	gen, specID, err := resolveGen(req)
 	if err != nil {
-		return nil, synth.GenConfig{}, "", coreg.Dims{}, nil, err
+		return nil, err
 	}
 	if seed != nil {
 		gen.Seed = *seed
 	}
+	return s.fitResolved(req, gen, specID, nil)
+}
+
+// fitResolved generates the dataset from an already-resolved recipe, runs
+// the INLA fit (optionally resumed from a persisted optimizer checkpoint)
+// and freezes the result into an immutable snapshot. The fit observes the
+// server's shutdown context and, with a store attached, checkpoints its
+// optimizer state so a kill mid-fit resumes instead of restarting.
+func (s *Server) fitResolved(req FitRequest, gen synth.GenConfig, specID string, resume *inla.OptCheckpoint) (*fitOutcome, error) {
 	ds, err := synth.Generate(gen)
 	if err != nil {
-		return nil, synth.GenConfig{}, "", coreg.Dims{}, nil, fmt.Errorf("dataset generation: %w", err)
+		return nil, fmt.Errorf("dataset generation: %w", err)
 	}
 	maxIter := req.MaxIter
 	if maxIter <= 0 {
@@ -667,11 +821,14 @@ func (s *Server) fitSnapshot(req FitRequest, seed *int64) (*predict.Snapshot, sy
 	// Serving needs the mode and the latent posterior; the θ-uncertainty
 	// Hessian stage is skipped to keep registration fast.
 	opts.SkipHyperUncertainty = true
+	opts.Ctx = s.fitCtx
+	opts.Resume = resume
+	s.fitStateHooks(req, gen, specID, &opts)
 	t0 := time.Now()
 	prior := inla.WeakPrior(ds.Theta0, 5)
 	res, err := inla.Fit(ds.Model, prior, ds.Theta0, opts)
 	if err != nil {
-		return nil, synth.GenConfig{}, "", coreg.Dims{}, nil, fmt.Errorf("fit: %w", err)
+		return nil, fmt.Errorf("fit: %w", err)
 	}
 	fitSecs := time.Since(t0).Seconds()
 	popts := []predict.Option{}
@@ -683,19 +840,27 @@ func (s *Server) fitSnapshot(req FitRequest, seed *int64) (*predict.Snapshot, sy
 	}
 	snap, err := predict.NewSnapshot(ds.Model, res, popts...)
 	if err != nil {
-		return nil, synth.GenConfig{}, "", coreg.Dims{}, nil, fmt.Errorf("snapshot: %w", err)
+		return nil, fmt.Errorf("snapshot: %w", err)
 	}
 	meta := &fitMeta{theta: append([]float64(nil), res.Theta...), fitSeconds: fitSecs}
-	return snap, gen, specID, ds.Model.Dims, meta, nil
+	return &fitOutcome{
+		snap: snap, req: req, gen: gen, specID: specID,
+		dims: ds.Model.Dims, meta: meta, res: res,
+	}, nil
 }
 
 // Register inserts an externally fitted model into the registry (the
-// non-HTTP twin of POST /v1/models, used by preloading and benchmarks).
+// non-HTTP twin of POST /v1/models, used by preloading and benchmarks) and
+// hands its checkpoint to the async persister when a store is attached.
 func (s *Server) Register(m *servedModel) error {
 	if !s.reg.put(m) {
 		return fmt.Errorf("serve: model %q already registered", m.name)
 	}
 	s.fits.Add(1)
+	if out := m.pending; out != nil {
+		m.pending = nil
+		s.persistModel(m, out)
+	}
 	return nil
 }
 

@@ -1,0 +1,231 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Container file format — the durability envelope every checkpoint and
+// fit-state file is wrapped in:
+//
+//	magic   [8]byte  "DALIACK\x01"
+//	version u32 LE   container version (1)
+//	length  u64 LE   payload length in bytes
+//	payload [length]byte
+//	crc     u64 LE   CRC64-ECMA over everything preceding it
+//
+// The whole-file checksum plus the exact-size check means truncation,
+// trailing garbage and bit rot are all detected before a single payload
+// byte is interpreted; the version field lets later PRs evolve the payload
+// without misreading old files.
+
+var containerMagic = [8]byte{'D', 'A', 'L', 'I', 'A', 'C', 'K', 1}
+
+const containerVersion = 1
+
+// containerOverhead is the fixed byte cost around a payload.
+const containerOverhead = 8 + 4 + 8 + 8
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// ErrCorrupt wraps every integrity failure (bad magic, size mismatch,
+// checksum mismatch, garbled payload) so callers can distinguish corruption
+// (quarantine, fall back a generation) from I/O errors (surface).
+type CorruptError struct {
+	Path   string
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("store: corrupt %s: %s", e.Path, e.Reason)
+}
+
+// encodeContainer wraps a payload in the checksummed envelope.
+func encodeContainer(payload []byte) []byte {
+	buf := make([]byte, 0, containerOverhead+len(payload))
+	buf = append(buf, containerMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, containerVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint64(buf, crc64.Checksum(buf, crcTable))
+	return buf
+}
+
+// decodeContainer validates the envelope and returns the payload. Any
+// integrity failure comes back as a *CorruptError.
+func decodeContainer(path string, data []byte) ([]byte, error) {
+	corrupt := func(reason string) ([]byte, error) {
+		return nil, &CorruptError{Path: path, Reason: reason}
+	}
+	if len(data) < containerOverhead {
+		return corrupt(fmt.Sprintf("%d bytes, shorter than the %d-byte envelope", len(data), containerOverhead))
+	}
+	if [8]byte(data[:8]) != containerMagic {
+		return corrupt("bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != containerVersion {
+		return corrupt(fmt.Sprintf("container version %d, this build reads %d", v, containerVersion))
+	}
+	plen := binary.LittleEndian.Uint64(data[12:])
+	if want := uint64(len(data)) - containerOverhead; plen != want {
+		return corrupt(fmt.Sprintf("payload length %d, file holds %d", plen, want))
+	}
+	body := data[:len(data)-8]
+	want := binary.LittleEndian.Uint64(data[len(data)-8:])
+	if got := crc64.Checksum(body, crcTable); got != want {
+		return corrupt(fmt.Sprintf("checksum %016x, want %016x", got, want))
+	}
+	return data[20 : len(data)-8], nil
+}
+
+// writeFileAtomic durably publishes data at path: write to a temp file in
+// the same directory, fsync it, rename over the target, fsync the
+// directory. A crash at any point leaves either the old file or the new
+// one, never a torn mix; stray temp files are swept on recovery.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Checkpoint is one durable fitted-model record: everything the serving
+// layer needs to reconstruct a predictor without re-optimizing. Spec and
+// Payload are opaque to the store — the serve layer puts its fit recipe
+// (JSON) in Spec and the bit-exact serialized inla.Result in Payload, so
+// the store depends on neither package.
+type Checkpoint struct {
+	// Name is the model name (also the directory key).
+	Name string
+	// Generation numbers successive publishes of the same model; for
+	// fit-state records it carries the optimizer iteration instead.
+	Generation uint64
+	// CreatedUnixNano is the publish wall-clock time.
+	CreatedUnixNano int64
+	// Spec is the opaque model/fit specification.
+	Spec []byte
+	// Payload is the opaque fitted-model payload.
+	Payload []byte
+}
+
+// encodeCheckpoint serializes the record payload (container adds the
+// checksum around it).
+func encodeCheckpoint(ck *Checkpoint) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(ck.Name)))
+	buf = append(buf, ck.Name...)
+	buf = binary.LittleEndian.AppendUint64(buf, ck.Generation)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(ck.CreatedUnixNano))
+	buf = binary.AppendUvarint(buf, uint64(len(ck.Spec)))
+	buf = append(buf, ck.Spec...)
+	buf = binary.AppendUvarint(buf, uint64(len(ck.Payload)))
+	buf = append(buf, ck.Payload...)
+	return buf
+}
+
+// decodeCheckpoint parses a record payload, rejecting truncation and
+// trailing bytes as corruption.
+func decodeCheckpoint(path string, buf []byte) (*Checkpoint, error) {
+	corrupt := func(reason string) (*Checkpoint, error) {
+		return nil, &CorruptError{Path: path, Reason: reason}
+	}
+	off := 0
+	bytesField := func() []byte {
+		if off < 0 {
+			return nil
+		}
+		n, w := binary.Uvarint(buf[off:])
+		if w <= 0 || n > uint64(math.MaxInt32) || uint64(len(buf)-off-w) < n {
+			off = -1
+			return nil
+		}
+		off += w
+		b := buf[off : off+int(n)]
+		off += int(n)
+		return b
+	}
+	u64Field := func() uint64 {
+		if off < 0 || len(buf)-off < 8 {
+			off = -1
+			return 0
+		}
+		v := binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		return v
+	}
+	name := bytesField()
+	gen := u64Field()
+	created := u64Field()
+	spec := bytesField()
+	payload := bytesField()
+	if off < 0 {
+		return corrupt("truncated checkpoint record")
+	}
+	if off != len(buf) {
+		return corrupt(fmt.Sprintf("%d trailing bytes in checkpoint record", len(buf)-off))
+	}
+	return &Checkpoint{
+		Name:            string(name),
+		Generation:      gen,
+		CreatedUnixNano: int64(created),
+		Spec:            append([]byte(nil), spec...),
+		Payload:         append([]byte(nil), payload...),
+	}, nil
+}
+
+// writeCheckpointFile durably writes a checkpoint record at path.
+func writeCheckpointFile(path string, ck *Checkpoint) error {
+	return writeFileAtomic(path, encodeContainer(encodeCheckpoint(ck)))
+}
+
+// readCheckpointFile reads and fully validates a checkpoint file.
+func readCheckpointFile(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := decodeContainer(path, data)
+	if err != nil {
+		return nil, err
+	}
+	return decodeCheckpoint(path, payload)
+}

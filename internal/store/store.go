@@ -1,0 +1,521 @@
+// Package store is the crash-safe persistence layer for fitted models: a
+// versioned, checksummed binary checkpoint format with atomic publish
+// (write-temp + fsync + rename), a generation-numbered per-model directory
+// layout, and a small write-ahead log so an interrupted publish or refit
+// replays or rolls back cleanly on restart.
+//
+// On-disk layout under the store root:
+//
+//	wal.log                          publish/refit/delete event log
+//	models/<escaped-name>/gen-%012d.ckpt
+//	fits/<escaped-name>.fit          in-flight optimizer state (resume)
+//	quarantine/                      corrupt or rolled-back checkpoints
+//
+// The store is deliberately opaque about what a model is: Spec and Payload
+// are byte slices the serving layer fills with its fit recipe and the
+// serialized fit result, so the package depends only on the standard
+// library and can back any future subsystem.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// retainGenerations is how many committed generations of a model survive a
+// publish: the new one plus its predecessor, so a corrupt current
+// generation always has a fallback.
+const retainGenerations = 2
+
+// RecoveryStats summarizes what Open found and repaired. The serving layer
+// surfaces these on /readyz: a restart that quarantined or rolled anything
+// back reports degraded rather than silently serving less than it had.
+type RecoveryStats struct {
+	// Recovered counts models restored with a valid current generation.
+	Recovered int `json:"recovered"`
+	// Quarantined counts checkpoint files moved aside for failing
+	// validation (checksum, envelope, or record decode).
+	Quarantined int `json:"quarantined"`
+	// RolledBack counts generations discarded because the WAL showed their
+	// publish began but never committed.
+	RolledBack int `json:"rolled_back"`
+	// FellBack counts models now serving an older generation because a
+	// newer one was quarantined or rolled back.
+	FellBack int `json:"fell_back"`
+	// Failed counts models with no valid generation left at all.
+	Failed int `json:"failed"`
+	// TornWAL is 1 when the log ended in a torn record that was truncated.
+	TornWAL int `json:"torn_wal"`
+	// CleanedTemps counts abandoned atomic-write temp files removed.
+	CleanedTemps int `json:"cleaned_temps"`
+	// FitStates counts in-flight fit checkpoints found (resumable fits).
+	FitStates int `json:"fit_states"`
+}
+
+// Degraded reports whether recovery had to repair anything a clean
+// shutdown would not have left behind.
+func (rs *RecoveryStats) Degraded() bool {
+	return rs.Quarantined > 0 || rs.RolledBack > 0 || rs.FellBack > 0 ||
+		rs.Failed > 0 || rs.TornWAL > 0
+}
+
+func (rs *RecoveryStats) String() string {
+	return fmt.Sprintf("recovered=%d quarantined=%d rolled_back=%d fell_back=%d failed=%d torn_wal=%d cleaned_temps=%d fit_states=%d",
+		rs.Recovered, rs.Quarantined, rs.RolledBack, rs.FellBack, rs.Failed, rs.TornWAL, rs.CleanedTemps, rs.FitStates)
+}
+
+// modelState is the in-memory index entry for one model.
+type modelState struct {
+	current uint64   // newest valid committed generation (0 = none)
+	gens    []uint64 // on-disk generations, ascending
+}
+
+// Store is a durable checkpoint store rooted at one directory. All methods
+// are safe for concurrent use; the WAL protocol serializes publishes.
+type Store struct {
+	dir string
+
+	mu     sync.Mutex
+	wal    *wal
+	models map[string]*modelState
+	closed bool
+}
+
+// ErrNotFound reports a model or generation the store does not hold.
+var ErrNotFound = errors.New("store: not found")
+
+// ErrClosed reports use after Close.
+var ErrClosed = errors.New("store: closed")
+
+// Open opens (creating if needed) the store at dir and runs crash
+// recovery: the WAL is replayed, interrupted publishes are rolled back,
+// corrupt checkpoints are quarantined with the previous generation
+// promoted, abandoned temp files are swept, and the WAL is compacted. The
+// returned stats say exactly what was repaired.
+func Open(dir string) (*Store, *RecoveryStats, error) {
+	for _, sub := range []string{"", "models", "fits", "quarantine"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, nil, err
+		}
+	}
+	s := &Store{dir: dir, models: map[string]*modelState{}}
+	stats, err := s.recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := openWAL(s.walPath())
+	if err != nil {
+		return nil, nil, err
+	}
+	s.wal = w
+	return s, stats, nil
+}
+
+// Dir returns the store root.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases the WAL handle. Published data is already durable; Close
+// only stops further writes.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.wal.close()
+}
+
+func (s *Store) walPath() string          { return filepath.Join(s.dir, walName) }
+func (s *Store) modelDir(n string) string { return filepath.Join(s.dir, "models", url.PathEscape(n)) }
+func (s *Store) fitPath(n string) string {
+	return filepath.Join(s.dir, "fits", url.PathEscape(n)+".fit")
+}
+
+func genFileName(gen uint64) string { return fmt.Sprintf("gen-%012d.ckpt", gen) }
+
+// parseGenFileName inverts genFileName; ok=false for anything else.
+func parseGenFileName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "gen-") || !strings.HasSuffix(name, ".ckpt") {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "gen-"), ".ckpt"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// recover replays the WAL, reconciles it against the on-disk generations,
+// and rebuilds the in-memory index.
+func (s *Store) recover() (*RecoveryStats, error) {
+	stats := &RecoveryStats{}
+
+	records, tornAt, torn, err := replayWAL(s.walPath())
+	if err != nil {
+		return nil, err
+	}
+	if torn {
+		stats.TornWAL = 1
+		if err := truncateWAL(s.walPath(), tornAt); err != nil {
+			return nil, err
+		}
+	}
+	// Per-(model, generation) outcome from the log: a begin without a
+	// matching commit marks an interrupted publish; a delete marks the
+	// whole model removed.
+	type genKey struct {
+		name string
+		gen  uint64
+	}
+	pending := map[genKey]bool{}
+	deleted := map[string]bool{}
+	for _, r := range records {
+		k := genKey{r.name, r.gen}
+		switch r.op {
+		case opBegin:
+			pending[k] = true
+			delete(deleted, r.name)
+		case opCommit, opRollback:
+			delete(pending, k)
+		case opDelete:
+			deleted[r.name] = true
+		}
+	}
+
+	modelsDir := filepath.Join(s.dir, "models")
+	entries, err := os.ReadDir(modelsDir)
+	if err != nil {
+		return nil, err
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		name, err := url.PathUnescape(ent.Name())
+		if err != nil {
+			name = ent.Name()
+		}
+		dir := filepath.Join(modelsDir, ent.Name())
+		if deleted[name] {
+			// A delete that didn't finish removing files: finish it now.
+			if err := os.RemoveAll(dir); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		files, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var gens []uint64
+		for _, f := range files {
+			if gen, ok := parseGenFileName(f.Name()); ok {
+				gens = append(gens, gen)
+				continue
+			}
+			// Anything else in a model directory is an abandoned atomic
+			// temp from a crashed write.
+			if err := os.Remove(filepath.Join(dir, f.Name())); err != nil {
+				return nil, err
+			}
+			stats.CleanedTemps++
+		}
+		sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+
+		st := &modelState{}
+		sawNewerInvalid := false
+		onDisk := map[uint64]bool{}
+		// Walk newest → oldest; the first generation that is both committed
+		// and intact becomes current.
+		for i := len(gens) - 1; i >= 0; i-- {
+			gen := gens[i]
+			onDisk[gen] = true
+			path := filepath.Join(dir, genFileName(gen))
+			if pending[genKey{name, gen}] {
+				// Publish began but never committed: roll it back whether or
+				// not the file happens to be readable — the writer never got
+				// an acknowledgment.
+				if err := s.quarantine(path, name, gen, "uncommitted"); err != nil {
+					return nil, err
+				}
+				delete(pending, genKey{name, gen})
+				stats.RolledBack++
+				sawNewerInvalid = true
+				continue
+			}
+			if _, err := readCheckpointFile(path); err != nil {
+				var ce *CorruptError
+				if !errors.As(err, &ce) && !os.IsNotExist(err) {
+					return nil, err
+				}
+				if !os.IsNotExist(err) {
+					if qerr := s.quarantine(path, name, gen, "corrupt"); qerr != nil {
+						return nil, qerr
+					}
+					stats.Quarantined++
+				}
+				sawNewerInvalid = true
+				continue
+			}
+			if st.current == 0 {
+				st.current = gen
+				if sawNewerInvalid {
+					stats.FellBack++
+				}
+			}
+			st.gens = append([]uint64{gen}, st.gens...)
+		}
+		// Pending publishes of this model that never wrote their file
+		// (begin logged, crash before the write) are rollbacks too.
+		for k := range pending {
+			if k.name == name && !onDisk[k.gen] {
+				delete(pending, k)
+				stats.RolledBack++
+			}
+		}
+		if st.current == 0 {
+			// Nothing valid left. Failed only means lost data — a model that
+			// never completed a single publish was just rolled back. Either
+			// way the empty directory goes, so a later Open starts clean.
+			if len(gens) > 0 {
+				stats.Failed++
+			}
+			if err := os.RemoveAll(dir); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		stats.Recovered++
+		s.models[name] = st
+	}
+
+	// Leftover pendings have no model directory at all (begin logged, crash
+	// before even the mkdir survived): count them so /readyz reflects the
+	// interrupted refit even though no file needed moving.
+	stats.RolledBack += len(pending)
+
+	// Sweep stray fit temp files and count resumable fit states.
+	fitsDir := filepath.Join(s.dir, "fits")
+	fitFiles, err := os.ReadDir(fitsDir)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range fitFiles {
+		if strings.HasSuffix(f.Name(), ".fit") {
+			stats.FitStates++
+			continue
+		}
+		if err := os.Remove(filepath.Join(fitsDir, f.Name())); err != nil {
+			return nil, err
+		}
+		stats.CleanedTemps++
+	}
+
+	// Every in-flight event is now resolved: compact the log so replay cost
+	// stays bounded and resolved rollbacks are not re-applied next time.
+	if err := resetWAL(s.walPath()); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// quarantine moves a bad checkpoint aside (never deletes it: a human can
+// inspect or hand-repair it later).
+func (s *Store) quarantine(path, name string, gen uint64, reason string) error {
+	dst := filepath.Join(s.dir, "quarantine",
+		fmt.Sprintf("%s.gen-%012d.%s", url.PathEscape(name), gen, reason))
+	if err := os.Rename(path, dst); err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// Publish durably stores a new generation of ck.Name and returns its
+// generation number. The WAL protocol (begin+sync → atomic write →
+// commit+sync) means a crash at any point either leaves the previous
+// generation current or the new one fully committed — never a torn or
+// half-adopted checkpoint. Older generations beyond the retention window
+// are pruned after the commit.
+func (s *Store) Publish(ck *Checkpoint) (uint64, error) {
+	if ck.Name == "" {
+		return 0, errors.New("store: empty model name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	st := s.models[ck.Name]
+	if st == nil {
+		st = &modelState{}
+	}
+	gen := st.current + 1
+	if n := len(st.gens); n > 0 && st.gens[n-1] >= gen {
+		gen = st.gens[n-1] + 1
+	}
+
+	dir := s.modelDir(ck.Name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	if err := s.wal.append(walRecord{op: opBegin, name: ck.Name, gen: gen}); err != nil {
+		return 0, err
+	}
+	rec := *ck
+	rec.Generation = gen
+	if rec.CreatedUnixNano == 0 {
+		rec.CreatedUnixNano = time.Now().UnixNano()
+	}
+	if err := writeCheckpointFile(filepath.Join(dir, genFileName(gen)), &rec); err != nil {
+		// Best-effort rollback record; recovery handles it either way.
+		_ = s.wal.append(walRecord{op: opRollback, name: ck.Name, gen: gen})
+		return 0, err
+	}
+	if err := s.wal.append(walRecord{op: opCommit, name: ck.Name, gen: gen}); err != nil {
+		return 0, err
+	}
+
+	st.current = gen
+	st.gens = append(st.gens, gen)
+	s.models[ck.Name] = st
+
+	// Retention: drop everything older than the newest retainGenerations.
+	for len(st.gens) > retainGenerations {
+		old := st.gens[0]
+		st.gens = st.gens[1:]
+		if err := os.Remove(filepath.Join(dir, genFileName(old))); err != nil && !os.IsNotExist(err) {
+			return gen, err
+		}
+	}
+	return gen, nil
+}
+
+// Load returns the current generation of a model, fully validated.
+func (s *Store) Load(name string) (*Checkpoint, error) {
+	s.mu.Lock()
+	st := s.models[name]
+	var gen uint64
+	if st != nil {
+		gen = st.current
+	}
+	s.mu.Unlock()
+	if gen == 0 {
+		return nil, fmt.Errorf("%w: model %q", ErrNotFound, name)
+	}
+	return readCheckpointFile(filepath.Join(s.modelDir(name), genFileName(gen)))
+}
+
+// Models lists the model names with a valid current generation, sorted.
+func (s *Store) Models() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.models))
+	for name := range s.models {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Generation reports the current generation of a model (0, false if the
+// store does not hold it).
+func (s *Store) Generation(name string) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.models[name]
+	if st == nil {
+		return 0, false
+	}
+	return st.current, true
+}
+
+// Delete durably removes a model: the delete is WAL-logged first, so a
+// crash mid-removal finishes on recovery instead of resurrecting stale
+// generations. The model's fit state goes with it.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.wal.append(walRecord{op: opDelete, name: name}); err != nil {
+		return err
+	}
+	delete(s.models, name)
+	if err := os.RemoveAll(s.modelDir(name)); err != nil {
+		return err
+	}
+	if err := os.Remove(s.fitPath(name)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// SaveFitState durably records the in-flight optimizer state of a fit
+// (atomic overwrite — only the newest checkpoint matters). ck.Generation
+// carries the optimizer iteration.
+func (s *Store) SaveFitState(ck *Checkpoint) error {
+	if ck.Name == "" {
+		return errors.New("store: empty model name")
+	}
+	rec := *ck
+	if rec.CreatedUnixNano == 0 {
+		rec.CreatedUnixNano = time.Now().UnixNano()
+	}
+	return writeFileAtomic(s.fitPath(ck.Name), encodeContainer(encodeCheckpoint(&rec)))
+}
+
+// FitStates returns every valid in-flight fit checkpoint (a fit that was
+// running when the process died and can be resumed from its last BFGS
+// iterate). Corrupt fit states are quarantined, not surfaced: losing an
+// optimizer checkpoint only costs a from-scratch refit.
+func (s *Store) FitStates() ([]*Checkpoint, error) {
+	fitsDir := filepath.Join(s.dir, "fits")
+	files, err := os.ReadDir(fitsDir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Checkpoint
+	for _, f := range files {
+		if !strings.HasSuffix(f.Name(), ".fit") {
+			continue
+		}
+		path := filepath.Join(fitsDir, f.Name())
+		ck, err := readCheckpointFile(path)
+		if err != nil {
+			var ce *CorruptError
+			if errors.As(err, &ce) {
+				dst := filepath.Join(s.dir, "quarantine", f.Name()+".corrupt")
+				if rerr := os.Rename(path, dst); rerr != nil && !os.IsNotExist(rerr) {
+					return nil, rerr
+				}
+				continue
+			}
+			return nil, err
+		}
+		out = append(out, ck)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// ClearFitState removes a fit's in-flight state (called once the fit
+// publishes or is abandoned).
+func (s *Store) ClearFitState(name string) error {
+	if err := os.Remove(s.fitPath(name)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

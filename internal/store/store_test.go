@@ -1,0 +1,310 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, dir string) (*Store, *RecoveryStats) {
+	t.Helper()
+	s, stats, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, stats
+}
+
+func TestPublishLoadRoundTrip(t *testing.T) {
+	s, stats := openT(t, t.TempDir())
+	if stats.Degraded() {
+		t.Fatalf("fresh store reports degraded: %s", stats)
+	}
+	ck := &Checkpoint{Name: "m1", Spec: []byte(`{"nv":2}`), Payload: []byte{1, 2, 3, 4}}
+	gen, err := s.Publish(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 {
+		t.Fatalf("first generation = %d, want 1", gen)
+	}
+	got, err := s.Load("m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "m1" || got.Generation != 1 ||
+		!bytes.Equal(got.Spec, ck.Spec) || !bytes.Equal(got.Payload, ck.Payload) {
+		t.Fatalf("loaded %+v", got)
+	}
+	if got.CreatedUnixNano == 0 {
+		t.Fatal("publish did not stamp a creation time")
+	}
+	if _, err := s.Load("absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestGenerationsAdvanceAndRetention(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	for i := 1; i <= 5; i++ {
+		gen, err := s.Publish(&Checkpoint{Name: "m", Payload: []byte{byte(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen != uint64(i) {
+			t.Fatalf("publish %d got generation %d", i, gen)
+		}
+	}
+	got, err := s.Load("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation != 5 || got.Payload[0] != 5 {
+		t.Fatalf("current = %+v", got)
+	}
+	// Only the newest retainGenerations survive on disk.
+	files, err := os.ReadDir(s.modelDir("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != retainGenerations {
+		t.Fatalf("%d generation files on disk, want %d", len(files), retainGenerations)
+	}
+}
+
+func TestReopenRecoversModels(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	if _, err := s.Publish(&Checkpoint{Name: "a", Payload: []byte("aa")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Publish(&Checkpoint{Name: "b", Payload: []byte("bb")}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, stats := openT(t, dir)
+	if stats.Degraded() {
+		t.Fatalf("clean reopen reports degraded: %s", stats)
+	}
+	if stats.Recovered != 2 {
+		t.Fatalf("recovered %d models, want 2", stats.Recovered)
+	}
+	names := s2.Models()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("models = %v", names)
+	}
+	got, err := s2.Load("a")
+	if err != nil || string(got.Payload) != "aa" {
+		t.Fatalf("load a: %v %+v", err, got)
+	}
+	// Generations keep advancing across the reopen.
+	gen, err := s2.Publish(&Checkpoint{Name: "a", Payload: []byte("aa2")})
+	if err != nil || gen != 2 {
+		t.Fatalf("post-reopen publish: gen=%d err=%v", gen, err)
+	}
+}
+
+func TestCorruptCurrentFallsBackToPrevious(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	if _, err := s.Publish(&Checkpoint{Name: "m", Payload: []byte("v1")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Publish(&Checkpoint{Name: "m", Payload: []byte("v2")}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Flip one payload byte of the committed current generation.
+	path := filepath.Join(s.modelDir("m"), genFileName(2))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, stats := openT(t, dir)
+	if !stats.Degraded() || stats.Quarantined != 1 || stats.FellBack != 1 {
+		t.Fatalf("stats = %s", stats)
+	}
+	got, err := s2.Load("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Payload) != "v1" || got.Generation != 1 {
+		t.Fatalf("fell back to %+v, want generation 1", got)
+	}
+	// The bad file is preserved in quarantine, not deleted.
+	qfiles, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(qfiles) != 1 {
+		t.Fatalf("quarantine: %v %d files", err, len(qfiles))
+	}
+	// A second reopen is clean: degradation is reported once, then repaired.
+	s2.Close()
+	_, stats3 := openT(t, dir)
+	if stats3.Degraded() {
+		t.Fatalf("second reopen still degraded: %s", stats3)
+	}
+}
+
+func TestUncommittedPublishRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	if _, err := s.Publish(&Checkpoint{Name: "m", Payload: []byte("v1")}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash between the checkpoint write and the WAL commit:
+	// log begin, write a fully valid gen-2 file, never commit.
+	if err := s.wal.append(walRecord{op: opBegin, name: "m", gen: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeCheckpointFile(filepath.Join(s.modelDir("m"), genFileName(2)),
+		&Checkpoint{Name: "m", Generation: 2, CreatedUnixNano: 1, Payload: []byte("v2")}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, stats := openT(t, dir)
+	if stats.RolledBack != 1 || stats.FellBack != 1 {
+		t.Fatalf("stats = %s", stats)
+	}
+	got, err := s2.Load("m")
+	if err != nil || string(got.Payload) != "v1" {
+		t.Fatalf("uncommitted generation served: %v %+v", err, got)
+	}
+}
+
+func TestDeleteSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	if _, err := s.Publish(&Checkpoint{Name: "m", Payload: []byte("v1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("m"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("m"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound after delete, got %v", err)
+	}
+	s.Close()
+	s2, stats := openT(t, dir)
+	if stats.Recovered != 0 {
+		t.Fatalf("deleted model recovered: %s", stats)
+	}
+	if len(s2.Models()) != 0 {
+		t.Fatalf("models = %v", s2.Models())
+	}
+}
+
+func TestFitStateLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	ck := &Checkpoint{Name: "m", Generation: 7, Spec: []byte("spec"), Payload: []byte("bfgs")}
+	if err := s.SaveFitState(ck); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite is atomic and last-writer-wins.
+	ck2 := &Checkpoint{Name: "m", Generation: 9, Spec: []byte("spec"), Payload: []byte("bfgs2")}
+	if err := s.SaveFitState(ck2); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, stats := openT(t, dir)
+	if stats.FitStates != 1 {
+		t.Fatalf("fit states = %d, want 1", stats.FitStates)
+	}
+	states, err := s2.FitStates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 || states[0].Generation != 9 || string(states[0].Payload) != "bfgs2" {
+		t.Fatalf("states = %+v", states)
+	}
+	if err := s2.ClearFitState("m"); err != nil {
+		t.Fatal(err)
+	}
+	states, err = s2.FitStates()
+	if err != nil || len(states) != 0 {
+		t.Fatalf("after clear: %v %d states", err, len(states))
+	}
+	// Clearing an absent state is a no-op, not an error.
+	if err := s2.ClearFitState("m"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptFitStateQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	if err := s.SaveFitState(&Checkpoint{Name: "m", Payload: []byte("bfgs")}); err != nil {
+		t.Fatal(err)
+	}
+	path := s.fitPath("m")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	states, err := s.FitStates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 0 {
+		t.Fatalf("corrupt fit state surfaced: %+v", states)
+	}
+}
+
+func TestModelNameEscaping(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	name := "weird/name with spaces/../x"
+	if _, err := s.Publish(&Checkpoint{Name: name, Payload: []byte("p")}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load(name)
+	if err != nil || got.Name != name {
+		t.Fatalf("load: %v %+v", err, got)
+	}
+	s.Close()
+	s2, _ := openT(t, dir)
+	names := s2.Models()
+	if len(names) != 1 || names[0] != name {
+		t.Fatalf("recovered names = %q", names)
+	}
+}
+
+func TestPublishAfterClose(t *testing.T) {
+	s, _ := openT(t, t.TempDir())
+	s.Close()
+	if _, err := s.Publish(&Checkpoint{Name: "m"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestContainerRejectsEveryTruncation(t *testing.T) {
+	enc := encodeContainer([]byte("hello, durable world"))
+	for n := 0; n < len(enc); n++ {
+		if _, err := decodeContainer("t", enc[:n]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes accepted", n, len(enc))
+		}
+	}
+	if _, err := decodeContainer("t", append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	payload, err := decodeContainer("t", enc)
+	if err != nil || string(payload) != "hello, durable world" {
+		t.Fatalf("round trip: %v %q", err, payload)
+	}
+}

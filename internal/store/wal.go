@@ -1,0 +1,187 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+)
+
+// Write-ahead log for publish/refit/delete events.
+//
+// Record framing:
+//
+//	length u32 LE   payload length
+//	crc    u32 LE   CRC32-IEEE of the payload
+//	payload [length]byte
+//
+// Record payload:
+//
+//	op      u8       opBegin | opCommit | opRollback | opDelete
+//	nameLen uvarint
+//	name    [nameLen]byte
+//	gen     u64 LE   generation (0 for opDelete)
+//
+// The protocol around a publish is begin → (atomic checkpoint write) →
+// commit, each followed by an fsync. Replay therefore classifies every
+// on-disk generation: begin without commit means the publish was
+// interrupted — the generation (whether absent, torn, or even fully
+// written) is rolled back and the previous one served. A torn record at
+// the tail (short frame or CRC mismatch) marks the crash point: the tail
+// is truncated and everything before it replayed.
+
+const (
+	opBegin    = 1
+	opCommit   = 2
+	opRollback = 3
+	opDelete   = 4
+)
+
+const walName = "wal.log"
+
+// walRecord is one decoded log entry.
+type walRecord struct {
+	op   byte
+	name string
+	gen  uint64
+}
+
+// maxWALRecord bounds a single record so a corrupt length prefix cannot
+// drive a giant allocation during replay.
+const maxWALRecord = 1 << 20
+
+func encodeWALRecord(r walRecord) []byte {
+	payload := []byte{r.op}
+	payload = binary.AppendUvarint(payload, uint64(len(r.name)))
+	payload = append(payload, r.name...)
+	payload = binary.LittleEndian.AppendUint64(payload, r.gen)
+	buf := make([]byte, 0, 8+len(payload))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+func decodeWALPayload(payload []byte) (walRecord, error) {
+	var r walRecord
+	if len(payload) < 1 {
+		return r, fmt.Errorf("empty record")
+	}
+	r.op = payload[0]
+	if r.op < opBegin || r.op > opDelete {
+		return r, fmt.Errorf("unknown op %d", r.op)
+	}
+	n, w := binary.Uvarint(payload[1:])
+	if w <= 0 || n > uint64(math.MaxInt32) || uint64(len(payload)-1-w) < n+8 {
+		return r, fmt.Errorf("truncated record")
+	}
+	off := 1 + w
+	r.name = string(payload[off : off+int(n)])
+	off += int(n)
+	r.gen = binary.LittleEndian.Uint64(payload[off:])
+	if off+8 != len(payload) {
+		return r, fmt.Errorf("%d trailing bytes", len(payload)-off-8)
+	}
+	return r, nil
+}
+
+// wal is the open append handle. All appends go through the store's
+// mutex, so the handle itself needs no locking.
+type wal struct {
+	f    *os.File
+	path string
+}
+
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{f: f, path: path}, nil
+}
+
+// append durably adds one record: the write and the fsync both complete
+// before the caller proceeds to the next protocol step.
+func (w *wal) append(r walRecord) error {
+	if _, err := w.f.Write(encodeWALRecord(r)); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *wal) close() error { return w.f.Close() }
+
+// replayWAL reads every intact record from the log. A torn tail — short
+// frame, short payload, or CRC mismatch — ends the replay: the offset of
+// the first bad byte is returned so the caller can truncate it away, along
+// with whether a tear was found. Corruption in the middle is
+// indistinguishable from a tear and handled the same way (everything after
+// the first bad record is discarded; the publish protocol's fsync ordering
+// means those records never acknowledged anyway).
+func replayWAL(path string) (records []walRecord, tornAt int64, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, false, nil
+		}
+		return nil, 0, false, err
+	}
+	off := 0
+	for off < len(data) {
+		if len(data)-off < 8 {
+			return records, int64(off), true, nil
+		}
+		plen := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if plen > maxWALRecord || int(plen) > len(data)-off-8 {
+			return records, int64(off), true, nil
+		}
+		payload := data[off+8 : off+8+int(plen)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return records, int64(off), true, nil
+		}
+		r, derr := decodeWALPayload(payload)
+		if derr != nil {
+			return records, int64(off), true, nil
+		}
+		records = append(records, r)
+		off += 8 + int(plen)
+	}
+	return records, int64(len(data)), false, nil
+}
+
+// truncateWAL cuts a torn tail off the log, durably.
+func truncateWAL(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// resetWAL compacts the log to empty after recovery has resolved every
+// in-flight event (atomically, so a crash mid-compaction keeps the old
+// log).
+func resetWAL(path string) error {
+	return writeFileAtomic(path, nil)
+}
+
+// walSize reports the current log size (for stats).
+func walSize(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
