@@ -162,6 +162,18 @@ func (p *persister) close(ctx context.Context) (pending int, err error) {
 	}
 }
 
+// remaining lists the models whose checkpoints are still queued, so a
+// timed-out drain can name exactly what it dropped.
+func (p *persister) remaining() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, len(p.queue))
+	for i, ck := range p.queue {
+		names[i] = ck.Name
+	}
+	return names
+}
+
 // recoverFromStore rebuilds the registry from the durable store: every
 // model with a valid current generation is reconstructed without
 // re-optimizing, and interrupted fits found in the fit-state area are

@@ -417,3 +417,41 @@ func waitStoreHas(st *store.Store, name string) error {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestShutdownWithExpiredContextStillFlushes: the drain context being
+// already exhausted must not drop queued checkpoints — the flush runs
+// under its own deadline, independent of the drain's.
+func TestShutdownWithExpiredContextStillFlushes(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStore(t, dir)
+	srv := New(Options{Store: st})
+	m, err := srv.FitModel(FitRequest{Name: "m", Gen: tinyGen(), MaxIter: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Shutdown reports the drain-context error, but the checkpoint must be
+	// durable regardless.
+	_ = srv.Shutdown(ctx)
+	if _, err := st.Load("m"); err != nil {
+		t.Fatalf("expired drain context dropped the pending checkpoint: %v", err)
+	}
+}
+
+// TestFitRejectsPathTraversalNames: "." and ".." would escape the store's
+// models/ directory; the HTTP layer answers 400 before running the fit.
+func TestFitRejectsPathTraversalNames(t *testing.T) {
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, name := range []string{".", ".."} {
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/models", FitRequest{Name: name, Gen: tinyGen()})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("fit with name %q: status %d, body %s", name, resp.StatusCode, body)
+		}
+	}
+}

@@ -46,6 +46,12 @@ import (
 
 var errStopped = errors.New("serve: model unregistered while request was queued")
 
+// persistFlushTimeout bounds the drain-time checkpoint flush independently
+// of the batcher drain: the drain context may already be exhausted when the
+// flush starts, and dalia-serve exits right after Shutdown returns, so
+// riding on that context would silently drop still-queued checkpoints.
+const persistFlushTimeout = 10 * time.Second
+
 // ErrServerClosed is what queued and subsequent prediction requests fail
 // with once a graceful drain (Server.Shutdown) has begun; the HTTP layer
 // maps it to 503 + Retry-After.
@@ -222,9 +228,11 @@ func (s *Server) Handler() http.Handler {
 // restart resume them), every model batcher stops accepting work — queued
 // and subsequent requests fail with ErrServerClosed (503 + Retry-After) —
 // in-flight batches run to completion, and pending model checkpoints are
-// flushed to the store with a per-model summary logged. Returns when the
-// drain completes, Options.DrainTimeout elapses, or ctx ends, whichever
-// comes first. Safe to call repeatedly.
+// flushed to the store with a per-model summary logged — the flush runs
+// under its own short deadline even when the batcher drain timed out, so a
+// slow drain never drops checkpoints. Returns once the drain has completed
+// (or Options.DrainTimeout / ctx cut it short) and the flush has finished
+// or hit its deadline. Safe to call repeatedly.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.fitCancel()
@@ -241,22 +249,33 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			m.batcher.shutdown(ErrServerClosed)
 		}
 	}()
+	var drainErr error
 	select {
 	case <-done:
 	case <-ctx.Done():
-		return ctx.Err()
+		drainErr = ctx.Err()
 	}
 	if s.persist != nil {
-		// The persister logs one line per model as each checkpoint lands;
-		// this summary line bounds what the drain still had in flight.
-		pending, err := s.persist.close(ctx)
+		// The flush runs even when the batcher drain timed out, and under a
+		// fresh deadline of its own — the documented contract is that pending
+		// checkpoints reach the store before the process exits. The persister
+		// logs one line per model as each checkpoint lands; this summary line
+		// bounds what the drain still had in flight.
+		flushCtx, cancel := context.WithTimeout(context.Background(), persistFlushTimeout)
+		pending, err := s.persist.close(flushCtx)
+		cancel()
 		s.logf("persistence flush: %d checkpoint(s) pending at drain, %d published, %d errors",
 			pending, s.persisted.Load(), s.persistErrors.Load())
 		if err != nil {
-			return err
+			rem := s.persist.remaining()
+			s.logf("persistence flush: gave up after %v with %d checkpoint(s) still queued (%s)",
+				persistFlushTimeout, len(rem), strings.Join(rem, ", "))
+			if drainErr == nil {
+				drainErr = err
+			}
 		}
 	}
-	return nil
+	return drainErr
 }
 
 // --- request/response schemas ---
@@ -557,6 +576,13 @@ func (s *Server) handleFitModel(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Name == "" {
 		writeErr(w, http.StatusBadRequest, "missing model name")
+		return
+	}
+	// Names become store directory keys; "." and ".." would escape the
+	// store's models/ directory, so reject them here with a 400 rather than
+	// letting the async persister fail after the fit already ran.
+	if err := store.ValidateName(req.Name); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	// Reserve the name before the (potentially multi-second) fit so a

@@ -92,6 +92,20 @@ type Store struct {
 // ErrNotFound reports a model or generation the store does not hold.
 var ErrNotFound = errors.New("store: not found")
 
+// ValidateName rejects model names the directory encoding cannot contain.
+// url.PathEscape leaves "." and ".." unescaped, so those names would
+// resolve outside the models/ directory (Delete("..") would remove the
+// store root), and an empty name resolves to models/ itself. Every method
+// that turns a name into a path checks this; the serving layer also calls
+// it at the HTTP boundary for a friendly 400.
+func ValidateName(name string) error {
+	switch name {
+	case "", ".", "..":
+		return fmt.Errorf("store: invalid model name %q", name)
+	}
+	return nil
+}
+
 // ErrClosed reports use after Close.
 var ErrClosed = errors.New("store: closed")
 
@@ -158,6 +172,23 @@ func parseGenFileName(name string) (uint64, bool) {
 // and rebuilds the in-memory index.
 func (s *Store) recover() (*RecoveryStats, error) {
 	stats := &RecoveryStats{}
+
+	// Sweep abandoned atomic-write temps in the store root first: resetWAL's
+	// temp file lands here, and a crash between CreateTemp and rename would
+	// otherwise leave wal.log.tmp-* files behind forever.
+	rootEntries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, ent := range rootEntries {
+		if ent.IsDir() || !strings.Contains(ent.Name(), ".tmp-") {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, ent.Name())); err != nil {
+			return nil, err
+		}
+		stats.CleanedTemps++
+	}
 
 	records, tornAt, torn, err := replayWAL(s.walPath())
 	if err != nil {
@@ -349,8 +380,8 @@ func (s *Store) quarantine(path, name string, gen uint64, reason string) error {
 // half-adopted checkpoint. Older generations beyond the retention window
 // are pruned after the commit.
 func (s *Store) Publish(ck *Checkpoint) (uint64, error) {
-	if ck.Name == "" {
-		return 0, errors.New("store: empty model name")
+	if err := ValidateName(ck.Name); err != nil {
+		return 0, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -399,22 +430,44 @@ func (s *Store) Publish(ck *Checkpoint) (uint64, error) {
 			return gen, err
 		}
 	}
+	// The publish is fully committed, so this is a quiescent point where the
+	// log may be compacted (it would otherwise grow by three fsynced records
+	// per publish until the next restart).
+	if err := s.wal.maybeCompact(); err != nil {
+		return gen, err
+	}
 	return gen, nil
 }
 
-// Load returns the current generation of a model, fully validated.
+// Load returns the current generation of a model, fully validated. The
+// checkpoint file is read outside the store mutex, so a concurrent Publish
+// can prune the generation captured from the index before the read lands
+// (retention keeps only retainGenerations); a missing file re-checks the
+// index and retries with the newer generation instead of surfacing a raw
+// *PathError.
 func (s *Store) Load(name string) (*Checkpoint, error) {
-	s.mu.Lock()
-	st := s.models[name]
-	var gen uint64
-	if st != nil {
-		gen = st.current
+	var lastGen uint64
+	for {
+		s.mu.Lock()
+		var gen uint64
+		if st := s.models[name]; st != nil {
+			gen = st.current
+		}
+		s.mu.Unlock()
+		if gen == 0 {
+			return nil, fmt.Errorf("%w: model %q", ErrNotFound, name)
+		}
+		ck, err := readCheckpointFile(filepath.Join(s.modelDir(name), genFileName(gen)))
+		if err == nil || !os.IsNotExist(err) {
+			return ck, err
+		}
+		if gen == lastGen {
+			// The index still points at the missing file: genuinely gone,
+			// not pruned out from under us by a racing publish.
+			return nil, fmt.Errorf("%w: model %q generation %d", ErrNotFound, name, gen)
+		}
+		lastGen = gen
 	}
-	s.mu.Unlock()
-	if gen == 0 {
-		return nil, fmt.Errorf("%w: model %q", ErrNotFound, name)
-	}
-	return readCheckpointFile(filepath.Join(s.modelDir(name), genFileName(gen)))
 }
 
 // Models lists the model names with a valid current generation, sorted.
@@ -445,6 +498,9 @@ func (s *Store) Generation(name string) (uint64, bool) {
 // crash mid-removal finishes on recovery instead of resurrecting stale
 // generations. The model's fit state goes with it.
 func (s *Store) Delete(name string) error {
+	if err := ValidateName(name); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -460,15 +516,17 @@ func (s *Store) Delete(name string) error {
 	if err := os.Remove(s.fitPath(name)); err != nil && !os.IsNotExist(err) {
 		return err
 	}
-	return nil
+	// The delete is fully applied on disk, so its WAL record is no longer
+	// load-bearing and the log may compact.
+	return s.wal.maybeCompact()
 }
 
 // SaveFitState durably records the in-flight optimizer state of a fit
 // (atomic overwrite — only the newest checkpoint matters). ck.Generation
 // carries the optimizer iteration.
 func (s *Store) SaveFitState(ck *Checkpoint) error {
-	if ck.Name == "" {
-		return errors.New("store: empty model name")
+	if err := ValidateName(ck.Name); err != nil {
+		return err
 	}
 	rec := *ck
 	if rec.CreatedUnixNano == 0 {
@@ -514,6 +572,9 @@ func (s *Store) FitStates() ([]*Checkpoint, error) {
 // ClearFitState removes a fit's in-flight state (called once the fit
 // publishes or is abandoned).
 func (s *Store) ClearFitState(name string) error {
+	if err := ValidateName(name); err != nil {
+		return err
+	}
 	if err := os.Remove(s.fitPath(name)); err != nil && !os.IsNotExist(err) {
 		return err
 	}

@@ -308,3 +308,102 @@ func TestContainerRejectsEveryTruncation(t *testing.T) {
 		t.Fatalf("round trip: %v %q", err, payload)
 	}
 }
+
+// TestInvalidModelNamesRejected: url.PathEscape leaves "." and ".."
+// unescaped, so without validation Delete("..") would os.RemoveAll the
+// store root and Publish("..") would scatter gen files where recovery
+// never looks. Every path-forming method must reject them (and "").
+func TestInvalidModelNamesRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	if _, err := s.Publish(&Checkpoint{Name: "ok", Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", ".", ".."} {
+		if _, err := s.Publish(&Checkpoint{Name: name, Payload: []byte("x")}); err == nil {
+			t.Fatalf("Publish(%q) accepted", name)
+		}
+		if err := s.Delete(name); err == nil {
+			t.Fatalf("Delete(%q) accepted", name)
+		}
+		if err := s.SaveFitState(&Checkpoint{Name: name, Payload: []byte("x")}); err == nil {
+			t.Fatalf("SaveFitState(%q) accepted", name)
+		}
+		if err := s.ClearFitState(name); err == nil {
+			t.Fatalf("ClearFitState(%q) accepted", name)
+		}
+	}
+	// The rejected calls must not have touched the store: the WAL, the
+	// layout directories and the published model are all still intact.
+	for _, p := range []string{walName, "models", "fits", "quarantine", filepath.Join("models", "ok")} {
+		if _, err := os.Stat(filepath.Join(dir, p)); err != nil {
+			t.Fatalf("store damaged by rejected name: %v", err)
+		}
+	}
+	if _, err := s.Load("ok"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALCompactsWhileRunning: a long-lived store compacts its log in
+// place at quiescent points instead of growing it by fsynced records per
+// publish until the next restart — and the compacted log still recovers
+// everything on reopen.
+func TestWALCompactsWhileRunning(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	const publishes = 200 // 2 records each, comfortably past walCompactEvery
+	for i := 1; i <= publishes; i++ {
+		if _, err := s.Publish(&Checkpoint{Name: "m", Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each record for name "m" is 19 bytes on disk; without compaction the
+	// log would hold every begin+commit pair.
+	uncompacted := int64(publishes * 2 * 19)
+	if size := walSize(s.walPath()); size >= uncompacted/2 {
+		t.Fatalf("wal size %d after %d publishes (uncompacted would be %d): never compacted",
+			size, publishes, uncompacted)
+	}
+	s.Close()
+
+	s2, stats := openT(t, dir)
+	if stats.Degraded() {
+		t.Fatalf("reopen after compaction reports degraded: %s", stats)
+	}
+	got, err := s2.Load("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation != publishes || got.Payload[0] != byte(publishes) {
+		t.Fatalf("recovered generation %d payload %v, want %d/%d",
+			got.Generation, got.Payload, publishes, byte(publishes))
+	}
+}
+
+// TestRootTempFilesSweptOnOpen: resetWAL's atomic write stages its temp
+// file in the store root; a crash between CreateTemp and rename must not
+// leave it there forever.
+func TestRootTempFilesSweptOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	if _, err := s.Publish(&Checkpoint{Name: "m", Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	stray := filepath.Join(dir, walName+".tmp-123456")
+	if err := os.WriteFile(stray, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, stats := openT(t, dir)
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatalf("stray root temp not swept (stat err: %v)", err)
+	}
+	if stats.CleanedTemps != 1 {
+		t.Fatalf("cleaned_temps = %d, want 1", stats.CleanedTemps)
+	}
+	if _, err := s2.Load("m"); err != nil {
+		t.Fatal(err)
+	}
+}

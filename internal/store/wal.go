@@ -51,6 +51,12 @@ type walRecord struct {
 // drive a giant allocation during replay.
 const maxWALRecord = 1 << 20
 
+// walCompactEvery is how many appended records a running store tolerates
+// before compacting the log in place (each publish appends two or three
+// fsynced records, so without this a long-lived server grows the log
+// without bound until the next restart's recovery compaction).
+const walCompactEvery = 256
+
 func encodeWALRecord(r walRecord) []byte {
 	payload := []byte{r.op}
 	payload = binary.AppendUvarint(payload, uint64(len(r.name)))
@@ -90,6 +96,9 @@ func decodeWALPayload(payload []byte) (walRecord, error) {
 type wal struct {
 	f    *os.File
 	path string
+	// appended counts records written through this handle since the last
+	// compaction; maybeCompact resets it.
+	appended int
 }
 
 func openWAL(path string) (*wal, error) {
@@ -106,6 +115,24 @@ func (w *wal) append(r walRecord) error {
 	if _, err := w.f.Write(encodeWALRecord(r)); err != nil {
 		return err
 	}
+	w.appended++
+	return w.f.Sync()
+}
+
+// maybeCompact truncates the log in place once enough records have
+// accumulated. Callers must hold the store mutex at a quiescent point — no
+// publish between its begin and commit, no delete mid-removal — where every
+// on-disk generation is committed, so the empty log is an equivalent
+// (minimal) representation of the same state. The handle is opened
+// O_APPEND, so writes after the truncate land at offset zero.
+func (w *wal) maybeCompact() error {
+	if w.appended < walCompactEvery {
+		return nil
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	w.appended = 0
 	return w.f.Sync()
 }
 
