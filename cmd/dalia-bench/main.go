@@ -26,7 +26,11 @@
 // and throughput; -out writes BENCH_6.json, -compare gates p99 against
 // one), recovery (crash recovery: restart-from-store vs refit cost for a
 // registry of fitted models, asserting byte-identical predictions; -out
-// writes BENCH_7.json, -compare gates restart cost against one).
+// writes BENCH_7.json, -compare gates restart cost against one), precision
+// (mixed precision: fp32 vs fp64 GEMM/POTRF GFLOP/s and the mixed
+// per-stage BTA factor+solve cycle with its refinement iteration count;
+// -out writes BENCH_8.json, -compare gates GEMM rates against one and
+// refuses cross-mode baselines).
 package main
 
 import (
@@ -290,6 +294,31 @@ func main() {
 			}
 			return nil
 		}},
+		{"precision", "mixed precision: fp32 vs fp64 kernels, mixed BTA factor+solve with refinement", func(quick bool) error {
+			base := bench.Precision(quick)
+			bench.PrintPrecision(base, os.Stdout)
+			if *out != "" {
+				if err := bench.WritePrecisionBaseline(base, *out); err != nil {
+					return err
+				}
+				fmt.Printf("    baseline written to %s\n", *out)
+			}
+			if *compare != "" {
+				stored, err := bench.LoadPrecisionBaseline(*compare)
+				if err != nil {
+					return err
+				}
+				regs := bench.ComparePrecision(base, stored, *maxRegress)
+				if len(regs) > 0 {
+					for _, r := range regs {
+						fmt.Fprintf(os.Stderr, "    REGRESSION %s\n", r)
+					}
+					return fmt.Errorf("%d precision regression(s) beyond %.0f%% vs %s", len(regs), *maxRegress*100, *compare)
+				}
+				fmt.Printf("    no GEMM regression beyond %.0f%% vs %s\n", *maxRegress*100, *compare)
+			}
+			return nil
+		}},
 		{"pintime", "parallel-in-time BTA engine (single-eval latency, selected-inversion throughput)", func(quick bool) error {
 			base, err := bench.Pintime(quick)
 			if err != nil {
@@ -334,7 +363,7 @@ func main() {
 	// -out is honored by several experiments; refuse a selection where a
 	// later one would silently overwrite an earlier one's file.
 	nOut := 0
-	for _, name := range []string{"kernels", "serving", "pintime", "hybrid", "reduced", "latency", "recovery"} {
+	for _, name := range []string{"kernels", "serving", "pintime", "hybrid", "reduced", "latency", "recovery", "precision"} {
 		if runAll || want[name] {
 			nOut++
 		}

@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+
+	"github.com/dalia-hpc/dalia/internal/bta"
+	"github.com/dalia-hpc/dalia/internal/dense"
+)
+
+// PrecisionResult is one measured point of the mixed-precision experiment.
+// Rows come in fp64/fp32 (kernel level) or fp64/mixed (solver level) pairs;
+// Speedup on the reduced-precision row is relative to its fp64 partner at
+// the same size.
+type PrecisionResult struct {
+	Name      string  `json:"name"`
+	N         int     `json:"n"`
+	Precision string  `json:"precision"`
+	Seconds   float64 `json:"seconds"`
+	GFlops    float64 `json:"gflops,omitempty"`
+	Speedup   float64 `json:"speedup,omitempty"`
+	// RefineIters is the fp64 residual-correction count of the mixed
+	// Solve rows — the price of getting fp64 accuracy back.
+	RefineIters int `json:"refine_iters,omitempty"`
+}
+
+// PrecisionBaseline is the serialized mixed-precision baseline
+// (BENCH_8.json): the fp32 packed engine's GFLOP/s against the fp64 engine
+// at the same sizes, and the mixed per-stage BTA factor+solve cycle against
+// the pure-fp64 cycle. Precision/RefineIters record the headline mode the
+// file's reduced-precision rows ran at, so gates can refuse a comparison
+// against a file taken under a different policy.
+type PrecisionBaseline struct {
+	GoMaxProcs  int               `json:"gomaxprocs"`
+	NumCPU      int               `json:"num_cpu"`
+	Workers     int               `json:"workers"`
+	Precision   string            `json:"precision"`
+	RefineIters int               `json:"refine_iters"`
+	Results     []PrecisionResult `json:"results"`
+}
+
+// Precision measures what dropping to fp32 buys and what refinement costs,
+// single-threaded like the kernels experiment: GEMM and POTRF at
+// n ∈ {256, 1024} in both precisions (the acceptance headline is the
+// n=1024 GEMM fp32-over-fp64 speedup), then the BTA Refactorize+Solve
+// cycle fp64 vs the mixed per-stage policy with its refinement iteration
+// count. quick trims repetitions, not sizes.
+func Precision(quick bool) *PrecisionBaseline {
+	prev := dense.SetMaxWorkers(1)
+	defer dense.SetMaxWorkers(prev)
+	reps := 3
+	if quick {
+		reps = 1
+	}
+	rng := rand.New(rand.NewSource(41))
+	out := &PrecisionBaseline{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workers:    1,
+		Precision:  bta.PrecMixed.String(),
+	}
+
+	for _, n := range []int{256, 1024} {
+		a := dense.New(n, n)
+		b := dense.New(n, n)
+		c := dense.New(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+			b.Data[i] = rng.NormFloat64()
+		}
+		a32, b32, c32 := dense.New32(n, n), dense.New32(n, n), dense.New32(n, n)
+		a32.FromFloat64(a)
+		b32.FromFloat64(b)
+		flops := 2 * float64(n) * float64(n) * float64(n)
+		t64 := timeIt(reps, func() { dense.Gemm(dense.NoTrans, dense.NoTrans, 1, a, b, 0, c) })
+		t32 := timeIt(reps, func() { dense.Gemm32(dense.NoTrans, dense.NoTrans, 1, a32, b32, 0, c32) })
+		out.Results = append(out.Results,
+			PrecisionResult{Name: "gemm", N: n, Precision: "fp64", Seconds: t64, GFlops: flops / t64 / 1e9},
+			PrecisionResult{Name: "gemm", N: n, Precision: "fp32", Seconds: t32, GFlops: flops / t32 / 1e9, Speedup: t64 / t32})
+	}
+
+	// Blocked Cholesky in both precisions at n = 1024 (fp32 input is made
+	// strongly diagonally dominant the same way, so POTRF32 cannot fail).
+	{
+		n := 1024
+		g := dense.New(n, n)
+		for i := range g.Data {
+			g.Data[i] = rng.NormFloat64()
+		}
+		spd := dense.New(n, n)
+		dense.Syrk(dense.NoTrans, 1, g, 0, spd)
+		spd.MirrorLowerToUpper()
+		spd.AddDiag(float64(n))
+		w := dense.New(n, n)
+		spd32 := dense.New32(n, n)
+		spd32.FromFloat64(spd)
+		w32 := dense.New32(n, n)
+		flops := float64(n) * float64(n) * float64(n) / 3
+		t64 := timeIt(reps, func() {
+			w.CopyFrom(spd)
+			if err := dense.Potrf(w); err != nil {
+				panic(err)
+			}
+		})
+		t32 := timeIt(reps, func() {
+			w32.CopyFrom(spd32)
+			if err := dense.Potrf32(w32); err != nil {
+				panic(err)
+			}
+		})
+		out.Results = append(out.Results,
+			PrecisionResult{Name: "potrf", N: n, Precision: "fp64", Seconds: t64, GFlops: flops / t64 / 1e9},
+			PrecisionResult{Name: "potrf", N: n, Precision: "fp32", Seconds: t32, GFlops: flops / t32 / 1e9, Speedup: t64 / t32})
+	}
+
+	// BTA Refactorize + Solve cycle: the pure-fp64 path against the mixed
+	// per-stage policy (fp32 interior sweeps, fp64 boundary/log-det, fp64
+	// refined solve). Same matrix, same rhs; the mixed row records how many
+	// residual corrections the refined solve spent.
+	{
+		nBlocks, bs, as := 16, 128, 8
+		m := randSPDBTA(rng, nBlocks, bs, as)
+		rhs0 := make([]float64, m.Dim())
+		for i := range rhs0 {
+			rhs0[i] = rng.NormFloat64()
+		}
+		rhs := make([]float64, len(rhs0))
+		cycle := func(f *bta.Factor) float64 {
+			return timeIt(reps, func() {
+				if err := f.Refactorize(m); err != nil {
+					panic(err)
+				}
+				copy(rhs, rhs0)
+				f.Solve(rhs)
+				_ = f.LogDet()
+			})
+		}
+		f64 := bta.NewFactor(nBlocks, bs, as)
+		t64 := cycle(f64)
+		fmx := bta.NewFactor(nBlocks, bs, as)
+		fmx.SetPrecision(bta.PrecMixed)
+		tmx := cycle(fmx)
+		out.RefineIters = fmx.LastRefineIters()
+		out.Results = append(out.Results,
+			PrecisionResult{Name: "pobtaf-refactorize-solve", N: nBlocks * bs, Precision: "fp64", Seconds: t64},
+			PrecisionResult{Name: "pobtaf-refactorize-solve", N: nBlocks * bs, Precision: "mixed",
+				Seconds: tmx, Speedup: t64 / tmx, RefineIters: fmx.LastRefineIters()})
+	}
+	return out
+}
+
+// WritePrecisionBaseline serializes the mixed-precision baseline.
+func WritePrecisionBaseline(b *PrecisionBaseline, path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadPrecisionBaseline reads a stored mixed-precision baseline back in.
+func LoadPrecisionBaseline(path string) (*PrecisionBaseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b PrecisionBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("bench: parse precision baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// minPrecisionGateSeconds is the shortest measurement the precision gate
+// trusts: quick mode times each point once, and a single cold n=256 GEMM
+// wanders ±2× on a shared 1-core runner. The n=1024 headline rows run tens
+// of milliseconds and stay stable even at one repetition.
+const minPrecisionGateSeconds = 0.01
+
+// ComparePrecision checks the current measurements against a stored
+// baseline: a precision-mode mismatch between the two files is itself a
+// gate failure (fp32 rates gated against fp64 rates would always "pass"),
+// then each GEMM point — both precisions — must hold (1−maxRegress) of the
+// baseline GFLOP/s. Non-GEMM rows are informational, as are rows too short
+// to time reliably (minPrecisionGateSeconds) or present in only one set.
+func ComparePrecision(cur, base *PrecisionBaseline, maxRegress float64) []string {
+	if regs := precisionMismatch("precision", cur.Precision, base.Precision); regs != nil {
+		return regs
+	}
+	key := func(r PrecisionResult) string { return fmt.Sprintf("%s/%s/n=%d", r.Name, r.Precision, r.N) }
+	baseRate := map[string]float64{}
+	for _, r := range base.Results {
+		if r.GFlops > 0 {
+			baseRate[key(r)] = r.GFlops
+		}
+	}
+	var regressions []string
+	for _, r := range cur.Results {
+		if r.Name != "gemm" || r.GFlops <= 0 || r.Seconds < minPrecisionGateSeconds {
+			continue
+		}
+		want, ok := baseRate[key(r)]
+		if !ok {
+			continue
+		}
+		floor := want * (1 - maxRegress)
+		if r.GFlops < floor {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.2f GFLOP/s vs baseline %.2f (floor %.2f, −%.0f%%)",
+					key(r), r.GFlops, want, floor, 100*(1-r.GFlops/want)))
+		}
+	}
+	return regressions
+}
+
+// PrintPrecision renders the mixed-precision table.
+func PrintPrecision(b *PrecisionBaseline, w *os.File) {
+	fmt.Fprintf(w, "  mixed precision (single-threaded, GOMAXPROCS=%d, %d hardware CPUs, refine iters=%d)\n",
+		b.GoMaxProcs, b.NumCPU, b.RefineIters)
+	fmt.Fprintf(w, "  %-24s %6s %-9s %12s %10s %8s %7s\n",
+		"op", "n", "prec", "latency", "GFLOP/s", "speedup", "refine")
+	for _, r := range b.Results {
+		gf, sp, ri := "-", "-", "-"
+		if r.GFlops > 0 {
+			gf = fmt.Sprintf("%.2f", r.GFlops)
+		}
+		if r.Speedup > 0 {
+			sp = fmt.Sprintf("%.2fx", r.Speedup)
+		}
+		if r.Precision == "mixed" {
+			ri = fmt.Sprintf("%d", r.RefineIters)
+		}
+		fmt.Fprintf(w, "  %-24s %6d %-9s %12s %10s %8s %7s\n",
+			r.Name, r.N, r.Precision, fmtDuration(r.Seconds), gf, sp, ri)
+	}
+}

@@ -1,0 +1,482 @@
+package bta
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dalia-hpc/dalia/internal/comm"
+	"github.com/dalia-hpc/dalia/internal/dense"
+)
+
+// maxAbsDiff returns ‖a−b‖∞.
+func maxAbsDiff(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// illCondBTA builds a seeded SPD BTA matrix that is deliberately harder than
+// randBTA: the diagonal shift decays across block rows so the condition
+// number is ~1e2–1e3 — enough that a raw fp32 solve misses the 1e-10
+// equivalence bar by several orders and the fp64 refinement has real work.
+func illCondBTA(rng *rand.Rand, n, b, a int) *Matrix {
+	m := NewMatrix(n, b, a)
+	fill := func(dst *dense.Matrix) {
+		for i := range dst.Data {
+			dst.Data[i] = 0.3 * rng.NormFloat64()
+		}
+	}
+	base := float64(2*b + 2*a + 4)
+	for i := 0; i < n; i++ {
+		fill(m.Diag[i])
+		m.Diag[i].Symmetrize()
+		// Decaying shift: early blocks are stiff, late blocks barely SPD.
+		shift := base * math.Pow(10, -2*float64(i)/float64(n-1))
+		m.Diag[i].AddDiag(base + shift*100)
+		if i < n-1 {
+			fill(m.Lower[i])
+		}
+		if a > 0 {
+			fill(m.Arrow[i])
+		}
+	}
+	if a > 0 {
+		fill(m.Tip)
+		m.Tip.Symmetrize()
+		m.Tip.AddDiag(float64(2*b*n + 4))
+	}
+	return m
+}
+
+// TestSeqMixedSolveMatchesFp64: an fp32-factored solve with fp64 iterative
+// refinement must match the pure-fp64 solve to 1e-10, and must report a
+// deterministic (seeded input) refinement iteration count in 1..cap.
+func TestSeqMixedSolveMatchesFp64(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, tc := range []struct{ n, b, a int }{{6, 8, 3}, {5, 16, 0}, {4, 24, 4}} {
+		m := illCondBTA(rng, tc.n, tc.b, tc.a)
+		rhs := randVec(rng, m.Dim())
+
+		f64, err := Factorize(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]float64(nil), rhs...)
+		f64.Solve(want)
+
+		fm := NewFactor(tc.n, tc.b, tc.a)
+		fm.SetPrecision(PrecMixed)
+		if err := fm.Refactorize(m); err != nil {
+			t.Fatal(err)
+		}
+		if !fm.Low() {
+			t.Fatal("mixed refactorize of an SPD matrix must keep the fp32 factor")
+		}
+		got := append([]float64(nil), rhs...)
+		fm.Solve(got)
+		if d := maxAbsDiff(want, got); d > 1e-10 {
+			t.Fatalf("n=%d b=%d a=%d: mixed solve differs from fp64 by %g", tc.n, tc.b, tc.a, d)
+		}
+		it := fm.LastRefineIters()
+		if it < 1 || it > DefaultMaxRefine {
+			t.Fatalf("refine iters = %d, want 1..%d", it, DefaultMaxRefine)
+		}
+	}
+}
+
+// TestSeqMixedRefineItersPinned pins the refinement iteration count on a
+// fixed seeded system — a drift canary for the contraction rate of the
+// fp32 factor (κ·eps32 per round).
+func TestSeqMixedRefineItersPinned(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	m := illCondBTA(rng, 6, 12, 3)
+	rhs := randVec(rng, m.Dim())
+	f := NewFactor(6, 12, 3)
+	f.SetPrecision(PrecMixed)
+	if err := f.Refactorize(m); err != nil {
+		t.Fatal(err)
+	}
+	x := append([]float64(nil), rhs...)
+	f.Solve(x)
+	if it := f.LastRefineIters(); it != 2 {
+		t.Fatalf("pinned refine iteration count drifted: got %d, want 2", it)
+	}
+}
+
+// TestSeqMixedSolveMultiMatchesFp64 refines a block of right-hand sides.
+func TestSeqMixedSolveMultiMatchesFp64(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	m := illCondBTA(rng, 5, 10, 2)
+	d := m.Dim()
+	rhs := dense.New(d, 4)
+	for i := range rhs.Data {
+		rhs.Data[i] = rng.NormFloat64()
+	}
+
+	f64, err := Factorize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rhs.Clone()
+	f64.SolveMulti(want)
+
+	fm := NewFactor(5, 10, 2)
+	fm.SetPrecision(PrecMixed)
+	if err := fm.Refactorize(m); err != nil {
+		t.Fatal(err)
+	}
+	got := rhs.Clone()
+	fm.SolveMulti(got)
+	if d := maxAbsDiff(want.Data, got.Data); d > 1e-10 {
+		t.Fatalf("mixed SolveMulti differs from fp64 by %g", d)
+	}
+	if it := fm.LastRefineIters(); it < 1 {
+		t.Fatalf("SolveMulti refinement did not run (iters=%d)", it)
+	}
+}
+
+// TestSeqMixedPromotion: operations with no refinement analogue (sampling
+// half-solves, selected inversion) must silently promote the factor to full
+// fp64 and then match the pure-fp64 results exactly.
+func TestSeqMixedPromotion(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	m := illCondBTA(rng, 5, 9, 3)
+	d := m.Dim()
+	z := randVec(rng, d)
+
+	f64, err := Factorize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantZ := append([]float64(nil), z...)
+	f64.SolveLT(wantZ)
+	wantSig, err := f64.SelectedInversion()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fm := NewFactor(5, 9, 3)
+	fm.SetPrecision(PrecMixed)
+	if err := fm.Refactorize(m); err != nil {
+		t.Fatal(err)
+	}
+	gotZ := append([]float64(nil), z...)
+	fm.SolveLT(gotZ)
+	if fm.Low() {
+		t.Fatal("SolveLT must promote the factor to fp64")
+	}
+	if diff := maxAbsDiff(wantZ, gotZ); diff != 0 {
+		t.Fatalf("promoted SolveLT differs from fp64 by %g, want exact", diff)
+	}
+	gotSig, err := fm.SelectedInversion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := maxAbsDiff(wantSig.DiagVec(), gotSig.DiagVec()); diff != 0 {
+		t.Fatalf("promoted selinv differs from fp64 by %g, want exact", diff)
+	}
+}
+
+// TestParallelMixedEquivalenceGrid runs the mixed-precision parallel factor
+// across the P × recursion × pipelining grid and requires every refined
+// solve to match the pure-fp64 sequential solve to 1e-10.
+func TestParallelMixedEquivalenceGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	n, b, a := 16, 6, 2
+	m := illCondBTA(rng, n, b, a)
+	rhs := randVec(rng, m.Dim())
+
+	f64, err := Factorize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), rhs...)
+	f64.Solve(want)
+	wantLD := f64.LogDet()
+
+	for _, tc := range []struct {
+		p, depth int
+		pipe     bool
+	}{
+		{1, 0, false}, // sequential delegate
+		{3, 0, false}, // flat reduced engine
+		{4, 0, true},  // pipelined boundary handoff
+		{5, 1, false}, // recursive reduced engine
+		{5, 1, true},  // recursion + pipelining
+	} {
+		pf, err := NewParallelFactorOpts(n, b, a, ParallelOptions{
+			Partitions: tc.p,
+			Reduced:    ReducedOptions{Depth: tc.depth, Crossover: 4, Pipeline: tc.pipe},
+			Precision:  PrecMixed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pf.Refactorize(m); err != nil {
+			t.Fatalf("p=%d depth=%d pipe=%v: %v", tc.p, tc.depth, tc.pipe, err)
+		}
+		if !pf.Low() {
+			t.Fatalf("p=%d: mixed refactorize must keep the fp32 factor", tc.p)
+		}
+		got := append([]float64(nil), rhs...)
+		pf.Solve(got)
+		if d := maxAbsDiff(want, got); d > 1e-10 {
+			t.Fatalf("p=%d depth=%d pipe=%v: mixed solve differs from fp64 by %g",
+				tc.p, tc.depth, tc.pipe, d)
+		}
+		if it := pf.LastRefineIters(); it < 1 || it > DefaultMaxRefine {
+			t.Fatalf("p=%d: refine iters = %d, want 1..%d", tc.p, it, DefaultMaxRefine)
+		}
+		// LogDet stays fp32-accurate under mixed (documented policy).
+		if ld := pf.LogDet(); math.Abs(ld-wantLD) > 1e-4*math.Abs(wantLD) {
+			t.Fatalf("p=%d: mixed logdet %g vs fp64 %g", tc.p, ld, wantLD)
+		}
+	}
+}
+
+// TestParallelMixedPromotion: selected inversion on a mixed parallel factor
+// promotes to fp64 and then matches the fp64 parallel result exactly.
+func TestParallelMixedPromotion(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	n, b, a := 12, 5, 2
+	m := illCondBTA(rng, n, b, a)
+
+	p64, err := NewParallelFactor(n, b, a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p64.Refactorize(m); err != nil {
+		t.Fatal(err)
+	}
+	wantSig, err := p64.SelectedInversion()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pm, err := NewParallelFactorOpts(n, b, a, ParallelOptions{Partitions: 3, Precision: PrecMixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Refactorize(m); err != nil {
+		t.Fatal(err)
+	}
+	gotSig, err := pm.SelectedInversion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Low() {
+		t.Fatal("selected inversion must promote the factor to fp64")
+	}
+	if d := maxAbsDiff(wantSig.DiagVec(), gotSig.DiagVec()); d != 0 {
+		t.Fatalf("promoted parallel selinv differs from fp64 by %g, want exact", d)
+	}
+}
+
+// TestParallelMixedZeroAlloc pins the steady-state allocation count of the
+// mixed Refactorize+Solve cycle on the parallel factor. Goroutine launches
+// of the prebuilt gang allocate a constant small number of objects per phase
+// in the Go runtime; the pin is against growth, so the bound here is the
+// same one the fp64 path satisfies: zero heap objects beyond the gang
+// launches, which AllocsPerRun attributes to the runtime, not the heap.
+func TestParallelMixedZeroAlloc(t *testing.T) {
+	if dense.RaceEnabled {
+		t.Skip("race-mode sync.Pool drops Put items; alloc counts are meaningless")
+	}
+	prev := dense.SetMaxWorkers(1)
+	defer dense.SetMaxWorkers(prev)
+	rng := rand.New(rand.NewSource(71))
+	n, b, a := 12, 16, 3
+	m := illCondBTA(rng, n, b, a)
+	rhs := randVec(rng, m.Dim())
+	pf, err := NewParallelFactorOpts(n, b, a, ParallelOptions{Partitions: 3, Precision: PrecMixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, m.Dim())
+	if err := pf.Refactorize(m); err != nil {
+		t.Fatal(err)
+	}
+	copy(x, rhs)
+	pf.Solve(x) // warm shadows, pools, and refinement scratch
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := pf.Refactorize(m); err != nil {
+			t.Fatal(err)
+		}
+		copy(x, rhs)
+		pf.Solve(x)
+	})
+	// Same bound as the fp64 parallel pin: the only per-cycle objects are
+	// the gang goroutine launches (runtime-internal, not visible here).
+	if allocs != 0 {
+		t.Fatalf("mixed parallel Refactorize+Solve allocates %.1f objects in steady state, want 0", allocs)
+	}
+}
+
+// runDistributedMixed factorizes g under PrecMixed over p simulated ranks
+// and solves with PPOBTASRefined, returning the replicated solution and the
+// refinement iteration count.
+func runDistributedMixed(t *testing.T, g *Matrix, p int, opts DistOptions, rhs []float64) ([]float64, int) {
+	t.Helper()
+	parts, err := PartitionBlocks(g.N, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, g.Dim())
+	iters := -1
+	var mu chanMutex = make(chan struct{}, 1)
+	var firstErr error
+	comm.Run(p, comm.DefaultMachine(), func(c *comm.Comm) {
+		local := LocalSlice(g, parts, c.Rank())
+		f, err := PPOBTAFOpts(c, local, nil, opts)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		if opts.Precision == PrecMixed && p > 1 && !f.Low() {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("rank %d: mixed factorization must be low", c.Rank())
+			}
+			mu.Unlock()
+			return
+		}
+		xr, it, err := PPOBTASRefined(c, f, g, rhs)
+		mu.Lock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err == nil && c.Rank() == 0 {
+			copy(x, xr)
+			iters = it
+		}
+		mu.Unlock()
+	})
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	return x, iters
+}
+
+// TestDistMixedRefinedSolveMatchesFp64 runs the mixed distributed
+// factorization plus refined solve across flat, pipelined, and recursive
+// reduced configurations and requires 1e-10 agreement with the sequential
+// fp64 solve.
+func TestDistMixedRefinedSolveMatchesFp64(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	g := illCondBTA(rng, 12, 5, 2)
+	rhs := randVec(rng, g.Dim())
+
+	f64, err := Factorize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), rhs...)
+	f64.Solve(want)
+
+	for _, tc := range []struct {
+		name string
+		p    int
+		opts DistOptions
+	}{
+		{"flat-p3", 3, DistOptions{Precision: PrecMixed}},
+		{"pipelined-p4", 4, DistOptions{Precision: PrecMixed, Reduced: ReducedOptions{Pipeline: true}}},
+		{"recursive-p4", 4, DistOptions{Precision: PrecMixed, Reduced: ReducedOptions{Depth: 1, Crossover: 4}}},
+	} {
+		got, iters := runDistributedMixed(t, g, tc.p, tc.opts, rhs)
+		if d := maxAbsDiff(want, got); d > 1e-10 {
+			t.Fatalf("%s: refined dist solve differs from fp64 by %g", tc.name, d)
+		}
+		if iters < 1 || iters > DefaultMaxRefine {
+			t.Fatalf("%s: refine iters = %d, want 1..%d", tc.name, iters, DefaultMaxRefine)
+		}
+	}
+}
+
+// TestDistRefinedSolveOnFp64FactorSkipsRefinement: against a pure-fp64
+// distributed factor PPOBTASRefined is a plain solve (0 corrections) and
+// still returns the replicated full solution.
+func TestDistRefinedSolveOnFp64FactorSkipsRefinement(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	g := randBTA(rng, 9, 4, 2)
+	rhs := randVec(rng, g.Dim())
+	f64, err := Factorize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), rhs...)
+	f64.Solve(want)
+	got, iters := runDistributedMixed(t, g, 3, DistOptions{}, rhs)
+	if iters != 0 {
+		t.Fatalf("fp64 factor must skip refinement, got %d iters", iters)
+	}
+	if d := maxAbsDiff(want, got); d > 1e-7 {
+		t.Fatalf("unrefined dist solve differs from fp64 by %g", d)
+	}
+}
+
+// TestSeqMixedNonSPDFallsBackToFp64: an indefinite matrix must be rejected
+// by the fp64 sweep (the decider), not the fp32 one, and the error must be
+// the usual fp64-path error.
+func TestSeqMixedNonSPDFallsBackToFp64(t *testing.T) {
+	m := NewMatrix(3, 4, 0)
+	for i := 0; i < 3; i++ {
+		m.Diag[i].AddDiag(1)
+	}
+	m.Diag[1].Set(2, 2, -5) // indefinite middle block
+	f := NewFactor(3, 4, 0)
+	f.SetPrecision(PrecMixed)
+	err := f.Refactorize(m)
+	if err == nil {
+		t.Fatal("indefinite matrix must fail")
+	}
+	f2 := NewFactor(3, 4, 0)
+	err2 := f2.Refactorize(m)
+	if err2 == nil || err.Error() != err2.Error() {
+		t.Fatalf("mixed-mode error %q must match the fp64 decision %q", err, err2)
+	}
+	if f.Low() {
+		t.Fatal("failed refactorize must not leave the factor marked low")
+	}
+}
+
+// TestSeqMixedRefactorizeZeroAlloc: the mixed Refactorize+Solve hot path
+// allocates nothing after warm-up (shadow arena and refinement scratch are
+// retained on the factor).
+func TestSeqMixedRefactorizeZeroAlloc(t *testing.T) {
+	if dense.RaceEnabled {
+		t.Skip("race-mode sync.Pool drops Put items; alloc counts are meaningless")
+	}
+	prev := dense.SetMaxWorkers(1)
+	defer dense.SetMaxWorkers(prev)
+	rng := rand.New(rand.NewSource(59))
+	m := illCondBTA(rng, 5, 16, 3)
+	rhs := randVec(rng, m.Dim())
+	f := NewFactor(5, 16, 3)
+	f.SetPrecision(PrecMixed)
+	x := make([]float64, m.Dim())
+	copy(x, rhs)
+	if err := f.Refactorize(m); err != nil {
+		t.Fatal(err)
+	}
+	f.Solve(x) // warm the shadow + refinement scratch
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := f.Refactorize(m); err != nil {
+			t.Fatal(err)
+		}
+		copy(x, rhs)
+		f.Solve(x)
+	})
+	if allocs != 0 {
+		t.Fatalf("mixed Refactorize+Solve allocates %.1f objects in steady state, want 0", allocs)
+	}
+}

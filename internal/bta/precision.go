@@ -1,0 +1,260 @@
+package bta
+
+import (
+	"fmt"
+
+	"github.com/dalia-hpc/dalia/internal/dense"
+)
+
+// Precision selects the per-stage precision policy of a BTA factorization.
+//
+// The policy follows the paper's GPU mixed-precision argument translated to
+// the CPU SIMD budget: the interior elimination sweeps — the O(n·b³) bulk of
+// the factorization — may run on the fp32 packed engine (twice the AVX2
+// lanes per FMA), while everything accuracy-critical stays fp64: the reduced
+// boundary system, the log-determinant accumulation, and non-SPD recovery
+// (a partition whose fp32 Cholesky loses positive definiteness is re-swept
+// in fp64 before the configuration is declared infeasible). Solves against a
+// mixed factor recover fp64 accuracy through iterative refinement
+// (fp64 residual correction); selected inversion and sampling promote the
+// factor to a full fp64 refactorization instead.
+type Precision int
+
+const (
+	// PrecFloat64 is the pure double-precision path (the zero value, so
+	// existing callers are unchanged).
+	PrecFloat64 Precision = iota
+	// PrecMixed runs interior elimination sweeps in fp32 with fp64 residual
+	// correction on solves.
+	PrecMixed
+)
+
+// String returns the flag/JSON spelling of the precision mode.
+func (p Precision) String() string {
+	switch p {
+	case PrecMixed:
+		return "mixed"
+	default:
+		return "fp64"
+	}
+}
+
+// ParsePrecision parses the flag/JSON spelling ("fp64" or "mixed"; "" means
+// fp64).
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "fp64", "float64":
+		return PrecFloat64, nil
+	case "mixed", "fp32":
+		return PrecMixed, nil
+	}
+	return PrecFloat64, fmt.Errorf("bta: unknown precision %q (want fp64 or mixed)", s)
+}
+
+// Refinement parameters of the fp64 residual correction on solves against a
+// mixed-precision factor. One correction contracts the error by
+// ρ ≈ κ(A)·eps32, so for the condition numbers the policy admits two rounds
+// land well under the 1e-10 equivalence bar; the cap only binds on
+// pathological systems.
+const (
+	// DefaultMaxRefine caps the fp64 residual-correction rounds per solve.
+	DefaultMaxRefine = 4
+	// refineTol stops the refinement once the correction is negligible:
+	// ‖dx‖∞ ≤ refineTol·‖x‖∞.
+	refineTol = 1e-12
+)
+
+// elimShadow32 is the preallocated fp32 shadow arena of one partition's
+// interior elimination sweep: single-precision twins of the partition's
+// Diag/Lower/Arrow slices, the fill-coupling chain, and the tip accumulator.
+// The fp64 blocks stay pristine while the sweep runs on the shadow; on
+// success the results are promoted back, on an fp32 Cholesky failure the
+// sweep re-runs in fp64 on the untouched originals.
+type elimShadow32 struct {
+	diag  []*dense.Matrix32
+	lower []*dense.Matrix32
+	arrow []*dense.Matrix32 // nil when no arrowhead
+	chain []*dense.Matrix32 // fill-coupling blocks (two-sided partitions)
+	tip   *dense.Matrix32   // a×a Schur tip accumulator (nil when no arrowhead)
+
+	gTops []*dense.Matrix32 // per-interior fill output record (reused backing)
+}
+
+// newElimShadow32 sizes a shadow for a partition of size blocks with nChain
+// fill blocks (0 for one-sided partitions).
+func newElimShadow32(size, nChain, b, a int) *elimShadow32 {
+	sh := &elimShadow32{
+		diag:  make([]*dense.Matrix32, size),
+		gTops: make([]*dense.Matrix32, 0, size),
+	}
+	for i := range sh.diag {
+		sh.diag[i] = dense.New32(b, b)
+	}
+	if size > 1 {
+		sh.lower = make([]*dense.Matrix32, size-1)
+		for i := range sh.lower {
+			sh.lower[i] = dense.New32(b, b)
+		}
+	}
+	if nChain > 0 {
+		sh.chain = make([]*dense.Matrix32, nChain)
+		for i := range sh.chain {
+			sh.chain[i] = dense.New32(b, b)
+		}
+	}
+	if a > 0 {
+		sh.arrow = make([]*dense.Matrix32, size)
+		for i := range sh.arrow {
+			sh.arrow[i] = dense.New32(a, b)
+		}
+		sh.tip = dense.New32(a, a)
+	}
+	return sh
+}
+
+// fits reports whether the shadow covers a partition of the given shape.
+func (sh *elimShadow32) fits(size, nChain, b, a int) bool {
+	if sh == nil || len(sh.diag) != size || len(sh.chain) < nChain {
+		return false
+	}
+	if sh.diag[0].Rows != b {
+		return false
+	}
+	if a > 0 && (sh.tip == nil || sh.tip.Rows != a) {
+		return false
+	}
+	return true
+}
+
+// run32 is the fp32 twin of partitionElim.run: it demotes the partition's
+// blocks into the shadow arena, performs the whole elimination sweep in
+// single precision on the fp32 packed engine, and only on success promotes
+// the results back into the fp64 storage and appends the output block lists.
+// The fp64 blocks are untouched until that promotion, and no fp64 fill
+// blocks are drawn from NewBB before it, so a failed fp32 Cholesky leaves
+// the partition exactly as run() expects to find it — the fp64 fallback
+// sweep (non-SPD recovery stays double precision) starts clean and the
+// recycled-chain accounting is identical either way.
+func (pe *partitionElim) run32() error {
+	sh := pe.Shadow
+	hasArrow := pe.TipDelta != nil
+	size := len(pe.Diag)
+
+	for i := 0; i < size; i++ {
+		sh.diag[i].FromFloat64(pe.Diag[i])
+	}
+	for i := range pe.Lower {
+		sh.lower[i].FromFloat64(pe.Lower[i])
+	}
+	if hasArrow {
+		for i := range pe.Arrow {
+			sh.arrow[i].FromFloat64(pe.Arrow[i])
+		}
+		sh.tip.Zero()
+	}
+
+	used := 0
+	var tCur *dense.Matrix32
+	if pe.TwoSided && len(pe.Lower) > 0 {
+		tCur = sh.chain[used]
+		used++
+		sh.lower[0].TransposeInto(tCur)
+	}
+
+	gTops := sh.gTops[:0]
+	for _, k := range pe.Interiors {
+		rel := k - pe.Base
+		lk := sh.diag[rel]
+		if err := dense.Potrf32(lk); err != nil {
+			sh.gTops = gTops
+			return fmt.Errorf("bta: %s %d interior block %d (fp32): %w", pe.Kind, pe.ID, k, err)
+		}
+		lk.ZeroUpper()
+
+		var gNext, gTop, gArr *dense.Matrix32
+		if rel < len(pe.Lower) {
+			gNext = sh.lower[rel]
+			dense.Trsm32(dense.Right, dense.Trans, lk, gNext)
+		}
+		if pe.TwoSided {
+			gTop = tCur
+			dense.Trsm32(dense.Right, dense.Trans, lk, gTop)
+		}
+		if hasArrow {
+			gArr = sh.arrow[rel]
+			dense.Trsm32(dense.Right, dense.Trans, lk, gArr)
+		}
+		gTops = append(gTops, gTop)
+
+		if gNext != nil {
+			dense.Syrk32(dense.NoTrans, -1, gNext, 1, sh.diag[rel+1])
+			sh.diag[rel+1].MirrorLowerToUpper()
+		}
+		if pe.TwoSided && gTop != nil {
+			dense.Syrk32(dense.NoTrans, -1, gTop, 1, sh.diag[0])
+			sh.diag[0].MirrorLowerToUpper()
+			if gNext != nil {
+				tNext := sh.chain[used]
+				used++
+				dense.Gemm32(dense.NoTrans, dense.Trans, -1, gTop, gNext, 0, tNext)
+				tCur = tNext
+			} else {
+				tCur = nil
+			}
+		}
+		if hasArrow {
+			if gNext != nil {
+				dense.Gemm32(dense.NoTrans, dense.Trans, -1, gArr, gNext, 1, sh.arrow[rel+1])
+			}
+			if pe.TwoSided && gTop != nil {
+				dense.Gemm32(dense.NoTrans, dense.Trans, -1, gArr, gTop, 1, sh.arrow[0])
+			}
+			dense.Syrk32(dense.NoTrans, -1, gArr, 1, sh.tip)
+			sh.tip.MirrorLowerToUpper()
+		}
+	}
+	sh.gTops = gTops
+
+	// Success: promote the swept partition state back into the fp64 storage
+	// and append the outputs. The fp64 NewBB draw pattern below (one block
+	// per non-nil fill output plus the surviving fill) matches the fp64
+	// sweep's draw count exactly, so chain recycling is unchanged.
+	for i := 0; i < size; i++ {
+		sh.diag[i].StoreFloat64(pe.Diag[i])
+	}
+	for i := range pe.Lower {
+		sh.lower[i].StoreFloat64(pe.Lower[i])
+	}
+	if hasArrow {
+		for i := range pe.Arrow {
+			sh.arrow[i].StoreFloat64(pe.Arrow[i])
+		}
+		sh.tip.StoreFloat64(pe.TipDelta)
+	}
+	for i, k := range pe.Interiors {
+		rel := k - pe.Base
+		pe.L = append(pe.L, pe.Diag[rel])
+		var gNext, gTop, gArr *dense.Matrix
+		if rel < len(pe.Lower) {
+			gNext = pe.Lower[rel]
+		}
+		if hasArrow {
+			gArr = pe.Arrow[rel]
+		}
+		if g32 := gTops[i]; g32 != nil {
+			gTop = pe.NewBB()
+			g32.StoreFloat64(gTop)
+		}
+		pe.GNext = append(pe.GNext, gNext)
+		pe.GTop = append(pe.GTop, gTop)
+		pe.GArr = append(pe.GArr, gArr)
+	}
+	if tCur != nil {
+		fill := pe.NewBB()
+		tCur.StoreFloat64(fill)
+		pe.Fill = fill
+	} else {
+		pe.Fill = nil
+	}
+	return nil
+}

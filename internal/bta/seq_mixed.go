@@ -1,0 +1,231 @@
+package bta
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dalia-hpc/dalia/internal/dense"
+)
+
+// Sequential mixed-precision path: the fp32 in-place factorization sweep and
+// the fp64 iterative refinement that recovers double-precision solves from
+// the single-precision factor. See the Precision doc comment (precision.go)
+// for the per-stage policy.
+
+// SetPrecision selects the precision policy of subsequent Refactorize calls.
+// Changing the policy does not touch the current factor contents; it takes
+// effect at the next Refactorize. Not safe concurrently with solves.
+func (f *Factor) SetPrecision(p Precision) { f.prec = p }
+
+// Precision reports the configured precision policy.
+func (f *Factor) Precision() Precision { return f.prec }
+
+// SetMaxRefine overrides the fp64 residual-correction cap per solve
+// (DefaultMaxRefine when v <= 0).
+func (f *Factor) SetMaxRefine(v int) { f.maxRefine = v }
+
+// LastRefineIters reports the number of fp64 residual corrections the most
+// recent refined solve performed (0 after a pure-fp64 solve).
+func (f *Factor) LastRefineIters() int {
+	f.refineMu.Lock()
+	defer f.refineMu.Unlock()
+	return f.lastRefine
+}
+
+// Low reports whether the current factor blocks came from the fp32 sweep
+// (and solves therefore run fp64 iterative refinement).
+func (f *Factor) Low() bool { return f.isLow() }
+
+func (f *Factor) isLow() bool {
+	f.refineMu.Lock()
+	defer f.refineMu.Unlock()
+	return f.low
+}
+
+// refactorize32 runs the whole POBTAF sweep in fp32 on a lazily allocated
+// shadow of the matrix and promotes the factor blocks back on success. The
+// fp64 factor storage is only written after the full sweep succeeds, so a
+// failed fp32 Cholesky leaves Refactorize free to fall back to the fp64
+// path on the untouched input.
+func (f *Factor) refactorize32(m *Matrix) error {
+	n, b, a := f.N, f.B, f.A
+	if !f.shadow.fits(n, 0, b, a) {
+		f.shadow = newElimShadow32(n, 0, b, a)
+	}
+	sh := f.shadow
+	for i := 0; i < n; i++ {
+		sh.diag[i].FromFloat64(m.Diag[i])
+	}
+	for i := range m.Lower {
+		sh.lower[i].FromFloat64(m.Lower[i])
+	}
+	if a > 0 {
+		for i := range m.Arrow {
+			sh.arrow[i].FromFloat64(m.Arrow[i])
+		}
+		sh.tip.FromFloat64(m.Tip)
+	}
+	for i := 0; i < n; i++ {
+		if err := factorStep32(sh, i, n, a > 0); err != nil {
+			return err
+		}
+	}
+	if a > 0 {
+		if err := dense.Potrf32(sh.tip); err != nil {
+			return fmt.Errorf("bta: arrow tip (fp32): %w", err)
+		}
+		sh.tip.ZeroUpper()
+	}
+	for i := 0; i < n; i++ {
+		sh.diag[i].StoreFloat64(f.Diag[i])
+	}
+	for i := range f.Lower {
+		sh.lower[i].StoreFloat64(f.Lower[i])
+	}
+	if a > 0 {
+		for i := range f.Arrow {
+			sh.arrow[i].StoreFloat64(f.Arrow[i])
+		}
+		sh.tip.StoreFloat64(f.Tip)
+	}
+	return nil
+}
+
+// factorStep32 is the fp32 twin of factorStep, operating on the shadow arena.
+func factorStep32(sh *elimShadow32, i, n int, hasArrow bool) error {
+	if err := dense.Potrf32(sh.diag[i]); err != nil {
+		return fmt.Errorf("bta: diagonal block %d (fp32): %w", i, err)
+	}
+	sh.diag[i].ZeroUpper()
+	li := sh.diag[i]
+	if i < n-1 {
+		dense.Trsm32(dense.Right, dense.Trans, li, sh.lower[i])
+	}
+	if hasArrow {
+		dense.Trsm32(dense.Right, dense.Trans, li, sh.arrow[i])
+	}
+	if i < n-1 {
+		dense.Syrk32(dense.NoTrans, -1, sh.lower[i], 1, sh.diag[i+1])
+		sh.diag[i+1].MirrorLowerToUpper()
+		if hasArrow {
+			dense.Gemm32(dense.NoTrans, dense.Trans, -1, sh.arrow[i], sh.lower[i], 1, sh.arrow[i+1])
+		}
+	}
+	if hasArrow {
+		dense.Syrk32(dense.NoTrans, -1, sh.arrow[i], 1, sh.tip)
+	}
+	return nil
+}
+
+// promote replaces a low-precision factor with a full fp64 refactorization
+// of the retained matrix — the escape hatch for operations with no residual
+// to refine against (sampling half-solves, selected inversion). It cannot
+// lose definiteness: the fp64 sweep is strictly more robust than the fp32
+// sweep that already succeeded on the same matrix. No-op on fp64 factors.
+func (f *Factor) promote() {
+	f.refineMu.Lock()
+	defer f.refineMu.Unlock()
+	if !f.low {
+		return
+	}
+	w := Matrix{N: f.N, B: f.B, A: f.A, Diag: f.Diag, Lower: f.Lower, Arrow: f.Arrow, Tip: f.Tip}
+	w.CopyFrom(f.ref)
+	if err := factorizeInPlace(&w); err != nil {
+		panic(fmt.Sprintf("bta: fp64 promotion of an fp32-feasible factor failed: %v", err))
+	}
+	f.low = false
+}
+
+// solveRefined is Solve against a low-precision factor: an unrefined solve
+// followed by fp64 residual-correction rounds x += A⁻̃¹(b − A·x) against the
+// retained matrix, stopping once the correction is negligible
+// (‖dx‖∞ ≤ refineTol·‖x‖∞) or the cap is hit. Scratch is retained on the
+// factor, so steady-state refined solves allocate nothing.
+func (f *Factor) solveRefined(rhs []float64) {
+	d := f.Dim()
+	f.refineMu.Lock()
+	defer f.refineMu.Unlock()
+	f.refB = growF(f.refB, d)
+	f.refR = growF(f.refR, d)
+	b0, r := f.refB, f.refR
+	x := rhs[:d]
+	copy(b0, x)
+	f.forward(x)
+	f.backward(x)
+	maxR := f.maxRefine
+	if maxR <= 0 {
+		maxR = DefaultMaxRefine
+	}
+	iters := 0
+	for iters < maxR {
+		f.ref.MulVec(x, r)
+		for i := range r {
+			r[i] = b0[i] - r[i]
+		}
+		f.forward(r)
+		f.backward(r)
+		iters++
+		var ndx, nx float64
+		for i := range r {
+			x[i] += r[i]
+			if v := math.Abs(r[i]); v > ndx {
+				ndx = v
+			}
+			if v := math.Abs(x[i]); v > nx {
+				nx = v
+			}
+		}
+		if ndx <= refineTol*nx {
+			break
+		}
+	}
+	f.lastRefine = iters
+}
+
+// solveMultiRefined is SolveMulti against a low-precision factor, refining
+// all right-hand-side columns together through block residuals.
+func (f *Factor) solveMultiRefined(b *dense.Matrix) {
+	f.refineMu.Lock()
+	defer f.refineMu.Unlock()
+	if f.refBM == nil || f.refBM.Rows < b.Rows || f.refBM.Cols < b.Cols {
+		f.refBM = dense.New(b.Rows, b.Cols)
+		f.refRM = dense.New(b.Rows, b.Cols)
+	}
+	b0 := f.refBM.View(0, 0, b.Rows, b.Cols)
+	r := f.refRM.View(0, 0, b.Rows, b.Cols)
+	b0.CopyFrom(b)
+	f.solveMultiOnce(b)
+	maxR := f.maxRefine
+	if maxR <= 0 {
+		maxR = DefaultMaxRefine
+	}
+	iters := 0
+	for iters < maxR {
+		f.ref.MulMulti(b, r)
+		for i := 0; i < r.Rows; i++ {
+			rr, br := r.Row(i), b0.Row(i)
+			for j := range rr {
+				rr[j] = br[j] - rr[j]
+			}
+		}
+		f.solveMultiOnce(r)
+		iters++
+		var ndx, nx float64
+		for i := 0; i < b.Rows; i++ {
+			xr, rr := b.Row(i), r.Row(i)
+			for j := range xr {
+				xr[j] += rr[j]
+				if v := math.Abs(rr[j]); v > ndx {
+					ndx = v
+				}
+				if v := math.Abs(xr[j]); v > nx {
+					nx = v
+				}
+			}
+		}
+		if ndx <= refineTol*nx {
+			break
+		}
+	}
+	f.lastRefine = iters
+}

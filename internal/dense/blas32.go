@@ -1,0 +1,411 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// Float32 blocked BLAS-3 layer — the single-precision twin of blas.go and
+// chol.go, restricted to the operation set the mixed-precision BTA
+// elimination sweeps use: Gemm32 (all op combinations), lower Syrk32, the
+// four lower-triangular Trsm32 cases, and the blocked Cholesky Potrf32.
+// Everything shares the fp64 engine's dispatch thresholds (gemmPackFlops,
+// syrkBlock, trsmBlock, potrfBlock): the crossover points are set by loop
+// overhead versus packing traffic, which scales with element count, not
+// element width.
+
+// opShape32 returns the rows/cols of op(M).
+func opShape32(t Transpose, m *Matrix32) (int, int) {
+	if t == Trans {
+		return m.Cols, m.Rows
+	}
+	return m.Rows, m.Cols
+}
+
+// checkGemm32Shapes panics unless op(A)·op(B) conforms with C.
+func checkGemm32Shapes(transA, transB Transpose, a, b, c *Matrix32) {
+	am, ak := opShape32(transA, a)
+	bk, bn := opShape32(transB, b)
+	if ak != bk || c.Rows != am || c.Cols != bn {
+		panic(fmt.Sprintf("dense: gemm32 shape mismatch op(A)=%d×%d op(B)=%d×%d C=%d×%d",
+			am, ak, bk, bn, c.Rows, c.Cols))
+	}
+}
+
+// applyBeta32 scales C by beta (beta == 0 clears C so uninitialized output
+// garbage never propagates).
+func applyBeta32(beta float32, c *Matrix32) {
+	if beta == 1 {
+		return
+	}
+	if beta == 0 {
+		c.Zero()
+		return
+	}
+	c.Scale(beta)
+}
+
+// Gemm32 computes C = alpha*op(A)*op(B) + beta*C in float32. Shapes must
+// conform; C must not alias A or B. Large products run on the fp32 packed
+// micro-kernel engine (kernel32.go/pack32.go), small ones on naive loops.
+func Gemm32(transA, transB Transpose, alpha float32, a, b *Matrix32, beta float32, c *Matrix32) {
+	checkGemm32Shapes(transA, transB, a, b, c)
+	am, ak := opShape32(transA, a)
+	_, bn := opShape32(transB, b)
+	applyBeta32(beta, c)
+	if alpha == 0 || am == 0 || bn == 0 || ak == 0 {
+		return
+	}
+	if am*bn*ak >= gemmPackFlops {
+		gemmPacked32(transA, transB, alpha, a, b, c)
+		return
+	}
+	switch {
+	case transA == NoTrans && transB == NoTrans:
+		gemmSmall32NN(alpha, a, b, c)
+	case transA == NoTrans && transB == Trans:
+		gemmSmall32NT(alpha, a, b, c)
+	case transA == Trans && transB == NoTrans:
+		gemmSmall32TN(alpha, a, b, c)
+	default:
+		gemmSmall32TT(alpha, a, b, c)
+	}
+}
+
+// gemmSmall32NN: C += alpha·A·B, i-k-j loop order.
+func gemmSmall32NN(alpha float32, a, b, c *Matrix32) {
+	for i := 0; i < c.Rows; i++ {
+		arow, crow := a.Row(i), c.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			s := alpha * av
+			brow := b.Row(k)
+			for j, bv := range brow {
+				crow[j] += s * bv
+			}
+		}
+	}
+}
+
+// gemmSmall32NT: C += alpha·A·Bᵀ; C[i,j] = dot(A row i, B row j).
+func gemmSmall32NT(alpha float32, a, b, c *Matrix32) {
+	for i := 0; i < c.Rows; i++ {
+		arow, crow := a.Row(i), c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float32
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			crow[j] += alpha * s
+		}
+	}
+}
+
+// gemmSmall32TN: C += alpha·Aᵀ·B, k-outer saxpy form.
+func gemmSmall32TN(alpha float32, a, b, c *Matrix32) {
+	for k := 0; k < a.Rows; k++ {
+		arow, brow := a.Row(k), b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			s := alpha * av
+			crow := c.Row(i)
+			for j, bv := range brow {
+				crow[j] += s * bv
+			}
+		}
+	}
+}
+
+// gemmSmall32TT: C += alpha·Aᵀ·Bᵀ via explicit strided dots (rare).
+func gemmSmall32TT(alpha float32, a, b, c *Matrix32) {
+	for i := 0; i < c.Rows; i++ {
+		crow := c.Row(i)
+		for j := 0; j < c.Cols; j++ {
+			brow := b.Row(j)
+			var s float32
+			for k := 0; k < a.Rows; k++ {
+				s += a.Data[k*a.Stride+i] * brow[k]
+			}
+			crow[j] += alpha * s
+		}
+	}
+}
+
+// Syrk32 computes the lower triangle of C = alpha*op(A)*op(A)ᵀ + beta*C in
+// float32; only the lower triangle of C is referenced and written.
+func Syrk32(trans Transpose, alpha float32, a *Matrix32, beta float32, c *Matrix32) {
+	n, k := opShape32(trans, a)
+	if c.Rows != n || c.Cols != n {
+		panic(fmt.Sprintf("dense: syrk32 shape mismatch C=%d×%d want %d×%d", c.Rows, c.Cols, n, n))
+	}
+	if beta != 1 {
+		for i := 0; i < n; i++ {
+			row := c.Row(i)
+			for j := 0; j <= i; j++ {
+				if beta == 0 {
+					row[j] = 0
+				} else {
+					row[j] *= beta
+				}
+			}
+		}
+	}
+	if alpha == 0 || n == 0 || k == 0 {
+		return
+	}
+	if n <= syrkBlock {
+		syrkRef32(trans, alpha, a, c)
+		return
+	}
+	for i0 := 0; i0 < n; i0 += syrkBlock {
+		ib := min(syrkBlock, n-i0)
+		if i0 > 0 {
+			cPanel := c.View(i0, 0, ib, i0)
+			if trans == NoTrans {
+				Gemm32(NoTrans, Trans, alpha, a.View(i0, 0, ib, k), a.View(0, 0, i0, k), 1, cPanel)
+			} else {
+				Gemm32(Trans, NoTrans, alpha, a.View(0, i0, k, ib), a.View(0, 0, k, i0), 1, cPanel)
+			}
+		}
+		var slab *Matrix32
+		if trans == NoTrans {
+			slab = a.View(i0, 0, ib, k)
+		} else {
+			slab = a.View(0, i0, k, ib)
+		}
+		syrkRef32(trans, alpha, slab, c.View(i0, i0, ib, ib))
+	}
+}
+
+// syrkRef32 accumulates the lower triangle of C += alpha·op(A)·op(A)ᵀ with
+// plain loops; used on diagonal blocks and as the test reference.
+func syrkRef32(trans Transpose, alpha float32, a *Matrix32, c *Matrix32) {
+	n := c.Rows
+	if trans == NoTrans {
+		for i := 0; i < n; i++ {
+			arow, crow := a.Row(i), c.Row(i)
+			for j := 0; j <= i; j++ {
+				brow := a.Row(j)
+				var s float32
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				crow[j] += alpha * s
+			}
+		}
+		return
+	}
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		for i := 0; i < n; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			s := alpha * av
+			crow := c.Row(i)
+			for j := 0; j <= i; j++ {
+				crow[j] += s * arow[j]
+			}
+		}
+	}
+}
+
+// Trsm32 solves a triangular system with a lower-triangular L in place of B
+// (same side/trans convention as Trsm). Blocked like the fp64 version:
+// small triangular solves on the diagonal blocks, Gemm32 updates elsewhere.
+// The unblocked solves stay serial — in the mixed-precision BTA path the
+// parallelism unit is the partition, not the triangular solve.
+func Trsm32(side Side, trans Transpose, l, b *Matrix32) {
+	if l.Rows != l.Cols {
+		panic("dense: trsm32 with non-square triangular factor")
+	}
+	n := l.Rows
+	if side == Left && b.Rows != n || side == Right && b.Cols != n {
+		panic(fmt.Sprintf("dense: trsm32 shape mismatch L=%d×%d B=%d×%d side=%d", l.Rows, l.Cols, b.Rows, b.Cols, side))
+	}
+	if n == 0 || b.Rows == 0 || b.Cols == 0 {
+		return
+	}
+	if n <= trsmBlock {
+		trsmUnb32(side, trans, l, b)
+		return
+	}
+	switch {
+	case side == Left && trans == NoTrans:
+		for k0 := 0; k0 < n; k0 += trsmBlock {
+			kb := min(trsmBlock, n-k0)
+			bk := b.View(k0, 0, kb, b.Cols)
+			trsmUnb32(Left, NoTrans, l.View(k0, k0, kb, kb), bk)
+			if rem := n - k0 - kb; rem > 0 {
+				Gemm32(NoTrans, NoTrans, -1, l.View(k0+kb, k0, rem, kb), bk, 1, b.View(k0+kb, 0, rem, b.Cols))
+			}
+		}
+	case side == Left && trans == Trans:
+		k0 := ((n - 1) / trsmBlock) * trsmBlock
+		for ; k0 >= 0; k0 -= trsmBlock {
+			kb := min(trsmBlock, n-k0)
+			bk := b.View(k0, 0, kb, b.Cols)
+			if rem := n - k0 - kb; rem > 0 {
+				Gemm32(Trans, NoTrans, -1, l.View(k0+kb, k0, rem, kb), b.View(k0+kb, 0, rem, b.Cols), 1, bk)
+			}
+			trsmUnb32(Left, Trans, l.View(k0, k0, kb, kb), bk)
+		}
+	case side == Right && trans == Trans:
+		for j0 := 0; j0 < n; j0 += trsmBlock {
+			jb := min(trsmBlock, n-j0)
+			bj := b.View(0, j0, b.Rows, jb)
+			if j0 > 0 {
+				Gemm32(NoTrans, Trans, -1, b.View(0, 0, b.Rows, j0), l.View(j0, 0, jb, j0), 1, bj)
+			}
+			trsmUnb32(Right, Trans, l.View(j0, j0, jb, jb), bj)
+		}
+	default: // Right, NoTrans
+		j0 := ((n - 1) / trsmBlock) * trsmBlock
+		for ; j0 >= 0; j0 -= trsmBlock {
+			jb := min(trsmBlock, n-j0)
+			bj := b.View(0, j0, b.Rows, jb)
+			if rem := n - j0 - jb; rem > 0 {
+				Gemm32(NoTrans, NoTrans, -1, b.View(0, j0+jb, b.Rows, rem), l.View(j0+jb, j0, rem, jb), 1, bj)
+			}
+			trsmUnb32(Right, NoTrans, l.View(j0, j0, jb, jb), bj)
+		}
+	}
+}
+
+// trsmUnb32 is the unblocked fp32 triangular solve used on diagonal blocks.
+func trsmUnb32(side Side, trans Transpose, l, b *Matrix32) {
+	n := l.Rows
+	switch {
+	case side == Left && trans == NoTrans:
+		for i := 0; i < n; i++ {
+			li := l.Row(i)
+			bi := b.Row(i)
+			for k := 0; k < i; k++ {
+				f := li[k]
+				if f == 0 {
+					continue
+				}
+				bk := b.Row(k)
+				for j := range bi {
+					bi[j] -= f * bk[j]
+				}
+			}
+			inv := 1 / li[i]
+			for j := range bi {
+				bi[j] *= inv
+			}
+		}
+	case side == Left && trans == Trans:
+		for i := n - 1; i >= 0; i-- {
+			bi := b.Row(i)
+			for k := i + 1; k < n; k++ {
+				f := l.Data[k*l.Stride+i] // Lᵀ[i,k] = L[k,i]
+				if f == 0 {
+					continue
+				}
+				bk := b.Row(k)
+				for j := range bi {
+					bi[j] -= f * bk[j]
+				}
+			}
+			inv := 1 / l.Data[i*l.Stride+i]
+			for j := range bi {
+				bi[j] *= inv
+			}
+		}
+	case side == Right && trans == Trans:
+		// x·Lᵀ = b row-wise: x[j] = (b[j] − Σ_{k<j} x[k]·L[j,k]) / L[j,j].
+		for i := 0; i < b.Rows; i++ {
+			x := b.Row(i)
+			for j := 0; j < n; j++ {
+				lj := l.Data[j*l.Stride : j*l.Stride+j+1]
+				s := x[j]
+				for k := 0; k < j; k++ {
+					s -= x[k] * lj[k]
+				}
+				x[j] = s / lj[j]
+			}
+		}
+	default: // Right, NoTrans: x·L = b, backward over j.
+		for i := 0; i < b.Rows; i++ {
+			x := b.Row(i)
+			for j := n - 1; j >= 0; j-- {
+				s := x[j]
+				for k := j + 1; k < n; k++ {
+					s -= x[k] * l.Data[k*l.Stride+j]
+				}
+				x[j] = s / l.Data[j*l.Stride+j]
+			}
+		}
+	}
+}
+
+// Potrf32 overwrites the lower triangle of a with its float32 Cholesky
+// factor. The strict upper triangle is left untouched. Returns
+// ErrNotPositiveDefinite when a pivot is ≤ 0 or NaN — in the mixed-precision
+// BTA path this aborts the fp32 sweep and the partition is re-eliminated in
+// fp64 (a matrix can be SPD in fp64 yet lose definiteness under fp32
+// rounding).
+func Potrf32(a *Matrix32) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("dense: potrf32 of non-square %d×%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	for j := 0; j < n; j += potrfBlock {
+		bw := potrfBlock
+		if j+bw > n {
+			bw = n - j
+		}
+		d := a.View(j, j, bw, bw)
+		if j > 0 {
+			p := a.View(j, 0, bw, j)
+			Syrk32(NoTrans, -1, p, 1, d)
+			if rem := n - j - bw; rem > 0 {
+				q := a.View(j+bw, 0, rem, j)
+				r := a.View(j+bw, j, rem, bw)
+				Gemm32(NoTrans, Trans, -1, q, p, 1, r)
+			}
+		}
+		if err := potf232(d); err != nil {
+			return err
+		}
+		if rem := n - j - bw; rem > 0 {
+			r := a.View(j+bw, j, rem, bw)
+			Trsm32(Right, Trans, d, r)
+		}
+	}
+	return nil
+}
+
+// potf232 is the unblocked lower fp32 Cholesky used on diagonal panels.
+func potf232(a *Matrix32) error {
+	n := a.Rows
+	for j := 0; j < n; j++ {
+		row := a.Row(j)
+		s := row[j]
+		for k := 0; k < j; k++ {
+			s -= row[k] * row[k]
+		}
+		if s <= 0 || s != s {
+			return ErrNotPositiveDefinite
+		}
+		d := float32(math.Sqrt(float64(s)))
+		row[j] = d
+		inv := 1 / d
+		for i := j + 1; i < n; i++ {
+			ri := a.Row(i)
+			s := ri[j]
+			for k := 0; k < j; k++ {
+				s -= ri[k] * row[k]
+			}
+			ri[j] = s * inv
+		}
+	}
+	return nil
+}

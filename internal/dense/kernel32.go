@@ -1,0 +1,54 @@
+package dense
+
+// Float32 register-blocked GEMM micro-kernel layer — the single-precision
+// twin of kernel.go. The packed driver in pack32.go feeds MR32×kc panels of
+// op(A) and kc×NR32 panels of op(B); the kernel accumulates a full
+// MR32×NR32 tile of C:
+//
+//	C[r,j] += Σ_p a[p·MR32+r] · b[p·NR32+j]
+//
+// On amd64 with AVX2+FMA the kernel is hand-written assembly
+// (kernel32_amd64.s): the 8×8 float32 tile lives in 8 YMM accumulators —
+// one full row per register — each k step issuing one packed load of b,
+// eight broadcasts of a and eight FMAs. Each FMA moves 8 float32 lanes vs
+// the fp64 kernel's 4, which is where the mixed-precision path's raw
+// throughput win comes from.
+const (
+	// MR32×NR32 is the fp32 register tile: 8×8 float32 = 8 YMM registers
+	// of accumulator (a whole row per register), leaving the B vector and
+	// the A broadcast within the 16-register AVX file.
+	MR32 = 8
+	NR32 = 8
+)
+
+// ukernel32 points at the best fp32 micro-kernel for this CPU; the
+// initializer is the portable Go kernel, kernel32_amd64.go's init swaps in
+// the assembly kernel when AVX2+FMA are available. Building with
+// -tags purego compiles the assembly out entirely.
+var ukernel32 func(k int, a, b []float32, c []float32, ldc int) = ukernel32Go
+
+// ukernel32Go is the portable fp32 micro-kernel and the reference the
+// assembly kernel is tested against (TestMicroKernel32MatchesGo). The 8×8
+// accumulator tile is held in eight row arrays so the compiler can keep the
+// hot row in registers.
+func ukernel32Go(k int, a, b []float32, c []float32, ldc int) {
+	var acc [MR32][NR32]float32
+	for p := 0; p < k; p++ {
+		av := a[p*MR32 : p*MR32+MR32 : p*MR32+MR32]
+		bv := b[p*NR32 : p*NR32+NR32 : p*NR32+NR32]
+		for r := 0; r < MR32; r++ {
+			ar := av[r]
+			cr := &acc[r]
+			for j := 0; j < NR32; j++ {
+				cr[j] += ar * bv[j]
+			}
+		}
+	}
+	for r := 0; r < MR32; r++ {
+		crow := c[r*ldc : r*ldc+NR32 : r*ldc+NR32]
+		cr := &acc[r]
+		for j := 0; j < NR32; j++ {
+			crow[j] += cr[j]
+		}
+	}
+}

@@ -1,0 +1,25 @@
+//go:build amd64 && !purego
+
+package dense
+
+// ukernel8x8asm is the AVX2+FMA fp32 micro-kernel (kernel32_amd64.s). a holds
+// the packed MR32-interleaved panel of op(A), b the packed NR32-interleaved
+// panel of op(B); the MR32×NR32 result tile is accumulated onto c with row
+// stride ldc. CPU feature detection is shared with the fp64 kernel
+// (hasAVX2FMA in kernel_amd64.go) — both kernels need exactly AVX2+FMA.
+//
+//go:noescape
+func ukernel8x8asm(k int, a, b *float32, c *float32, ldc int)
+
+func ukernel32AsmWrap(k int, a, b []float32, c []float32, ldc int) {
+	if k == 0 {
+		return // zero-depth panel: C is unchanged
+	}
+	ukernel8x8asm(k, &a[0], &b[0], &c[0], ldc)
+}
+
+func init() {
+	if hasAVX2FMA() {
+		ukernel32 = ukernel32AsmWrap
+	}
+}

@@ -1,0 +1,279 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMicroKernel32MatchesGo cross-checks the active fp32 micro-kernel
+// (assembly on capable amd64 CPUs) against the portable Go kernel on random
+// packed panels, including k == 0 and odd k (the unrolled tail path). The
+// assembly kernel uses FMA while the Go kernel rounds the multiply and add
+// separately, so the comparison is at accumulated-fp32-rounding tolerance,
+// not bitwise.
+func TestMicroKernel32MatchesGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []int{0, 1, 2, 3, 7, 16, 33, 255, 256} {
+		a := make([]float32, k*MR32)
+		b := make([]float32, k*NR32)
+		for i := range a {
+			a[i] = float32(rng.NormFloat64())
+		}
+		for i := range b {
+			b[i] = float32(rng.NormFloat64())
+		}
+		ldc := NR32 + 3 // non-trivial stride
+		want := make([]float32, MR32*ldc)
+		got := make([]float32, MR32*ldc)
+		for i := range want {
+			v := float32(rng.NormFloat64())
+			want[i] = v
+			got[i] = v
+		}
+		ukernel32Go(k, a, b, want, ldc)
+		ukernel32(k, a, b, got, ldc)
+		for i := range want {
+			w, g := float64(want[i]), float64(got[i])
+			if math.Abs(w-g) > 1e-4*(1+math.Abs(w)) {
+				t.Fatalf("k=%d: fp32 kernel mismatch at %d: got %g want %g", k, i, g, w)
+			}
+		}
+	}
+}
+
+// TestGemm32MatchesFloat64 checks the full fp32 packed engine (including
+// macro-tile edges and multiple kc panels) against a float64 reference on
+// the same float32 inputs; the only difference is accumulation rounding.
+func TestGemm32MatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct {
+		transA, transB Transpose
+		m, n, k        int
+	}{
+		{NoTrans, NoTrans, 300, 300, 300}, // packed path, edge tiles, two kc panels
+		{NoTrans, Trans, 260, 140, 300},
+		{Trans, NoTrans, 140, 260, 300},
+		{NoTrans, Trans, 20, 20, 8}, // small path
+	} {
+		ar, ac := tc.m, tc.k
+		if tc.transA == Trans {
+			ar, ac = tc.k, tc.m
+		}
+		br, bc := tc.k, tc.n
+		if tc.transB == Trans {
+			br, bc = tc.n, tc.k
+		}
+		a32, b32, c32 := New32(ar, ac), New32(br, bc), New32(tc.m, tc.n)
+		a64, b64, c64 := New(ar, ac), New(br, bc), New(tc.m, tc.n)
+		for i := range a32.Data {
+			v := float32(rng.NormFloat64())
+			a32.Data[i] = v
+			a64.Data[i] = float64(v)
+		}
+		for i := range b32.Data {
+			v := float32(rng.NormFloat64())
+			b32.Data[i] = v
+			b64.Data[i] = float64(v)
+		}
+		for i := range c32.Data {
+			v := float32(rng.NormFloat64())
+			c32.Data[i] = v
+			c64.Data[i] = float64(v)
+		}
+		Gemm32(tc.transA, tc.transB, 1, a32, b32, 0.5, c32)
+		Gemm(tc.transA, tc.transB, 1, a64, b64, 0.5, c64)
+		for i := range c32.Data {
+			w, g := c64.Data[i], float64(c32.Data[i])
+			if math.Abs(w-g) > 2e-3*(1+math.Abs(w)) {
+				t.Fatalf("%v/%v %dx%dx%d: gemm32 mismatch at %d: got %g want %g",
+					tc.transA, tc.transB, tc.m, tc.n, tc.k, i, g, w)
+			}
+		}
+	}
+}
+
+// TestSyrk32MatchesFloat64 checks the blocked fp32 Syrk (off-diagonal Gemm32
+// panels + reference diagonal blocks) against the float64 Syrk.
+func TestSyrk32MatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, trans := range []Transpose{NoTrans, Trans} {
+		n, k := 150, 80
+		ar, ac := n, k
+		if trans == Trans {
+			ar, ac = k, n
+		}
+		a32, a64 := New32(ar, ac), New(ar, ac)
+		for i := range a32.Data {
+			v := float32(rng.NormFloat64())
+			a32.Data[i] = v
+			a64.Data[i] = float64(v)
+		}
+		c32, c64 := New32(n, n), New(n, n)
+		for i := range c32.Data {
+			v := float32(rng.NormFloat64())
+			c32.Data[i] = v
+			c64.Data[i] = float64(v)
+		}
+		Syrk32(trans, -1, a32, 1, c32)
+		Syrk(trans, -1, a64, 1, c64)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				w, g := c64.At(i, j), float64(c32.At(i, j))
+				if math.Abs(w-g) > 1e-3*(1+math.Abs(w)) {
+					t.Fatalf("trans=%v: syrk32 mismatch at (%d,%d): got %g want %g", trans, i, j, g, w)
+				}
+			}
+		}
+	}
+}
+
+// randLower32 builds a well-conditioned random lower-triangular factor.
+func randLower32(rng *rand.Rand, n int) *Matrix32 {
+	l := New32(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			l.Set(i, j, float32(rng.NormFloat64()))
+		}
+		l.Set(i, i, float32(4+rng.Float64()))
+	}
+	return l
+}
+
+// TestTrsm32Residual verifies each blocked Trsm32 case by multiplying the
+// solution back through op(L) in float64 and comparing to the original
+// right-hand side.
+func TestTrsm32Residual(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n, m := 150, 40 // n > trsmBlock so the blocked paths run
+	l32 := randLower32(rng, n)
+	l64 := New(n, n)
+	l32.StoreFloat64(l64)
+	for _, tc := range []struct {
+		side  Side
+		trans Transpose
+	}{{Left, NoTrans}, {Left, Trans}, {Right, NoTrans}, {Right, Trans}} {
+		br, bc := n, m
+		if tc.side == Right {
+			br, bc = m, n
+		}
+		b32 := New32(br, bc)
+		b64 := New(br, bc)
+		for i := range b32.Data {
+			v := float32(rng.NormFloat64())
+			b32.Data[i] = v
+			b64.Data[i] = float64(v)
+		}
+		Trsm32(tc.side, tc.trans, l32, b32)
+		// Reconstruct op(L)·X (or X·op(L)) in float64.
+		x := New(br, bc)
+		b32.StoreFloat64(x)
+		back := New(br, bc)
+		lowerOnly := l64.Clone()
+		lowerOnly.ZeroUpper()
+		if tc.side == Left {
+			Gemm(tc.trans, NoTrans, 1, lowerOnly, x, 0, back)
+		} else {
+			Gemm(NoTrans, tc.trans, 1, x, lowerOnly, 0, back)
+		}
+		for i := range back.Data {
+			w, g := b64.Data[i], back.Data[i]
+			if math.Abs(w-g) > 1e-3*(1+math.Abs(w)) {
+				t.Fatalf("side=%d trans=%v: trsm32 residual at %d: got %g want %g", tc.side, tc.trans, i, g, w)
+			}
+		}
+	}
+}
+
+// TestPotrf32MatchesFloat64 factors a well-conditioned SPD matrix in both
+// precisions and compares the factors.
+func TestPotrf32MatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	n := 150 // > potrfBlock so the blocked path runs
+	g := New32(n, n)
+	for i := range g.Data {
+		g.Data[i] = float32(rng.NormFloat64())
+	}
+	spd32 := New32(n, n)
+	Syrk32(NoTrans, 1, g, 0, spd32)
+	spd32.MirrorLowerToUpper()
+	for i := 0; i < n; i++ {
+		spd32.Set(i, i, spd32.At(i, i)+float32(n))
+	}
+	spd64 := New(n, n)
+	spd32.StoreFloat64(spd64)
+	if err := Potrf32(spd32); err != nil {
+		t.Fatal(err)
+	}
+	if err := Potrf(spd64); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			w, g := spd64.At(i, j), float64(spd32.At(i, j))
+			if math.Abs(w-g) > 1e-3*(1+math.Abs(w)) {
+				t.Fatalf("potrf32 mismatch at (%d,%d): got %g want %g", i, j, g, w)
+			}
+		}
+	}
+}
+
+// TestPotrf32NotSPD: the fp32 Cholesky must report indefiniteness instead of
+// producing NaNs — the mixed-precision BTA path relies on this error to fall
+// back to the fp64 sweep.
+func TestPotrf32NotSPD(t *testing.T) {
+	a := New32(3, 3)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -1)
+	a.Set(2, 2, 1)
+	if err := Potrf32(a); err != ErrNotPositiveDefinite {
+		t.Fatalf("got %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+// TestGemm32ZeroAllocSteadyState: after warm-up, repeated Gemm32 calls on
+// the packed path recycle all packing buffers through the fp32 pools.
+func TestGemm32ZeroAllocSteadyState(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("race-mode sync.Pool drops Put items; alloc counts are meaningless")
+	}
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	n := 192
+	x := New32(n, n)
+	y := New32(n, n)
+	c := New32(n, n)
+	for i := range x.Data {
+		x.Data[i] = float32(i % 13)
+		y.Data[i] = float32(i % 11)
+	}
+	Gemm32(NoTrans, NoTrans, 1, x, y, 0, c) // warm the pools
+	allocs := testing.AllocsPerRun(20, func() {
+		Gemm32(NoTrans, Trans, 1, x, y, 0.5, c)
+	})
+	if allocs != 0 {
+		t.Fatalf("packed Gemm32 allocates %.1f objects per call in steady state, want 0", allocs)
+	}
+}
+
+func benchGemm32(b *testing.B, n int) {
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	rng := rand.New(rand.NewSource(1))
+	x := New32(n, n)
+	y := New32(n, n)
+	c := New32(n, n)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+		y.Data[i] = float32(rng.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemm32(NoTrans, NoTrans, 1, x, y, 0, c)
+	}
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+func BenchmarkGemm32_256(b *testing.B)  { benchGemm32(b, 256) }
+func BenchmarkGemm32_1024(b *testing.B) { benchGemm32(b, 1024) }

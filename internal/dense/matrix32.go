@@ -1,0 +1,136 @@
+package dense
+
+import "fmt"
+
+// Matrix32 is the float32 twin of Matrix: a dense row-major single-precision
+// matrix view with element (i,j) at Data[i*Stride+j]. It backs the fp32
+// instance of the packed BLAS-3 engine (kernel32.go/pack32.go/blas32.go)
+// that the mixed-precision BTA elimination sweeps run on. Only the method
+// set those sweeps need is implemented; everything analysis-facing stays on
+// the float64 Matrix.
+type Matrix32 struct {
+	Rows, Cols int
+	Stride     int
+	Data       []float32
+}
+
+// New32 returns a zeroed r×c float32 matrix with compact storage.
+func New32(r, c int) *Matrix32 {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("dense: negative dimension %d×%d", r, c))
+	}
+	return &Matrix32{Rows: r, Cols: c, Stride: c, Data: make([]float32, r*c)}
+}
+
+// At returns element (i,j); indices are trusted (hot-path accessor).
+func (m *Matrix32) At(i, j int) float32 { return m.Data[i*m.Stride+j] }
+
+// Set stores v at (i,j).
+func (m *Matrix32) Set(i, j int, v float32) { m.Data[i*m.Stride+j] = v }
+
+// View returns an r×c view starting at (i,j) sharing storage with m. Like
+// Matrix.View it panics with a constant string so it stays within the
+// inlining budget — panel views inside the blocked fp32 kernels must live on
+// the caller's stack.
+func (m *Matrix32) View(i, j, r, c int) *Matrix32 {
+	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.Rows || j+c > m.Cols {
+		panic("dense: view out of range")
+	}
+	return &Matrix32{Rows: r, Cols: c, Stride: m.Stride, Data: m.Data[i*m.Stride+j:]}
+}
+
+// Row returns row i as a slice view of length Cols.
+func (m *Matrix32) Row(i int) []float32 { return m.Data[i*m.Stride : i*m.Stride+m.Cols] }
+
+// CopyFrom copies src into m. Dimensions must match.
+func (m *Matrix32) CopyFrom(src *Matrix32) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("dense: copy %d×%d into %d×%d", src.Rows, src.Cols, m.Rows, m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(m.Row(i), src.Row(i))
+	}
+}
+
+// Zero sets every element of m to zero.
+func (m *Matrix32) Zero() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+// Scale multiplies every element by alpha.
+func (m *Matrix32) Scale(alpha float32) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] *= alpha
+		}
+	}
+}
+
+// TransposeInto writes mᵀ into dst. dst must be Cols×Rows, not aliasing m.
+func (m *Matrix32) TransposeInto(dst *Matrix32) {
+	if dst.Rows != m.Cols || dst.Cols != m.Rows {
+		panic(fmt.Sprintf("dense: transpose %d×%d into %d×%d", m.Rows, m.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			dst.Data[j*dst.Stride+i] = v
+		}
+	}
+}
+
+// MirrorLowerToUpper copies the strict lower triangle onto the upper one.
+func (m *Matrix32) MirrorLowerToUpper() {
+	if m.Rows != m.Cols {
+		panic("dense: mirror of non-square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < i; j++ {
+			m.Set(j, i, m.At(i, j))
+		}
+	}
+}
+
+// ZeroUpper clears the strict upper triangle (canonicalizing a lower factor).
+func (m *Matrix32) ZeroUpper() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := i + 1; j < m.Cols; j++ {
+			row[j] = 0
+		}
+	}
+}
+
+// FromFloat64 rounds src into m (the precision demotion at the top of a
+// mixed-precision elimination sweep). Dimensions must match.
+func (m *Matrix32) FromFloat64(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("dense: demote %d×%d into %d×%d", src.Rows, src.Cols, m.Rows, m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst, s := m.Row(i), src.Row(i)
+		for j, v := range s {
+			dst[j] = float32(v)
+		}
+	}
+}
+
+// StoreFloat64 widens m into dst (the promotion of fp32 sweep results back
+// into the float64 factor storage). Dimensions must match.
+func (m *Matrix32) StoreFloat64(dst *Matrix) {
+	if m.Rows != dst.Rows || m.Cols != dst.Cols {
+		panic(fmt.Sprintf("dense: promote %d×%d into %d×%d", m.Rows, m.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		d, s := dst.Row(i), m.Row(i)
+		for j, v := range s {
+			d[j] = float64(v)
+		}
+	}
+}

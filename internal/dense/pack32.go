@@ -1,0 +1,187 @@
+package dense
+
+import "sync"
+
+// Float32 packing layer — the single-precision twin of pack.go. The cache
+// blocking parameters (kcBlock/mcBlock/ncBlock) are shared with the fp64
+// engine: halving the element size doubles the panel capacity headroom in
+// each cache level, so the fp64-tuned blocks remain safely resident. The
+// fp32 panels are MR32/NR32-interleaved for the 8×8 micro-kernel.
+
+// Pack buffers are recycled through sync.Pools so steady-state Gemm32 calls
+// perform zero heap allocations; the A buffer carries an MR32·NR32 scratch
+// tail for edge tiles, exactly like the fp64 pool.
+var packA32Pool = sync.Pool{New: func() any {
+	s := make([]float32, mcBlock*kcBlock+MR32*NR32)
+	return &s
+}}
+
+var packB32Pool = sync.Pool{New: func() any {
+	s := make([]float32, kcBlock*ncBlock)
+	return &s
+}}
+
+// packPanelsA32 packs op(A)[i0:i0+mcb, p0:p0+kcb] into MR32-interleaved
+// micro-panels with alpha folded in and zero-padded edge rows; see
+// packPanelsA for the layout contract.
+func packPanelsA32(dst []float32, trans Transpose, aData []float32, aStride, i0, p0, mcb, kcb int, alpha float32) {
+	for ip := 0; ip < mcb; ip += MR32 {
+		h := MR32
+		if ip+h > mcb {
+			h = mcb - ip
+		}
+		panel := dst[(ip/MR32)*MR32*kcb:]
+		if trans == NoTrans {
+			for r := 0; r < h; r++ {
+				src := aData[(i0+ip+r)*aStride+p0 : (i0+ip+r)*aStride+p0+kcb]
+				for p, v := range src {
+					panel[p*MR32+r] = alpha * v
+				}
+			}
+		} else {
+			for p := 0; p < kcb; p++ {
+				src := aData[(p0+p)*aStride+i0+ip : (p0+p)*aStride+i0+ip+h]
+				d := panel[p*MR32 : p*MR32+MR32]
+				for r, v := range src {
+					d[r] = alpha * v
+				}
+			}
+		}
+		if h < MR32 {
+			for p := 0; p < kcb; p++ {
+				d := panel[p*MR32 : p*MR32+MR32]
+				for r := h; r < MR32; r++ {
+					d[r] = 0
+				}
+			}
+		}
+	}
+}
+
+// packPanelsB32 packs op(B)[p0:p0+kcb, j0:j0+ncb] into NR32-interleaved
+// micro-panels with zero-padded edge columns.
+func packPanelsB32(dst []float32, trans Transpose, bData []float32, bStride, p0, j0, kcb, ncb int) {
+	for jp := 0; jp < ncb; jp += NR32 {
+		w := NR32
+		if jp+w > ncb {
+			w = ncb - jp
+		}
+		panel := dst[(jp/NR32)*NR32*kcb:]
+		if trans == NoTrans {
+			for p := 0; p < kcb; p++ {
+				src := bData[(p0+p)*bStride+j0+jp : (p0+p)*bStride+j0+jp+w]
+				d := panel[p*NR32 : p*NR32+NR32]
+				copy(d, src)
+				for j := w; j < NR32; j++ {
+					d[j] = 0
+				}
+			}
+		} else {
+			if w < NR32 {
+				for p := 0; p < kcb; p++ {
+					d := panel[p*NR32+w : p*NR32+NR32]
+					for j := range d {
+						d[j] = 0
+					}
+				}
+			}
+			for j := 0; j < w; j++ {
+				src := bData[(j0+jp+j)*bStride+p0 : (j0+jp+j)*bStride+p0+kcb]
+				for p, v := range src {
+					panel[p*NR32+j] = v
+				}
+			}
+		}
+	}
+}
+
+// macroKernel32 sweeps the fp32 register tiles of one (mcb×ncb) block of C
+// over the packed panels; full tiles hit C directly, edge tiles go through
+// the zero-padded scratch tile.
+func macroKernel32(mcb, ncb, kcb int, aPan, bPan, tile, cData []float32, ldc int) {
+	for jp := 0; jp < ncb; jp += NR32 {
+		w := NR32
+		if jp+w > ncb {
+			w = ncb - jp
+		}
+		bp := bPan[(jp/NR32)*NR32*kcb:]
+		for ip := 0; ip < mcb; ip += MR32 {
+			h := MR32
+			if ip+h > mcb {
+				h = mcb - ip
+			}
+			ap := aPan[(ip/MR32)*MR32*kcb:]
+			if h == MR32 && w == NR32 {
+				ukernel32(kcb, ap, bp, cData[ip*ldc+jp:], ldc)
+				continue
+			}
+			for i := range tile[:MR32*NR32] {
+				tile[i] = 0
+			}
+			ukernel32(kcb, ap, bp, tile, NR32)
+			for r := 0; r < h; r++ {
+				crow := cData[(ip+r)*ldc+jp : (ip+r)*ldc+jp+w]
+				trow := tile[r*NR32 : r*NR32+w]
+				for j, v := range trow {
+					crow[j] += v
+				}
+			}
+		}
+	}
+}
+
+// gemmPacked32 computes C += alpha·op(A)·op(B) through the fp32 packed
+// micro-kernel engine, with the same macro-tile parallel structure as
+// gemmPacked: operands are unwrapped to (data, stride) immediately so the
+// worker closures never capture a *Matrix32.
+func gemmPacked32(transA, transB Transpose, alpha float32, a, b, c *Matrix32) {
+	m, n := c.Rows, c.Cols
+	k := a.Cols
+	if transA == Trans {
+		k = a.Rows
+	}
+	aData, aStride := a.Data, a.Stride
+	bData, bStride := b.Data, b.Stride
+	cData, cStride := c.Data, c.Stride
+	bBufP := packB32Pool.Get().(*[]float32)
+	bBuf := *bBufP
+	for jc := 0; jc < n; jc += ncBlock {
+		ncb := min(ncBlock, n-jc)
+		for pc := 0; pc < k; pc += kcBlock {
+			kcb := min(kcBlock, k-pc)
+			packPanelsB32(bBuf, transB, bData, bStride, pc, jc, kcb, ncb)
+			nTiles := (m + mcBlock - 1) / mcBlock
+			if MaxWorkers() <= 1 || nTiles < 2 {
+				// Serial fast path: no closure, zero per-call allocations.
+				gemmTile32Range(0, nTiles, transA, alpha, aData, aStride, cData, cStride, bBuf, m, pc, jc, kcb, ncb)
+			} else {
+				gemmTiles32Parallel(nTiles, transA, alpha, aData, aStride, cData, cStride, bBuf, m, pc, jc, kcb, ncb)
+			}
+		}
+	}
+	packB32Pool.Put(bBufP)
+}
+
+// gemmTiles32Parallel fans the fp32 macro-tile sweep out across workers;
+// isolated from gemmPacked32 so the closure only exists when parallelism is
+// actually used.
+func gemmTiles32Parallel(nTiles int, transA Transpose, alpha float32, aData []float32, aStride int, cData []float32, cStride int, bBuf []float32, m, pc, jc, kcb, ncb int) {
+	parForTiles(nTiles, func(t0, t1 int) {
+		gemmTile32Range(t0, t1, transA, alpha, aData, aStride, cData, cStride, bBuf, m, pc, jc, kcb, ncb)
+	})
+}
+
+// gemmTile32Range processes macro-tiles [t0,t1) of C rows against the shared
+// packed B panel.
+func gemmTile32Range(t0, t1 int, transA Transpose, alpha float32, aData []float32, aStride int, cData []float32, cStride int, bBuf []float32, m, pc, jc, kcb, ncb int) {
+	aBufP := packA32Pool.Get().(*[]float32)
+	aBuf := *aBufP
+	tile := aBuf[mcBlock*kcBlock:]
+	for t := t0; t < t1; t++ {
+		ic := t * mcBlock
+		mcb := min(mcBlock, m-ic)
+		packPanelsA32(aBuf, transA, aData, aStride, ic, pc, mcb, kcb, alpha)
+		macroKernel32(mcb, ncb, kcb, aBuf, bBuf, tile, cData[ic*cStride+jc:], cStride)
+	}
+	packA32Pool.Put(aBufP)
+}

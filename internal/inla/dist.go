@@ -45,40 +45,74 @@ type Plan struct {
 	ReduceDepth     int
 	ReduceCrossover int
 	PipelineReduced bool
+	// Precision is the per-stage precision policy the evaluations run at:
+	// under bta.PrecMixed each rank's interior elimination sweeps run in
+	// fp32 while the reduced boundary system, log-det accumulation and
+	// non-SPD recovery stay fp64, and the conditional-mean solve is
+	// recovered to fp64 accuracy by iterative refinement (PPOBTASRefined).
+	// MakePlan grants a requested mixed policy only where the stage
+	// structure allows it: with a single global partition there are no
+	// interior sweeps and the policy degenerates to pure fp64.
+	Precision bta.Precision
+}
+
+// StreamLayout returns the per-rank stream counts the plan's smallest S1
+// group actually evaluates at over ntBlocks time blocks: the uniform
+// PartitionsPerRank grid when the time dimension can absorb it, otherwise
+// the unequal SpreadStreams layout over the widest partitionable total —
+// earlier ranks carry the extra streams — instead of shedding whole
+// streams from every rank.
+func (p Plan) StreamLayout(ntBlocks int) []int {
+	p3 := 1
+	if len(p.GroupSizes) > 0 {
+		p3 = p.GroupSizes[len(p.GroupSizes)-1]
+		if p.UseS2 {
+			p3 /= 2
+		}
+		if p3 < 1 {
+			p3 = 1
+		}
+	}
+	return effectiveStreams(ntBlocks, p3, p.PartitionsPerRank)
 }
 
 // SolverWidthAt returns the total S3 solver width (ranks × streams) one
 // evaluation actually runs at for the plan's smallest S1 group — the width
 // that determines whether a reduced boundary system exists (≥ 2) and
 // whether recursion can engage (2·width−2 ≥ crossover). It applies the
-// same clamps as the evaluation: the rank count capped by ntBlocks'
-// partitionability, then whole streams shed until the ranks × streams
-// split is partitionable.
+// same policy as the evaluation: the rank count capped by ntBlocks'
+// partitionability, then the stream grid spread unevenly across ranks when
+// the time dimension cannot absorb the full uniform layout.
 func (p Plan) SolverWidthAt(ntBlocks int) int {
-	if len(p.GroupSizes) == 0 {
-		return 1
+	total := 0
+	for _, q := range p.StreamLayout(ntBlocks) {
+		total += q
 	}
-	p3 := p.GroupSizes[len(p.GroupSizes)-1]
-	if p.UseS2 {
-		p3 /= 2
-	}
+	return total
+}
+
+// effectiveStreams lays a hybrid S3 topology's streams over ntBlocks time
+// blocks: uniform perRank streams on each of the p3 ranks when the time
+// dimension can absorb the full grid, otherwise a SpreadStreams layout over
+// the widest partitionable total (earlier ranks run more streams). The old
+// policy shed one stream from every rank until the uniform grid fit, which
+// over-discards width: at nt=10, p3=4, perRank=2 it fell all the way back
+// to 4 partitions where the spread layout [2,2,1,1] keeps 6.
+func effectiveStreams(ntBlocks, p3, perRank int) []int {
 	if p3 < 1 {
 		p3 = 1
 	}
-	if mx := maxPartitions(ntBlocks); p3 > mx {
+	if perRank < 1 {
+		perRank = 1
+	}
+	mx := maxPartitions(ntBlocks)
+	if p3 > mx {
 		p3 = mx
 	}
-	qEff := p.PartitionsPerRank
-	if qEff < 1 {
-		qEff = 1
+	if p3*perRank <= mx {
+		return bta.UniformStreams(p3, perRank)
 	}
-	for qEff > 1 {
-		if _, err := bta.PartitionBlocks(ntBlocks, p3*qEff, 1); err == nil {
-			break
-		}
-		qEff--
-	}
-	return p3 * qEff
+	return bta.SpreadStreams(p3, mx)
 }
 
 // nodeWorkingSetBytes models the steady-state device bytes one node of the
@@ -104,14 +138,17 @@ func ceilDiv(n, d int64) int64 { return (n + d - 1) / d }
 // the per-device memory model (0 = unlimited), ntBlocks/blockSize/arrowSize
 // the BTA shape (ntBlocks bounds the useful S3 width; blockSize 0 disables
 // the fill-chain term, reproducing the flat slice-only model), perRank the
-// requested per-node stream width (≤ 1 = flat).
+// requested per-node stream width (≤ 1 = flat), prec the requested
+// factorization precision policy — granted as-is except where no stage can
+// run reduced precision (solver width 1 has no interior sweeps, so a mixed
+// request degenerates to pure fp64 and the plan records that).
 //
 // The memory policy is hybrid-aware: the per-node working set is the matrix
 // slice plus the fill-chain storage the partitioned elimination adds, so
 // P3Min grows accordingly, and when even the widest partitionable rank
 // count cannot fit the cap the planner sheds streams (PartitionsPerRank)
 // before giving up — trading ranks against streams under the cap.
-func MakePlan(world, nfeval int, qcBytes, memCap int64, ntBlocks, blockSize, arrowSize, perRank int) Plan {
+func MakePlan(world, nfeval int, qcBytes, memCap int64, ntBlocks, blockSize, arrowSize, perRank int, prec bta.Precision) Plan {
 	if perRank < 1 {
 		perRank = 1
 	}
@@ -150,8 +187,14 @@ func MakePlan(world, nfeval int, qcBytes, memCap int64, ntBlocks, blockSize, arr
 	sizes := spread(world, groups)
 	minSize := sizes[len(sizes)-1]
 	useS2 := minSize >= 2*p3min && minSize >= 2
-	return Plan{World: world, NFeval: nfeval, Groups: groups, GroupSizes: sizes,
-		UseS2: useS2, P3Min: p3min, PartitionsPerRank: perRank}
+	p := Plan{World: world, NFeval: nfeval, Groups: groups, GroupSizes: sizes,
+		UseS2: useS2, P3Min: p3min, PartitionsPerRank: perRank, Precision: prec}
+	if prec == bta.PrecMixed && p.SolverWidthAt(ntBlocks) < 2 {
+		// A width-1 solver factorizes in place with no interior sweeps —
+		// nothing can run fp32, so record the degenerate fp64 policy.
+		p.Precision = bta.PrecFloat64
+	}
+	return p
 }
 
 // maxPartitions is the largest useful S3 width for n time blocks
@@ -241,14 +284,20 @@ type groupScratch struct {
 }
 
 // slice refills (allocating only on first use) the rank-local slice of g
-// over the two-level topology: the rank owns perRank consecutive
-// partitions of the global list.
-func (s *groupScratch) slice(g *bta.Matrix, parts []bta.Partition, rank, perRank int) *bta.LocalBTA {
+// over the two-level topology: the rank owns counts[rank] consecutive
+// partitions of the global list (unequal per-rank stream counts carry the
+// SpreadStreams layouts the planner chooses when nt cannot absorb the
+// uniform grid).
+func (s *groupScratch) slice(g *bta.Matrix, parts []bta.Partition, counts []int, rank int) (*bta.LocalBTA, error) {
 	if s.local == nil {
-		s.local = bta.NewLocalBTANode(parts, rank, perRank, g.N, g.B, g.A)
+		l, err := bta.NewLocalBTAHybrid(parts, counts, rank, g.N, g.B, g.A)
+		if err != nil {
+			return nil, err
+		}
+		s.local = l
 	}
 	s.local.FillFrom(g)
-	return s.local
+	return s.local, nil
 }
 
 // factorize reclaims the previous factor's recycled blocks and runs the
@@ -286,6 +335,15 @@ type DistConfig struct {
 	// assembly as they arrive, interleaving reduced elimination with later
 	// ranks' interior sweeps instead of idling until the last one lands.
 	PipelineReduced bool
+	// Precision requests the per-stage factorization precision policy
+	// (bta.PrecMixed = fp32 interior sweeps, fp64 reduced system and
+	// refinement-corrected solves; the zero value = pure fp64). The planner
+	// grants it wherever the solver width leaves interior sweeps to
+	// accelerate and records the decision on the Plan.
+	Precision bta.Precision
+	// MaxRefine bounds the fp64 refinement iterations per mixed-precision
+	// solve (0 = bta.DefaultMaxRefine).
+	MaxRefine int
 	// MemCapBytes models per-device memory (0 = unlimited).
 	MemCapBytes int64
 	// Iterations of the quasi-Newton loop to execute.
@@ -351,7 +409,7 @@ func RunDistributed(m *model.Model, prior Prior, theta0 []float64, cfg DistConfi
 
 	_, bBlk, aBlk := m.Dims.BTAShape()
 	planFor := func(world int) Plan {
-		p := MakePlan(world, nfeval, qcBytes, cfg.MemCapBytes, nt, bBlk, aBlk, cfg.PartitionsPerRank)
+		p := MakePlan(world, nfeval, qcBytes, cfg.MemCapBytes, nt, bBlk, aBlk, cfg.PartitionsPerRank, cfg.Precision)
 		p.ReduceDepth = cfg.ReduceDepth
 		p.ReduceCrossover = cfg.ReduceCrossover
 		p.PipelineReduced = cfg.PipelineReduced
@@ -517,25 +575,21 @@ func evalFobjGroup(group *comm.Comm, state *sharedState, m *model.Model, prior P
 	}
 
 	// S3 width: solver ranks bounded by partitionability and the DisableS3
-	// switch, times the per-node stream width of the hybrid second level —
-	// clamped so the total ranks × partitions split stays partitionable.
+	// switch, times the per-node stream layout of the hybrid second level —
+	// spread unevenly across the ranks when the time dimension cannot
+	// absorb the uniform PartitionsPerRank grid.
 	p3 := pipe.Size()
-	qEff := plan.PartitionsPerRank
+	perRank := plan.PartitionsPerRank
 	if cfg.DisableS3 {
-		p3 = 1
-		qEff = 1
+		p3, perRank = 1, 1
 	}
 	if mx := maxPartitions(m.Dims.Nt); p3 > mx {
 		p3 = mx
 	}
-	if qEff < 1 {
-		qEff = 1
-	}
-	for qEff > 1 {
-		if _, err := bta.PartitionBlocks(m.Dims.Nt, p3*qEff, 1); err == nil {
-			break
-		}
-		qEff--
+	counts := effectiveStreams(m.Dims.Nt, p3, perRank)
+	width := 0
+	for _, q := range counts {
+		width += q
 	}
 	active := pipe.Rank() < p3
 	var solver *comm.Comm
@@ -594,10 +648,16 @@ func evalFobjGroup(group *comm.Comm, state *sharedState, m *model.Model, prior P
 	// tagMu carries μ from the Q_c pipeline root to the Q_p pipeline root.
 	const tagMu = 700
 
-	// Reduced-system engine configuration shared by both pipelines.
-	dopts := bta.DistOptions{Reduced: bta.ReducedOptions{
-		Depth: cfg.ReduceDepth, Crossover: cfg.ReduceCrossover, Pipeline: cfg.PipelineReduced,
-	}}
+	// Reduced-system engine and precision-policy configuration shared by
+	// both pipelines (the plan already degenerated an unusable mixed
+	// request to fp64).
+	dopts := bta.DistOptions{
+		Precision: plan.Precision,
+		MaxRefine: cfg.MaxRefine,
+		Reduced: bta.ReducedOptions{
+			Depth: cfg.ReduceDepth, Crossover: cfg.ReduceCrossover, Pipeline: cfg.PipelineReduced,
+		},
+	}
 
 	runQc := func() error {
 		pipe.Barrier()
@@ -605,38 +665,57 @@ func evalFobjGroup(group *comm.Comm, state *sharedState, m *model.Model, prior P
 			return nil
 		}
 		err := func() error {
-			solverRankCharge(solver, cell.dtQc, chargeP3(p3*qEff, cfg))
-			parts, err := bta.HybridPartition(m.Dims.Nt, bta.UniformStreams(solver.Size(), qEff), lb)
+			solverRankCharge(solver, cell.dtQc, chargeP3(width, cfg))
+			parts, err := bta.HybridPartition(m.Dims.Nt, counts, lb)
 			if err != nil {
 				return err
 			}
-			local := scr.slice(cell.qc, parts, solver.Rank(), qEff)
+			local, err := scr.slice(cell.qc, parts, counts, solver.Rank())
+			if err != nil {
+				return err
+			}
 			f, err := scr.factorize(solver, local, dopts)
 			if err != nil {
 				return err
 			}
-			span := local.Part
-			rhsLocal := append([]float64(nil), cell.rhs[span.Lo*b:(span.Hi+1)*b]...)
-			var rhsTip []float64
-			if a > 0 {
-				rhsTip = cell.rhs[m.Dims.Nt*b:]
-			}
-			xLocal, xTip, err := bta.PPOBTAS(solver, f, rhsLocal, rhsTip)
-			if err != nil {
-				return err
-			}
-			// Gather μ on the solver root.
-			gathered := solver.Gather(0, xLocal)
-			if solver.Rank() == 0 {
-				muFull := make([]float64, m.Dims.Total())
-				off := 0
-				for _, part := range gathered {
-					copy(muFull[off:], part)
-					off += len(part)
+			var muFull []float64 // solver root only
+			if f.Low() {
+				// Mixed-precision factor: the fp64 iterative refinement
+				// recovers full solve accuracy and leaves the assembled
+				// solution replicated on every rank — no gather needed.
+				xFull, _, err := bta.PPOBTASRefined(solver, f, cell.qc, cell.rhs)
+				if err != nil {
+					return err
 				}
+				if solver.Rank() == 0 {
+					muFull = append([]float64(nil), xFull[:m.Dims.Total()]...)
+				}
+			} else {
+				span := local.Part
+				rhsLocal := append([]float64(nil), cell.rhs[span.Lo*b:(span.Hi+1)*b]...)
+				var rhsTip []float64
 				if a > 0 {
-					copy(muFull[m.Dims.Nt*b:], xTip)
+					rhsTip = cell.rhs[m.Dims.Nt*b:]
 				}
+				xLocal, xTip, err := bta.PPOBTAS(solver, f, rhsLocal, rhsTip)
+				if err != nil {
+					return err
+				}
+				// Gather μ on the solver root.
+				gathered := solver.Gather(0, xLocal)
+				if solver.Rank() == 0 {
+					muFull = make([]float64, m.Dims.Total())
+					off := 0
+					for _, part := range gathered {
+						copy(muFull[off:], part)
+						off += len(part)
+					}
+					if a > 0 {
+						copy(muFull[m.Dims.Nt*b:], xTip)
+					}
+				}
+			}
+			if solver.Rank() == 0 {
 				t, _ := m.DecodeTheta(theta)
 				var ll float64
 				solver.Compute(func() { ll = m.LogLik(t, muFull) })
@@ -666,12 +745,15 @@ func evalFobjGroup(group *comm.Comm, state *sharedState, m *model.Model, prior P
 			return nil
 		}
 		err := func() error {
-			solverRankCharge(solver, cell.dtQp, chargeP3(p3*qEff, cfg))
-			parts, err := bta.HybridPartition(m.Dims.Nt, bta.UniformStreams(solver.Size(), qEff), lb)
+			solverRankCharge(solver, cell.dtQp, chargeP3(width, cfg))
+			parts, err := bta.HybridPartition(m.Dims.Nt, counts, lb)
 			if err != nil {
 				return err
 			}
-			local := scr.slice(cell.qp, parts, solver.Rank(), qEff)
+			local, err := scr.slice(cell.qp, parts, counts, solver.Rank())
+			if err != nil {
+				return err
+			}
 			f, err := scr.factorize(solver, local, dopts)
 			if err != nil {
 				return err

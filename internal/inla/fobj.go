@@ -114,11 +114,14 @@ type solverSpec struct {
 	depth     int
 	crossover int
 	pipeline  bool
+	prec      bta.Precision
+	maxRefine int
 }
 
 // specOf converts a batch plan into the factorization spec.
 func specOf(plan SharedPlan) solverSpec {
-	return solverSpec{parts: plan.Partitions, depth: plan.Recursion, pipeline: plan.PipelineReduced}
+	return solverSpec{parts: plan.Partitions, depth: plan.Recursion,
+		pipeline: plan.PipelineReduced, prec: plan.Precision}
 }
 
 // cachedParallel lazily builds and caches one parallel-in-time factor per
@@ -137,11 +140,15 @@ func (c *cachedParallel) solver(seq *bta.Factor, n, b, a int, spec solverSpec) (
 		spec.parts = mx
 	}
 	if spec.parts <= 1 {
+		seq.SetPrecision(spec.prec)
+		seq.SetMaxRefine(spec.maxRefine)
 		return seq, nil
 	}
 	if c.pf == nil || c.spec != spec {
 		pf, err := bta.NewParallelFactorOpts(n, b, a, bta.ParallelOptions{
 			Partitions: spec.parts,
+			Precision:  spec.prec,
+			MaxRefine:  spec.maxRefine,
 			Reduced: bta.ReducedOptions{
 				Depth: spec.depth, Crossover: spec.crossover, Pipeline: spec.pipeline,
 			},
@@ -305,6 +312,15 @@ type BTAEvaluator struct {
 	// NoPipeline forces the eager (non-streamed) reduced assembly even
 	// where the batch plan would pipeline the boundary handoff.
 	NoPipeline bool
+	// Precision selects the per-stage factorization precision policy:
+	// bta.PrecMixed runs interior elimination sweeps in fp32 with the
+	// reduced system, log-dets and non-SPD recovery in fp64, and fp64
+	// iterative refinement on the conditional-mean solves. The zero value
+	// keeps pure fp64 everywhere.
+	Precision bta.Precision
+	// MaxRefine bounds the fp64 refinement iterations per mixed-precision
+	// solve (0 = bta.DefaultMaxRefine).
+	MaxRefine int
 
 	scratch sync.Pool // *solverScratch, shape-bound to Model
 
@@ -386,6 +402,7 @@ func (e *BTAEvaluator) planFor(width int, s2 bool) SharedPlan {
 	if e.NoPipeline {
 		plan.PipelineReduced = false
 	}
+	plan.Precision = e.Precision
 	return plan
 }
 
@@ -393,6 +410,7 @@ func (e *BTAEvaluator) planFor(width int, s2 bool) SharedPlan {
 func (e *BTAEvaluator) specFor(width int, s2 bool) solverSpec {
 	spec := specOf(e.planFor(width, s2))
 	spec.crossover = e.ReducedCrossover
+	spec.maxRefine = e.MaxRefine
 	return spec
 }
 

@@ -1,0 +1,103 @@
+package inla
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dalia-hpc/dalia/internal/bta"
+	"github.com/dalia-hpc/dalia/internal/synth"
+)
+
+// TestEvaluatorMixedMatchesFp64 drives the mixed per-stage policy through
+// the shared-memory evaluator: the refined conditional-mean solve keeps the
+// quadratic form at fp64 accuracy while the log-dets carry the fp32 sweep
+// (~1e-5 relative), for both the sequential and the partitioned backends.
+func TestEvaluatorMixedMatchesFp64(t *testing.T) {
+	ds, err := synth.Generate(synth.GenConfig{
+		Nv: 1, Nt: 8, Nr: 1,
+		MeshNx: 3, MeshNy: 3,
+		ObsPerStep: 10,
+		Seed:       13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := WeakPrior(ds.Theta0, 5)
+	pts := gradientPoints(ds.Theta0, 1e-3)
+	ref := &BTAEvaluator{Model: ds.Model, Prior: prior}
+	want := ref.EvalBatch(pts)
+	for _, parts := range []int{1, 3} {
+		e := &BTAEvaluator{Model: ds.Model, Prior: prior,
+			Precision: bta.PrecMixed, Partitions: parts}
+		got := e.EvalBatch(pts)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-3*(1+math.Abs(want[i])) {
+				t.Fatalf("partitions=%d point %d: mixed F = %v, fp64 F = %v", parts, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEvaluatorMixedPosterior: the posterior stage under the mixed policy
+// promotes the factor to full fp64 before selected inversion, so the latent
+// variances match the fp64 path exactly and μ to refinement accuracy.
+func TestEvaluatorMixedPosterior(t *testing.T) {
+	ds, err := synth.Generate(synth.GenConfig{
+		Nv: 1, Nt: 6, Nr: 1,
+		MeshNx: 3, MeshNy: 3,
+		ObsPerStep: 10,
+		Seed:       17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := WeakPrior(ds.Theta0, 5)
+	ref := &BTAEvaluator{Model: ds.Model, Prior: prior}
+	muWant, vaWant, err := ref.Posterior(ds.Theta0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &BTAEvaluator{Model: ds.Model, Prior: prior, Precision: bta.PrecMixed}
+	mu, va, err := e.Posterior(ds.Theta0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range muWant {
+		if math.Abs(mu[i]-muWant[i]) > 1e-8*(1+math.Abs(muWant[i])) {
+			t.Fatalf("mu[%d]: mixed %v, fp64 %v", i, mu[i], muWant[i])
+		}
+		if math.Abs(va[i]-vaWant[i]) > 1e-10*(1+math.Abs(vaWant[i])) {
+			t.Fatalf("var[%d]: mixed %v, fp64 %v (selinv runs promoted fp64)", i, va[i], vaWant[i])
+		}
+	}
+}
+
+// TestFitMixedPrecision runs a tiny end-to-end fit with the mixed policy
+// through FitOptions — the wiring Fit → BTAEvaluator → bta backends.
+func TestFitMixedPrecision(t *testing.T) {
+	ds, err := synth.Generate(synth.GenConfig{
+		Nv: 1, Nt: 4, Nr: 1,
+		MeshNx: 3, MeshNy: 3,
+		ObsPerStep: 10,
+		Seed:       19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultFitOptions()
+	opts.Opt.MaxIter = 2
+	opts.SkipHyperUncertainty = true
+	opts.Precision = bta.PrecMixed
+	res, err := Fit(ds.Model, WeakPrior(ds.Theta0, 5), ds.Theta0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mu) != ds.Model.Dims.Total() {
+		t.Fatalf("posterior mean length %d, want %d", len(res.Mu), ds.Model.Dims.Total())
+	}
+	for _, v := range res.LatentVar {
+		if !(v > 0) {
+			t.Fatalf("non-positive latent variance %v", v)
+		}
+	}
+}
