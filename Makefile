@@ -15,7 +15,8 @@
 #                     two-level scheduling baseline, PR 5 the recursive
 #                     reduced-system engine baseline, PR 6 the serving
 #                     latency baseline, PR 7 the crash-recovery baseline,
-#                     PR 8 the mixed-precision baseline)
+#                     PR 8 the mixed-precision baseline, PR 9 the task-DAG
+#                     scheduler baseline)
 #   make bench-smoke— regression gates: kernels GEMM rate vs BENCH_1.json
 #                     (25% floor), serving engine path vs BENCH_2.json,
 #                     pintime rates vs BENCH_3.json, hybrid solver cycle
@@ -28,6 +29,9 @@
 #                     and mixed-precision GEMM rates — fp32 and fp64 —
 #                     vs BENCH_8.json (40% floor; the gate also refuses
 #                     a baseline recorded under a different precision mode)
+#                     and the task-DAG scheduler vs BENCH_9.json (40%
+#                     floor, plus the unconditional DAG-vs-phase-barrier
+#                     neutrality check of the current run)
 #   make all        — everything above
 
 GO ?= go
@@ -35,10 +39,10 @@ GO ?= go
 # clobber earlier baselines (BENCH_1.json is the PR 1 kernels reference the
 # smoke compares against). BASE lags PR by one since PR 8 (persistence
 # hardening) gated on the existing baselines without adding a new one.
-PR ?= 9
-BASE ?= 8
+PR ?= 10
+BASE ?= 9
 BENCH ?= BENCH_$(BASE).json
-EXP ?= precision
+EXP ?= sched
 
 .PHONY: all test vet fmt-check race purego bench baseline bench-smoke ci ci-local
 
@@ -79,6 +83,7 @@ bench-smoke:
 	$(GO) run ./cmd/dalia-bench -exp=latency -quick -compare BENCH_6.json -maxregress 0.25
 	$(GO) run ./cmd/dalia-bench -exp=recovery -quick -compare BENCH_7.json -maxregress 1.0
 	$(GO) run ./cmd/dalia-bench -exp=precision -quick -compare BENCH_8.json -maxregress 0.4
+	$(GO) run ./cmd/dalia-bench -exp=sched -quick -compare BENCH_9.json -maxregress 0.4
 
 ci: fmt-check test race purego
 	-$(MAKE) bench-smoke
@@ -88,8 +93,8 @@ ci: fmt-check test race purego
 # fault-injection suite, the purego fallback with the arm64 cross-build,
 # then the non-blocking perf smoke and latency gate.
 ci-local: fmt-check test race
-	GOMAXPROCS=2 $(GO) test -race -count=1 ./internal/bta/ ./internal/comm/ ./internal/inla/ ./internal/predict/ ./internal/serve/
-	GOMAXPROCS=8 $(GO) test -race -count=1 ./internal/bta/ ./internal/comm/ ./internal/inla/ ./internal/predict/ ./internal/serve/
+	GOMAXPROCS=2 $(GO) test -race -count=1 ./internal/sched/ ./internal/bta/ ./internal/comm/ ./internal/inla/ ./internal/predict/ ./internal/serve/
+	GOMAXPROCS=8 $(GO) test -race -count=1 ./internal/sched/ ./internal/bta/ ./internal/comm/ ./internal/inla/ ./internal/predict/ ./internal/serve/
 	$(GO) test -race -count=2 \
 		-run 'Chaos|Fault|Kill|Shrink|Revoke|Timeout|Corrupt|Dropped|Dead|Quarantine|Recovery|Overload|Shutdown|Drain|Panic|Readyz|Resilience|Torture|Restart|Interrupted' \
 		./internal/comm/ ./internal/bta/ ./internal/inla/ ./internal/serve/ ./internal/store/

@@ -30,7 +30,11 @@
 // (mixed precision: fp32 vs fp64 GEMM/POTRF GFLOP/s and the mixed
 // per-stage BTA factor+solve cycle with its refinement iteration count;
 // -out writes BENCH_8.json, -compare gates GEMM rates against one and
-// refuses cross-mode baselines).
+// refuses cross-mode baselines), sched (work-stealing task-DAG executor
+// vs the legacy phase-barrier concurrency: gradient-batch makespan,
+// width-1 evaluation latency and raw spawn/join rate, num_cpu recorded;
+// -out writes BENCH_9.json, -compare gates rates against one and always
+// checks DAG-vs-barrier neutrality of the current run).
 package main
 
 import (
@@ -319,6 +323,39 @@ func main() {
 			}
 			return nil
 		}},
+		{"sched", "task-DAG executor vs phase-barrier (gradient-batch makespan, spawn/join rate)", func(quick bool) error {
+			base, err := bench.Sched(quick)
+			if err != nil {
+				return err
+			}
+			bench.PrintSched(base, os.Stdout)
+			if *out != "" {
+				if err := bench.WriteSchedBaseline(base, *out); err != nil {
+					return err
+				}
+				fmt.Printf("    baseline written to %s\n", *out)
+			}
+			if *compare != "" {
+				stored, err := bench.LoadSchedBaseline(*compare)
+				if err != nil {
+					return err
+				}
+				if !bench.SchedComparable(base, stored) {
+					fmt.Printf("    baseline gate skipped: GOMAXPROCS %d here vs %d in %s (makespans not comparable; neutrality still checked)\n",
+						base.GoMaxProcs, stored.GoMaxProcs, *compare)
+					stored = nil
+				}
+				regs := bench.CompareSched(base, stored, *maxRegress)
+				if len(regs) > 0 {
+					for _, r := range regs {
+						fmt.Fprintf(os.Stderr, "    REGRESSION %s\n", r)
+					}
+					return fmt.Errorf("%d sched regression(s) beyond %.0f%% vs %s", len(regs), *maxRegress*100, *compare)
+				}
+				fmt.Printf("    dag within tolerance of phase-barrier; no rate regression beyond %.0f%% vs %s\n", *maxRegress*100, *compare)
+			}
+			return nil
+		}},
 		{"pintime", "parallel-in-time BTA engine (single-eval latency, selected-inversion throughput)", func(quick bool) error {
 			base, err := bench.Pintime(quick)
 			if err != nil {
@@ -363,7 +400,7 @@ func main() {
 	// -out is honored by several experiments; refuse a selection where a
 	// later one would silently overwrite an earlier one's file.
 	nOut := 0
-	for _, name := range []string{"kernels", "serving", "pintime", "hybrid", "reduced", "latency", "recovery", "precision"} {
+	for _, name := range []string{"kernels", "serving", "pintime", "hybrid", "reduced", "latency", "recovery", "precision", "sched"} {
 		if runAll || want[name] {
 			nOut++
 		}

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"github.com/dalia-hpc/dalia/internal/bta"
+	"github.com/dalia-hpc/dalia/internal/sched"
 	"github.com/dalia-hpc/dalia/internal/serve"
 	"github.com/dalia-hpc/dalia/internal/store"
 )
@@ -60,7 +61,11 @@ func main() {
 	storeDir := flag.String("store-dir", "", "durable checkpoint store directory: fits persist here and the registry recovers on restart (empty = in-memory only)")
 	ckptEvery := flag.Int("checkpoint-every", 1, "persist in-flight optimizer state every N BFGS iterations (with -store-dir)")
 	precFlag := flag.String("precision", "", "fit factorization precision policy: fp64 (default) or mixed (fp32 interior sweeps + fp64 refinement; serving accuracy is unaffected)")
+	schedWorkers := flag.Int("sched-workers", 0, "worker count of the shared task-DAG executor that fit solver phases and evaluation batches run on (0 = GOMAXPROCS)")
 	flag.Parse()
+	if *schedWorkers > 0 {
+		sched.SetSharedWorkers(*schedWorkers)
+	}
 
 	prec, err := bta.ParsePrecision(*precFlag)
 	if err != nil {

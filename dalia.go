@@ -40,6 +40,7 @@ import (
 	"github.com/dalia-hpc/dalia/internal/mesh"
 	"github.com/dalia-hpc/dalia/internal/model"
 	"github.com/dalia-hpc/dalia/internal/predict"
+	"github.com/dalia-hpc/dalia/internal/sched"
 	"github.com/dalia-hpc/dalia/internal/serve"
 	"github.com/dalia-hpc/dalia/internal/spde"
 	"github.com/dalia-hpc/dalia/internal/store"
@@ -381,6 +382,12 @@ const (
 // ("fp64" or "mixed"; "" means fp64) — the -precision surface of the dalia
 // commands.
 func ParsePrecision(s string) (Precision, error) { return bta.ParsePrecision(s) }
+
+// SetSchedWorkers overrides the worker count of the process-wide
+// work-stealing task executor that solver phases and evaluation batches
+// run on (0 restores the GOMAXPROCS default). Call at process startup —
+// the -sched-workers surface of the dalia commands.
+func SetSchedWorkers(n int) { sched.SetSharedWorkers(n) }
 
 // NewParallelBTAFactorOpts is NewParallelBTAFactor with the reduced-system
 // engine configured.

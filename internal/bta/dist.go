@@ -7,6 +7,7 @@ import (
 
 	"github.com/dalia-hpc/dalia/internal/comm"
 	"github.com/dalia-hpc/dalia/internal/dense"
+	"github.com/dalia-hpc/dalia/internal/sched"
 )
 
 func logOf(v float64) float64 { return math.Log(v) }
@@ -244,6 +245,15 @@ type DistFactor struct {
 	low        bool // interior factor blocks came from the fp32 sweeps
 	lastRefine int  // corrections of the most recent PPOBTASRefined
 
+	// Multi-stream gang state (task-DAG mode): prebuilt task nodes and
+	// per-stream bodies, built on first runOwned and reused every call so
+	// the per-step allocation count stays constant.
+	gangEx    *sched.Executor
+	gangGroup sched.Group
+	gangTasks []sched.Task
+	gangFns   []func()
+	gangBody  func(j int)
+
 	scr *DistScratch // optional recycled storage (PPOBTAFScratch)
 }
 
@@ -266,6 +276,11 @@ type DistOptions struct {
 	// MaxRefine caps the fp64 residual corrections per PPOBTASRefined call
 	// (0 = DefaultMaxRefine).
 	MaxRefine int
+	// PhaseBarrier forces the legacy fresh-goroutine stream gangs (and a
+	// phase-barrier nested reduced engine) instead of scheduling the
+	// node's streams as tasks on the shared work-stealing executor. All
+	// ranks must pass the same value.
+	PhaseBarrier bool
 }
 
 // sweepScratch is one owned partition's preallocated selected-inversion
@@ -468,15 +483,44 @@ func (f *DistFactor) runOwned(body func(j int)) {
 		body(0)
 		return
 	}
-	var wg sync.WaitGroup
-	for j := range f.parts {
-		wg.Add(1)
-		go func(j int) {
-			defer wg.Done()
-			body(j)
-		}(j)
+	if f.opts.PhaseBarrier {
+		var wg sync.WaitGroup
+		for j := range f.parts {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				body(j)
+			}(j)
+		}
+		wg.Wait()
+		return
 	}
-	wg.Wait()
+	// Task-DAG mode: the node's streams become tasks on the shared
+	// executor (prebuilt bodies, built on first use, reused every call),
+	// with stream 0 on the calling goroutine which then help-joins. The
+	// comm.Compute wall-time charging around the caller is unchanged: the
+	// gang's makespan is still one node-level compute interval.
+	if f.gangTasks == nil {
+		f.gangEx = sched.Shared()
+		f.gangGroup.Init(f.gangEx)
+		f.gangTasks = make([]sched.Task, len(f.parts))
+		f.gangFns = make([]func(), len(f.parts))
+		for j := 1; j < len(f.parts); j++ {
+			j := j
+			f.gangFns[j] = func() { f.gangBody(j) }
+		}
+	}
+	f.gangBody = body
+	l := f.gangEx.AcquireLane()
+	f.gangGroup.Add(len(f.parts) - 1)
+	for j := 1; j < len(f.parts); j++ {
+		f.gangTasks[j].Reset(f.gangEx, &f.gangGroup, f.gangFns[j], nil)
+		l.Spawn(&f.gangTasks[j])
+	}
+	body(0)
+	f.gangGroup.Wait(l)
+	f.gangEx.ReleaseLane(l)
+	f.gangBody = nil
 }
 
 // tipSum folds the owned partitions' Schur tip accumulators into the
@@ -659,7 +703,7 @@ func (f *DistFactor) reducedEngineFor(red *Matrix, nr int) (*reducedEngine, erro
 	if f.scr != nil && f.scr.redEng.matches(nr, f.b, f.a, f.opts.Reduced) {
 		return f.scr.redEng, nil
 	}
-	eng, err := newReducedEngine(red, f.opts.Reduced)
+	eng, err := newReducedEngine(red, f.opts.Reduced, f.opts.PhaseBarrier)
 	if err != nil {
 		return nil, err
 	}

@@ -1,12 +1,44 @@
 package bta
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"time"
 
 	"github.com/dalia-hpc/dalia/internal/dense"
+	"github.com/dalia-hpc/dalia/internal/sched"
 )
+
+// Precomputed pprof label contexts for the DAG phases: applying a label set
+// is allocation-free, so `dalia-bench -cpuprofile` attributes samples per
+// phase without disturbing the AllocsPerRun pins.
+var (
+	labelElim    = sched.LabelCtx("phase", "elim")
+	labelReduced = sched.LabelCtx("phase", "reduced")
+	labelSweep   = sched.LabelCtx("phase", "sweep")
+	labelSigma   = sched.LabelCtx("phase", "sigma")
+	labelNone    = context.Background()
+)
+
+// phaseLabelCtx maps a gang phase to its pprof label context: interior
+// eliminations are "elim", forward/backward substitutions "sweep", and the
+// selected-inversion recursions "sigma" ("reduced" is applied around the
+// boundary-system work directly).
+func phaseLabelCtx(ph int) context.Context {
+	switch ph {
+	case phaseElim:
+		return labelElim
+	case phaseSweep:
+		return labelSigma
+	default:
+		return labelSweep
+	}
+}
+
+// relabel swaps the calling goroutine's pprof label set (alloc-free).
+func relabel(ctx context.Context) { pprof.SetGoroutineLabels(ctx) }
 
 // DefaultLoadBalance is the load-balance factor ParallelFactor hands to
 // PartitionBlocks: the first partition runs the cheaper one-sided
@@ -124,6 +156,21 @@ type ParallelFactor struct {
 	redGlobal []int       // reduced block index → global block index
 	redMS     *MultiSolve // lazily sized multi-RHS reduced workspace
 
+	// Task-DAG scheduling state: the executor the factor's phases run on
+	// (nil = legacy phase-barrier goroutine gang), the join group, and the
+	// caller-owned task nodes reused across cycles — phase tasks for
+	// partitions 1..P−1, pipelined-elimination tasks for all partitions,
+	// and the Σ-scatter DAG's install→sweep pairs.
+	ex          *sched.Executor
+	g           sched.Group
+	tasks       []sched.Task
+	tasksPipe   []sched.Task
+	taskInstall []sched.Task
+	taskSweep   []sched.Task
+	fnPhase     []func()
+	fnInstall   []func()
+	fnSweep     []func()
+
 	// gang state
 	work  []func() // prebuilt workers for partitions 1..P−1
 	done  chan struct{}
@@ -178,6 +225,17 @@ type ParallelOptions struct {
 	// MaxRefine caps the fp64 residual corrections per refined solve
 	// (0 = DefaultMaxRefine).
 	MaxRefine int
+	// PhaseBarrier forces the legacy per-phase goroutine gang (spawn P−1
+	// goroutines, barrier, next phase) instead of scheduling the phases as
+	// tasks on the shared work-stealing executor. The default (false) runs
+	// the task-DAG path, which interleaves this factor's partition work
+	// with tasks from other concurrent operations — bit-identical results,
+	// better core occupancy. The barrier mode exists for the scheduler
+	// benchmark and the determinism suite.
+	PhaseBarrier bool
+	// Executor overrides the task executor the DAG path runs on
+	// (nil = sched.Shared()). Ignored under PhaseBarrier.
+	Executor *sched.Executor
 }
 
 // NewParallelFactor allocates a parallel-in-time factor for the BTA shape
@@ -226,7 +284,7 @@ func NewParallelFactorOpts(n, b, a int, o ParallelOptions) (*ParallelFactor, err
 
 	nr := reducedSize(p)
 	f.red = NewMatrix(nr, b, a)
-	f.eng, err = newReducedEngine(f.red, o.Reduced)
+	f.eng, err = newReducedEngine(f.red, o.Reduced, o.PhaseBarrier)
 	if err != nil {
 		return nil, err
 	}
@@ -317,6 +375,30 @@ func NewParallelFactorOpts(n, b, a int, o ParallelOptions) (*ParallelFactor, err
 	for r, ps := range f.ps {
 		f.tipDeltas[r] = ps.tipDelta
 	}
+	// Task-DAG mode (the default): phases are spawned as caller-owned task
+	// nodes on the shared work-stealing executor instead of fresh goroutine
+	// gangs. Bodies are prebuilt once here so steady-state spawning stays
+	// allocation-free.
+	if !o.PhaseBarrier {
+		f.ex = o.Executor
+		if f.ex == nil {
+			f.ex = sched.Shared()
+		}
+		f.g.Init(f.ex)
+		f.tasks = make([]sched.Task, p)
+		f.tasksPipe = make([]sched.Task, p)
+		f.taskInstall = make([]sched.Task, p)
+		f.taskSweep = make([]sched.Task, p)
+		f.fnPhase = make([]func(), p)
+		f.fnInstall = make([]func(), p)
+		f.fnSweep = make([]func(), p)
+		for r := 1; r < p; r++ {
+			r := r
+			f.fnPhase[r] = func() { f.partitionPhase(r) }
+			f.fnInstall[r] = func() { f.installSigmaPart(r) }
+			f.fnSweep[r] = func() { f.ps[r].err = f.sweepPartition(r, f.curSig) }
+		}
+	}
 	return f, nil
 }
 
@@ -346,17 +428,38 @@ func (f *ParallelFactor) Parts() []Partition { return f.parts }
 // Dim returns the full system dimension.
 func (f *ParallelFactor) Dim() int { return f.N*f.B + f.A }
 
-// runPhase fans the current phase out to the partition gang: partitions
-// 1..P−1 on fresh goroutines, partition 0 on the calling goroutine.
+// runPhase fans the current phase out to the partition gang. In task-DAG
+// mode (f.ex != nil) partitions 1..P−1 become tasks on a pooled lane of
+// the shared executor — runnable by any worker or helping joiner, and
+// interleaved with tasks from other concurrent operations — while
+// partition 0 runs on the calling goroutine, which then help-joins. In
+// phase-barrier mode the legacy goroutine gang runs instead. Either way
+// every partition's work has completed when runPhase returns, and the
+// arithmetic performed is identical.
 func (f *ParallelFactor) runPhase(ph int) {
 	f.phase = ph
-	for r := 1; r < f.P; r++ {
-		go f.work[r]()
+	if f.ex == nil {
+		for r := 1; r < f.P; r++ {
+			go f.work[r]()
+		}
+		f.partitionPhase(0)
+		for r := 1; r < f.P; r++ {
+			<-f.done
+		}
+		return
 	}
+	lbl := phaseLabelCtx(ph)
+	l := f.ex.AcquireLane()
+	f.g.Add(f.P - 1)
+	for r := 1; r < f.P; r++ {
+		f.tasks[r].Reset(f.ex, &f.g, f.fnPhase[r], lbl)
+		l.Spawn(&f.tasks[r])
+	}
+	relabel(lbl)
 	f.partitionPhase(0)
-	for r := 1; r < f.P; r++ {
-		<-f.done
-	}
+	f.g.Wait(l)
+	relabel(labelNone)
+	f.ex.ReleaseLane(l)
 }
 
 func (f *ParallelFactor) partitionPhase(r int) {
@@ -437,8 +540,26 @@ func (f *ParallelFactor) refactorizePipelined(t0 time.Time) error {
 		f.delivered[i] = false
 	}
 	f.phase = phaseElim
-	for r := 0; r < f.P; r++ {
-		go f.workPipe[r]()
+	var lane *sched.Lane
+	if f.ex == nil {
+		for r := 0; r < f.P; r++ {
+			go f.workPipe[r]()
+		}
+	} else {
+		// Every partition (0 included) becomes an elimination task that
+		// signals its identity on completion; the calling goroutine streams
+		// the reduced assembly below and runs pending tasks between
+		// completion signals (recvElim), so it is a full gang member too.
+		// The tasks are also counted into the join group: the channel send
+		// happens inside the task body, so the group join below is what
+		// guarantees the node epilogues finished before the nodes are
+		// reused by the next Refactorize.
+		lane = f.ex.AcquireLane()
+		f.g.Add(f.P)
+		for r := 0; r < f.P; r++ {
+			f.tasksPipe[r].Reset(f.ex, &f.g, f.workPipe[r], labelElim)
+			lane.Spawn(&f.tasksPipe[r])
+		}
 	}
 	red := f.red
 	if f.A > 0 {
@@ -451,7 +572,7 @@ func (f *ParallelFactor) refactorizePipelined(t0 time.Time) error {
 	installed := -1
 	failed := false
 	for done := 0; done < f.P; done++ {
-		r := <-f.elimDone
+		r := f.recvElim(lane)
 		if done == f.P-1 {
 			// The interior phase ends here — before the trailing installs
 			// and frontier steps below, which are exactly the reduced work
@@ -465,6 +586,7 @@ func (f *ParallelFactor) refactorizePipelined(t0 time.Time) error {
 		if failed {
 			continue
 		}
+		relabel(labelReduced)
 		for installed+1 < f.P && f.delivered[installed+1] {
 			installed++
 			f.installReducedPart(installed)
@@ -472,6 +594,11 @@ func (f *ParallelFactor) refactorizePipelined(t0 time.Time) error {
 				f.frontier.advance(installed)
 			}
 		}
+		relabel(labelNone)
+	}
+	if lane != nil {
+		f.g.Wait(lane)
+		f.ex.ReleaseLane(lane)
 	}
 	// Surface elimination failures deterministically (partition order).
 	for _, ps := range f.ps {
@@ -479,6 +606,8 @@ func (f *ParallelFactor) refactorizePipelined(t0 time.Time) error {
 			return ps.err
 		}
 	}
+	relabel(labelReduced)
+	defer relabel(labelNone)
 	if stream {
 		if err := f.frontier.finish(); err != nil {
 			return fmt.Errorf("bta: reduced boundary system: %w", err)
@@ -494,6 +623,27 @@ func (f *ParallelFactor) refactorizePipelined(t0 time.Time) error {
 		return fmt.Errorf("bta: reduced boundary system: %w", err)
 	}
 	return nil
+}
+
+// recvElim receives one partition-completion signal. In task-DAG mode the
+// calling goroutine runs pending light tasks between polls — it is both
+// the reduced-assembly streamer and a gang member — and blocks on the
+// channel only when nothing is runnable (its own tasks are then in flight
+// on other goroutines).
+func (f *ParallelFactor) recvElim(lane *sched.Lane) int {
+	if lane == nil {
+		return <-f.elimDone
+	}
+	for {
+		select {
+		case r := <-f.elimDone:
+			return r
+		default:
+		}
+		if !lane.Help() {
+			return <-f.elimDone
+		}
+	}
 }
 
 // elimPartition copies the partition's slice of the input matrix into the
@@ -546,6 +696,8 @@ func (f *ParallelFactor) elimPartition(r int) error {
 // post-elimination boundary blocks and hands it to the reduced engine
 // (sequential in-place factorization, or the nested gang when recursing).
 func (f *ParallelFactor) factorReduced() error {
+	relabel(labelReduced)
+	defer relabel(labelNone)
 	red := f.red
 	if f.A > 0 {
 		red.Tip.CopyFrom(f.store.Tip)
@@ -950,39 +1102,49 @@ func (f *ParallelFactor) SelectedInversionInto(sig *Matrix) error {
 			sig.N, sig.B, sig.A, f.N, f.B, f.A)
 	}
 	f.promote() // posterior covariances stay fp64 (per-stage policy)
-	if err := f.eng.selinvInto(f.redSig); err != nil {
+	relabel(labelReduced)
+	err := f.eng.selinvInto(f.redSig)
+	relabel(labelNone)
+	if err != nil {
 		return err
 	}
-	// Install the boundary Σ blocks.
-	hasArrow := f.A > 0
-	parts := f.parts
-	sig.Diag[parts[0].Hi].CopyFrom(f.redSig.Diag[0])
-	if hasArrow {
-		sig.Arrow[parts[0].Hi].CopyFrom(f.redSig.Arrow[0])
+	if f.A > 0 {
+		// The tip is read by every partition's sweep; land it before any
+		// sweep task can start.
 		sig.Tip.CopyFrom(f.redSig.Tip)
 	}
-	for r := 1; r < f.P; r++ {
-		top := reducedIndexTop(r)
-		lo, hi := parts[r].Lo, parts[r].Hi
-		sig.Diag[lo].CopyFrom(f.redSig.Diag[top])
-		sig.Lower[lo-1].CopyFrom(f.redSig.Lower[top-1]) // Σ(lo_r, hi_{r−1})
-		if hasArrow {
-			sig.Arrow[lo].CopyFrom(f.redSig.Arrow[top])
-		}
-		if r < f.P-1 {
-			sig.Diag[hi].CopyFrom(f.redSig.Diag[top+1])
-			if hasArrow {
-				sig.Arrow[hi].CopyFrom(f.redSig.Arrow[top+1])
-			}
-			if len(f.ps[r].interiors) == 0 {
-				// Size-2 middle partition: its within coupling is a
-				// boundary-boundary block of the reduced system.
-				sig.Lower[lo].CopyFrom(f.redSig.Lower[top])
-			}
-		}
-	}
 	f.curSig = sig
-	f.runPhase(phaseSweep)
+	if f.ex == nil {
+		// Phase-barrier mode: install every boundary block, then run the
+		// interior sweeps as one gang.
+		for r := 0; r < f.P; r++ {
+			f.installSigmaPart(r)
+		}
+		f.runPhase(phaseSweep)
+	} else {
+		// Σ-scatter DAG: each partition's boundary install is a task whose
+		// dependent interior sweep starts as soon as its own boundary
+		// blocks land — no barrier on the full scatter. A partition's sweep
+		// reads only blocks written by its own install (plus the tip,
+		// copied above, and redSig, finalized above), so install(r)→sweep(r)
+		// are the only edges.
+		l := f.ex.AcquireLane()
+		f.g.Add(2 * (f.P - 1))
+		for r := 1; r < f.P; r++ {
+			f.taskInstall[r].Reset(f.ex, &f.g, f.fnInstall[r], labelSigma)
+			f.taskSweep[r].Reset(f.ex, &f.g, f.fnSweep[r], labelSigma)
+			f.taskSweep[r].After(&f.taskInstall[r])
+			// Dependents spawn before predecessors (sched.Lane.Spawn).
+			l.Spawn(&f.taskSweep[r])
+			l.Spawn(&f.taskInstall[r])
+		}
+		relabel(labelSigma)
+		f.installSigmaPart(0)
+		f.ps[0].err = f.sweepPartition(0, sig)
+		f.g.Wait(l)
+		relabel(labelNone)
+		f.ex.ReleaseLane(l)
+	}
 	f.curSig = nil
 	for _, ps := range f.ps {
 		if ps.err != nil {
@@ -990,6 +1152,41 @@ func (f *ParallelFactor) SelectedInversionInto(sig *Matrix) error {
 		}
 	}
 	return nil
+}
+
+// installSigmaPart copies partition r's boundary Σ blocks from the reduced
+// selected inverse into the output. Every destination belongs to partition
+// r alone, so installs of different partitions commute and each partition's
+// interior sweep may start as soon as its own install finished.
+func (f *ParallelFactor) installSigmaPart(r int) {
+	sig := f.curSig
+	parts := f.parts
+	hasArrow := f.A > 0
+	if r == 0 {
+		sig.Diag[parts[0].Hi].CopyFrom(f.redSig.Diag[0])
+		if hasArrow {
+			sig.Arrow[parts[0].Hi].CopyFrom(f.redSig.Arrow[0])
+		}
+		return
+	}
+	top := reducedIndexTop(r)
+	lo, hi := parts[r].Lo, parts[r].Hi
+	sig.Diag[lo].CopyFrom(f.redSig.Diag[top])
+	sig.Lower[lo-1].CopyFrom(f.redSig.Lower[top-1]) // Σ(lo_r, hi_{r−1})
+	if hasArrow {
+		sig.Arrow[lo].CopyFrom(f.redSig.Arrow[top])
+	}
+	if r < f.P-1 {
+		sig.Diag[hi].CopyFrom(f.redSig.Diag[top+1])
+		if hasArrow {
+			sig.Arrow[hi].CopyFrom(f.redSig.Arrow[top+1])
+		}
+		if len(f.ps[r].interiors) == 0 {
+			// Size-2 middle partition: its within coupling is a
+			// boundary-boundary block of the reduced system.
+			sig.Lower[lo].CopyFrom(f.redSig.Lower[top])
+		}
+	}
 }
 
 // sweepPartition runs one partition's backward selected-inversion recursion

@@ -8,16 +8,23 @@
 package inla
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
 	"github.com/dalia-hpc/dalia/internal/bta"
 	"github.com/dalia-hpc/dalia/internal/dense"
 	"github.com/dalia-hpc/dalia/internal/model"
+	"github.com/dalia-hpc/dalia/internal/sched"
 )
+
+// evalLabels caches eval=<k> pprof label contexts so batch runners tag each
+// point's work for per-evaluation profile attribution without allocating.
+var evalLabels = sched.NewLabelSet("eval")
 
 // Prior places independent Gaussian priors on the working-scale
 // hyperparameters θ.
@@ -116,6 +123,12 @@ type solverSpec struct {
 	pipeline  bool
 	prec      bta.Precision
 	maxRefine int
+	// barrier forces the solvers' legacy phase-barrier goroutine gangs;
+	// exec overrides the task executor of the default DAG mode (nil =
+	// sched.Shared()). Both participate in the spec comparison that gates
+	// cachedParallel rebuilds.
+	barrier bool
+	exec    *sched.Executor
 }
 
 // specOf converts a batch plan into the factorization spec.
@@ -152,6 +165,8 @@ func (c *cachedParallel) solver(seq *bta.Factor, n, b, a int, spec solverSpec) (
 			Reduced: bta.ReducedOptions{
 				Depth: spec.depth, Crossover: spec.crossover, Pipeline: spec.pipeline,
 			},
+			PhaseBarrier: spec.barrier,
+			Executor:     spec.exec,
 		})
 		if err != nil {
 			return nil, err
@@ -321,6 +336,16 @@ type BTAEvaluator struct {
 	// MaxRefine bounds the fp64 refinement iterations per mixed-precision
 	// solve (0 = bta.DefaultMaxRefine).
 	MaxRefine int
+	// PhaseBarrier forces the legacy phase-synchronized concurrency — fresh
+	// per-batch goroutines (runBounded) and per-phase solver gangs —
+	// instead of routing batch bodies and solver phases through the shared
+	// work-stealing executor. Results are identical; the knob exists for
+	// the scheduler benchmark and the cross-evaluation determinism suite.
+	PhaseBarrier bool
+	// Exec overrides the task executor batches and solvers run on
+	// (nil = sched.Shared()). Tests use private executors so shutdown/leak
+	// behaviour can be asserted in isolation.
+	Exec *sched.Executor
 
 	scratch sync.Pool // *solverScratch, shape-bound to Model
 
@@ -411,7 +436,17 @@ func (e *BTAEvaluator) specFor(width int, s2 bool) solverSpec {
 	spec := specOf(e.planFor(width, s2))
 	spec.crossover = e.ReducedCrossover
 	spec.maxRefine = e.MaxRefine
+	spec.barrier = e.PhaseBarrier
+	spec.exec = e.Exec
 	return spec
+}
+
+// executor resolves the task executor the evaluator's batches run on.
+func (e *BTAEvaluator) executor() *sched.Executor {
+	if e.Exec != nil {
+		return e.Exec
+	}
+	return sched.Shared()
 }
 
 // StencilPlan reports how a batch of the given width would spend the
@@ -423,10 +458,15 @@ func (e *BTAEvaluator) StencilPlan(width int) SharedPlan {
 }
 
 // EvalBatch evaluates −fobj at every point, +Inf for infeasible ones. The
-// batch runs on a bounded worker pool — min(width, core budget) workers
-// pulling points off a shared counter — rather than one goroutine per
-// point, and narrow batches route their spare cores into parallel-in-time
-// factorization partitions per the batch plan.
+// batch runs at a bound of min(width, core budget) concurrent point
+// evaluations pulling points off a shared counter (dynamic load balance:
+// line-search-adjacent batches mix cheap and infeasible points), and
+// narrow batches route their spare cores into parallel-in-time
+// factorization partitions per the batch plan. By default the point
+// bodies are heavy tasks on the shared work-stealing executor — warm
+// workers reused across gradient/Hessian/line-search batches, and tasks
+// from concurrently running batches interleaved on the same cores; under
+// PhaseBarrier they run on fresh per-batch goroutines (runBounded).
 func (e *BTAEvaluator) EvalBatch(points [][]float64) []float64 {
 	out := make([]float64, len(points))
 	w := e.cores()
@@ -434,7 +474,7 @@ func (e *BTAEvaluator) EvalBatch(points [][]float64) []float64 {
 		w = len(points)
 	}
 	spec := e.specFor(len(points), e.S2)
-	runBounded(len(points), w, func(i int) {
+	body := func(i int) {
 		ws := e.getScratch()
 		var parts FobjParts
 		var err error
@@ -459,13 +499,63 @@ func (e *BTAEvaluator) EvalBatch(points [][]float64) []float64 {
 		if !panicked {
 			e.scratch.Put(ws) // parts.Mu is dead past this point
 		}
-	})
+	}
+	if e.PhaseBarrier {
+		runBounded(len(points), w, body)
+	} else {
+		e.runOnExecutor(len(points), w, body)
+	}
 	return out
 }
 
-// runBounded executes body(i) for i in [0, n) on at most workers
-// goroutines pulling indices from a shared atomic counter (dynamic load
-// balance: line-search-adjacent batches mix cheap and infeasible points).
+// runOnExecutor executes body(i) for i in [0, n) as at most `workers`
+// concurrent runners: workers−1 heavy tasks submitted to the executor's
+// injector plus the calling goroutine, all pulling indices from a shared
+// atomic counter. The caller finishes by help-joining (WaitHeavy), so the
+// batch completes even when every executor worker is busy in another
+// evaluation — and those workers, when free, pick these runners up without
+// a single goroutine spawn.
+func (e *BTAEvaluator) runOnExecutor(n, workers int, body func(i int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	runner := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				pprof.SetGoroutineLabels(context.Background())
+				return
+			}
+			pprof.SetGoroutineLabels(evalLabels.Get(i))
+			body(i)
+		}
+	}
+	if workers == 1 {
+		runner()
+		return
+	}
+	ex := e.executor()
+	var g sched.Group
+	g.Init(ex)
+	g.Add(workers - 1)
+	tasks := make([]sched.Task, workers-1)
+	for k := range tasks {
+		tasks[k].Reset(ex, &g, runner, nil)
+		ex.Submit(&tasks[k])
+	}
+	runner()
+	g.WaitHeavy(nil)
+}
+
+// runBounded executes body(i) for i in [0, n) on at most workers fresh
+// goroutines pulling indices from a shared atomic counter. This is the
+// legacy phase-barrier batch path (BTAEvaluator.PhaseBarrier); the default
+// path is runOnExecutor, which reuses the shared executor's warm workers
+// instead of spawning per batch.
 func runBounded(n, workers int, body func(i int)) {
 	if workers < 1 {
 		workers = 1

@@ -1,0 +1,143 @@
+package inla
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/dalia-hpc/dalia/internal/sched"
+	"github.com/dalia-hpc/dalia/internal/synth"
+)
+
+// TestDAGFitMatchesPhaseBarrier is the cross-evaluation determinism suite:
+// the full INLA fit scheduled on the work-stealing task-DAG executor must
+// reproduce the legacy phase-barrier fit — mode θ, objective, optimizer
+// trajectory, latent mean and variances — to 1e-10 across the partition ×
+// arrow-width × reduced-recursion grid. The DAG re-expression reorders
+// nothing that matters: frontier installs stay in partition order, tip
+// folds at fixed positions, and every other write set is disjoint, so the
+// two schedules perform identical arithmetic.
+func TestDAGFitMatchesPhaseBarrier(t *testing.T) {
+	for _, nr := range []int{1, 2} { // arrow width: nv*nr fixed effects
+		ds, err := synth.Generate(synth.GenConfig{
+			Nv: 1, Nt: 8, Nr: nr,
+			MeshNx: 3, MeshNy: 3,
+			ObsPerStep: 10,
+			Seed:       31,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prior := WeakPrior(ds.Theta0, 5)
+		for _, parts := range []int{1, 3} {
+			for _, rec := range []int{-1, 1} {
+				fit := func(barrier bool) *Result {
+					opts := DefaultFitOptions()
+					opts.Opt.MaxIter = 3
+					opts.SkipHyperUncertainty = true
+					opts.SolverPartitions = parts
+					opts.SolverRecursion = rec
+					opts.PhaseBarrier = barrier
+					res, err := Fit(ds.Model, prior, ds.Theta0, opts)
+					if err != nil {
+						t.Fatalf("nr=%d parts=%d rec=%d barrier=%v: %v", nr, parts, rec, barrier, err)
+					}
+					return res
+				}
+				want := fit(true)
+				got := fit(false)
+				const tol = 1e-10
+				if math.Abs(got.Opt.F-want.Opt.F) > tol*(1+math.Abs(want.Opt.F)) {
+					t.Fatalf("nr=%d parts=%d rec=%d: dag F=%v, barrier F=%v", nr, parts, rec, got.Opt.F, want.Opt.F)
+				}
+				if got.Opt.Iterations != want.Opt.Iterations || got.Opt.FEvals != want.Opt.FEvals {
+					t.Fatalf("nr=%d parts=%d rec=%d: dag trajectory (%d it, %d evals) vs barrier (%d it, %d evals)",
+						nr, parts, rec, got.Opt.Iterations, got.Opt.FEvals, want.Opt.Iterations, want.Opt.FEvals)
+				}
+				for i := range want.Theta {
+					if math.Abs(got.Theta[i]-want.Theta[i]) > tol*(1+math.Abs(want.Theta[i])) {
+						t.Fatalf("nr=%d parts=%d rec=%d: θ[%d] dag %v, barrier %v", nr, parts, rec, i, got.Theta[i], want.Theta[i])
+					}
+				}
+				for i := range want.Mu {
+					if math.Abs(got.Mu[i]-want.Mu[i]) > tol*(1+math.Abs(want.Mu[i])) {
+						t.Fatalf("nr=%d parts=%d rec=%d: μ[%d] dag %v, barrier %v", nr, parts, rec, i, got.Mu[i], want.Mu[i])
+					}
+					if math.Abs(got.LatentVar[i]-want.LatentVar[i]) > tol*(1+math.Abs(want.LatentVar[i])) {
+						t.Fatalf("nr=%d parts=%d rec=%d: var[%d] dag %v, barrier %v", nr, parts, rec, i, got.LatentVar[i], want.LatentVar[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDAGEvalBatchMatchesBarrier pins the batch layer itself on a wider
+// stencil than the fits above exercise: the same 2d+1 gradient batch
+// through both schedules, where the DAG path interleaves solver tasks from
+// different θ points on one worker pool.
+func TestDAGEvalBatchMatchesBarrier(t *testing.T) {
+	ds, err := synth.Generate(synth.GenConfig{
+		Nv: 2, Nt: 6, Nr: 1,
+		MeshNx: 3, MeshNy: 3,
+		ObsPerStep: 10,
+		Seed:       37,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := WeakPrior(ds.Theta0, 5)
+	pts := gradientPoints(ds.Theta0, 1e-3)
+	ref := &BTAEvaluator{Model: ds.Model, Prior: prior, PhaseBarrier: true, Partitions: 2}
+	want := ref.EvalBatch(pts)
+	e := &BTAEvaluator{Model: ds.Model, Prior: prior, Partitions: 2}
+	got := e.EvalBatch(pts)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10*(1+math.Abs(want[i])) {
+			t.Fatalf("point %d: dag F=%v, barrier F=%v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestEvaluatorPrivateExecutorShutdown: an evaluator pinned to a private
+// executor (BTAEvaluator.Exec) runs its batches and posterior there, and
+// closing the executor leaves no goroutines behind — the leak assertion of
+// the DAG port.
+func TestEvaluatorPrivateExecutorShutdown(t *testing.T) {
+	ds, err := synth.Generate(synth.GenConfig{
+		Nv: 1, Nt: 6, Nr: 1,
+		MeshNx: 3, MeshNy: 3,
+		ObsPerStep: 10,
+		Seed:       41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := WeakPrior(ds.Theta0, 5)
+	before := runtime.NumGoroutine()
+
+	ex := sched.New(3)
+	e := &BTAEvaluator{Model: ds.Model, Prior: prior, Partitions: 2, Exec: ex}
+	ref := &BTAEvaluator{Model: ds.Model, Prior: prior, PhaseBarrier: true, Partitions: 2}
+	pts := gradientPoints(ds.Theta0, 1e-3)
+	want := ref.EvalBatch(pts)
+	got := e.EvalBatch(pts)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10*(1+math.Abs(want[i])) {
+			t.Fatalf("point %d: private-executor F=%v, barrier F=%v", i, got[i], want[i])
+		}
+	}
+	if _, _, err := e.Posterior(ds.Theta0); err != nil {
+		t.Fatal(err)
+	}
+	ex.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutine leak after executor Close: %d before, %d after", before, after)
+	}
+}

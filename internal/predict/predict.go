@@ -100,6 +100,11 @@ func WithObservationNoise() Option { return func(c *config) { c.includeNoise = t
 // is single-flight: concurrent PredictInto fails with ErrConcurrentParallel.
 // NewSnapshot rejects this option — a Snapshot is always the lock-free
 // sequential factor.
+//
+// The parallel backend's partition sweeps run as tasks on the shared
+// work-stealing executor (internal/sched), so a predictor's half solves
+// interleave with concurrently running fits' work on the same cores; the
+// single-flight contract above is unchanged.
 func WithSolverPartitions(p int) Option {
 	return func(c *config) {
 		c.partitions = p

@@ -1,0 +1,56 @@
+package sched
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// LabelCtx precomputes a pprof label context (e.g. phase=elim) that task
+// bodies apply with zero allocation via pprof.SetGoroutineLabels. Build
+// these once at package or struct initialization — constructing a label
+// set allocates, applying it does not.
+func LabelCtx(key, value string) context.Context {
+	return pprof.WithLabels(context.Background(), pprof.Labels(key, value))
+}
+
+// LabelSet caches integer-valued pprof label contexts (eval=0, eval=1, …)
+// so batch loops can tag per-point work without allocating on the hot
+// path. Get is lock-free once an index has been materialized.
+type LabelSet struct {
+	key  string
+	mu   sync.Mutex
+	ctxs atomic.Pointer[[]context.Context]
+}
+
+// NewLabelSet builds an empty cache for the given label key.
+func NewLabelSet(key string) *LabelSet {
+	s := &LabelSet{key: key}
+	empty := make([]context.Context, 0)
+	s.ctxs.Store(&empty)
+	return s
+}
+
+// Get returns the cached context for key=<i>, materializing the prefix up
+// to i on first use (the only allocating path).
+func (s *LabelSet) Get(i int) context.Context {
+	if cur := *s.ctxs.Load(); i < len(cur) {
+		return cur[i]
+	}
+	s.mu.Lock()
+	cur := *s.ctxs.Load()
+	if i < len(cur) {
+		s.mu.Unlock()
+		return cur[i]
+	}
+	next := make([]context.Context, i+1)
+	copy(next, cur)
+	for k := len(cur); k <= i; k++ {
+		next[k] = LabelCtx(s.key, strconv.Itoa(k))
+	}
+	s.ctxs.Store(&next)
+	s.mu.Unlock()
+	return next[i]
+}

@@ -107,6 +107,12 @@ type Options struct {
 	// fp64 factor, so the policy only affects fit latency, not serving
 	// accuracy.
 	Precision bta.Precision
+	// PhaseBarrier forces fits and refits onto the legacy phase-synchronized
+	// concurrency instead of the shared work-stealing task-DAG executor
+	// (inla.FitOptions.PhaseBarrier). Default off: concurrent fits'
+	// solver phases and evaluation batches interleave on the executor's
+	// warm workers, which is what keeps a multi-model server's cores busy.
+	PhaseBarrier bool
 	// Logf, when set, receives operational log lines (recovery, persistence,
 	// flush summaries). nil = silent.
 	Logf func(format string, args ...any)
@@ -855,6 +861,7 @@ func (s *Server) fitResolved(req FitRequest, gen synth.GenConfig, specID string,
 	// Hessian stage is skipped to keep registration fast.
 	opts.SkipHyperUncertainty = true
 	opts.Precision = s.opts.Precision
+	opts.PhaseBarrier = s.opts.PhaseBarrier
 	opts.Ctx = s.fitCtx
 	opts.Resume = resume
 	s.fitStateHooks(req, gen, specID, &opts)
